@@ -1,0 +1,82 @@
+//! Benchmarks of best-response computation for every game family — the single
+//! hottest operation of the empirical study (§3.4.1 notes that a best possible
+//! edge-swap is computed by checking all candidate swaps; §4.2.1 likewise for the
+//! Greedy Buy Game).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ncg_core::{AsymSwapGame, BilateralBuyGame, BuyGame, Game, GreedyBuyGame, SwapGame, Workspace};
+use ncg_graph::generators;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_swap_games(c: &mut Criterion) {
+    let mut group = c.benchmark_group("best_response_swap_games");
+    for &n in &[20usize, 50, 100] {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = generators::budgeted_random(n, 2, &mut rng);
+        let mut ws = Workspace::new(n);
+        let sg = SwapGame::sum();
+        let asg = AsymSwapGame::max();
+        group.bench_with_input(BenchmarkId::new("SUM-SG", n), &g, |b, g| {
+            b.iter(|| black_box(sg.best_response(g, 0, &mut ws)))
+        });
+        group.bench_with_input(BenchmarkId::new("MAX-ASG", n), &g, |b, g| {
+            b.iter(|| black_box(asg.best_response(g, 0, &mut ws)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_buy_games(c: &mut Criterion) {
+    let mut group = c.benchmark_group("best_response_buy_games");
+    for &n in &[20usize, 50, 100] {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = generators::random_with_m_edges(n, 2 * n, &mut rng);
+        let mut ws = Workspace::new(n);
+        let gbg = GreedyBuyGame::sum(n as f64 / 4.0);
+        group.bench_with_input(BenchmarkId::new("SUM-GBG", n), &g, |b, g| {
+            b.iter(|| black_box(gbg.best_response(g, 0, &mut ws)))
+        });
+    }
+    // The exhaustive Buy Game and bilateral best responses only run on small
+    // instances (the paper's constructions); benchmark them at that scale.
+    let g = ncg_instances::fig09::initial();
+    let mut ws = Workspace::new(g.num_nodes());
+    let bg = BuyGame::sum(7.5);
+    group.bench_function("SUM-BG_fig9_n7", |b| {
+        b.iter(|| black_box(bg.best_response(&g, 6, &mut ws)))
+    });
+    let star = generators::star(9);
+    let bil = BilateralBuyGame::sum(2.0);
+    let mut ws9 = Workspace::new(9);
+    group.bench_function("SUM-bilateral_star_n9", |b| {
+        b.iter(|| black_box(bil.best_response(&star, 1, &mut ws9)))
+    });
+    group.finish();
+}
+
+fn bench_unhappiness_scan(c: &mut Criterion) {
+    // Cost of deciding whether an agent is unhappy (early-exit scan), which the
+    // move policies perform for many agents per step.
+    let mut group = c.benchmark_group("has_improving_move");
+    for &n in &[50usize, 100] {
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = generators::random_with_m_edges(n, 4 * n, &mut rng);
+        let game = GreedyBuyGame::max(n as f64 / 4.0);
+        let mut ws = Workspace::new(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| {
+                let mut any = false;
+                for u in 0..g.num_nodes() {
+                    any |= game.has_improving_move(g, u, &mut ws);
+                }
+                black_box(any)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_swap_games, bench_buy_games, bench_unhappiness_scan);
+criterion_main!(benches);

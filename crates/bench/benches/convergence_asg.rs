@@ -1,0 +1,69 @@
+//! Convergence benchmarks of the bounded-budget Asymmetric Swap Game — the
+//! Criterion counterpart of Fig. 7 (SUM) and Fig. 8 (MAX).
+//!
+//! Every benchmark measures a full dynamics run (initial-network generation plus
+//! best-response moves until stability) for one `(n, k, policy)` configuration.
+//! The measured quantity is wall-clock time; the printed trial summaries of
+//! `cargo run -p ncg-bench --bin fig07_asg_sum` report the step counts that the
+//! paper actually plots.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ncg_core::policy::Policy;
+use ncg_sim::{run_trial, AlphaSpec, ExperimentPoint, GameFamily, InitialTopology};
+use std::hint::black_box;
+
+fn point(family: GameFamily, n: usize, k: usize, policy: Policy) -> ExperimentPoint {
+    ExperimentPoint {
+        n,
+        family,
+        alpha: AlphaSpec::Fixed(0.0),
+        topology: InitialTopology::Budgeted { k },
+        policy,
+        trials: 1,
+        base_seed: 42,
+        max_steps_factor: 400,
+    }
+}
+
+fn bench_fig07_sum_asg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig07_sum_asg_convergence");
+    group.sample_size(10);
+    for &n in &[20usize, 40] {
+        for &k in &[1usize, 2, 4] {
+            for policy in [Policy::MaxCost, Policy::Random] {
+                let p = point(GameFamily::AsgSum, n, k, policy);
+                let id = format!("n{n}_k{k}_{}", policy.label().replace(' ', "_"));
+                group.bench_with_input(BenchmarkId::from_parameter(id), &p, |b, p| {
+                    b.iter(|| {
+                        let r = run_trial(p, 0);
+                        assert!(r.converged);
+                        black_box(r.steps)
+                    })
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+fn bench_fig08_max_asg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig08_max_asg_convergence");
+    group.sample_size(10);
+    for &n in &[20usize, 40] {
+        for &k in &[1usize, 2, 4] {
+            let p = point(GameFamily::AsgMax, n, k, Policy::MaxCost);
+            let id = format!("n{n}_k{k}_max_cost");
+            group.bench_with_input(BenchmarkId::from_parameter(id), &p, |b, p| {
+                b.iter(|| {
+                    let r = run_trial(p, 0);
+                    assert!(r.converged);
+                    black_box(r.steps)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig07_sum_asg, bench_fig08_max_asg);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Convergence benchmarks of the Greedy Buy Game — the Criterion counterpart of
+//! Fig. 11 / Fig. 13 (density and α sweeps) and Fig. 12 / Fig. 14 (starting
+//! topologies).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ncg_core::policy::Policy;
+use ncg_sim::{run_trial, AlphaSpec, ExperimentPoint, GameFamily, InitialTopology};
+use std::hint::black_box;
+
+fn point(
+    family: GameFamily,
+    n: usize,
+    topology: InitialTopology,
+    alpha: AlphaSpec,
+    policy: Policy,
+) -> ExperimentPoint {
+    ExperimentPoint {
+        n,
+        family,
+        alpha,
+        topology,
+        policy,
+        trials: 1,
+        base_seed: 7,
+        max_steps_factor: 400,
+    }
+}
+
+fn bench_fig11_fig13_density(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_fig13_gbg_convergence");
+    group.sample_size(10);
+    for family in [GameFamily::GbgSum, GameFamily::GbgMax] {
+        for &m in &[1usize, 4] {
+            for alpha in [AlphaSpec::FractionOfN(0.1), AlphaSpec::FractionOfN(1.0)] {
+                let n = 30;
+                let p = point(
+                    family,
+                    n,
+                    InitialTopology::RandomEdges { m_per_n: m },
+                    alpha,
+                    Policy::MaxCost,
+                );
+                let id = format!("{}_n{n}_m{m}n_a{}", family.label(), alpha.label().replace('/', "_"));
+                group.bench_with_input(BenchmarkId::from_parameter(id), &p, |b, p| {
+                    b.iter(|| {
+                        let r = run_trial(p, 0);
+                        assert!(r.converged);
+                        black_box(r.steps)
+                    })
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+fn bench_fig12_fig14_topologies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_fig14_topology_convergence");
+    group.sample_size(10);
+    for family in [GameFamily::GbgSum, GameFamily::GbgMax] {
+        for topology in [
+            InitialTopology::RandomEdges { m_per_n: 1 },
+            InitialTopology::RandomLine,
+            InitialTopology::DirectedLine,
+        ] {
+            let n = 30;
+            let p = point(family, n, topology, AlphaSpec::FractionOfN(0.25), Policy::MaxCost);
+            let id = format!("{}_n{n}_{}", family.label(), topology.label());
+            group.bench_with_input(BenchmarkId::from_parameter(id), &p, |b, p| {
+                b.iter(|| {
+                    let r = run_trial(p, 0);
+                    assert!(r.converged);
+                    black_box(r.steps)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig11_fig13_density, bench_fig12_fig14_topologies);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Micro-benchmarks of the graph substrate operations that dominate the dynamics
+//! inner loop: BFS, distance summaries, canonical state keys and generators.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ncg_graph::{canonical_state_key, generators, BfsBuffer, DistanceMatrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_bfs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bfs_summary");
+    for &n in &[20usize, 50, 100] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = generators::random_with_m_edges(n, 2 * n, &mut rng);
+        let mut buf = BfsBuffer::new(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| black_box(buf.summary(g, 0)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_all_pairs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("all_pairs_distances");
+    for &n in &[20usize, 50, 100] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = generators::random_with_m_edges(n, 2 * n, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| black_box(DistanceMatrix::compute(g)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_canonical_key(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let g = generators::random_with_m_edges(100, 400, &mut rng);
+    c.bench_function("canonical_state_key_n100_m400", |b| {
+        b.iter(|| black_box(canonical_state_key(&g)))
+    });
+}
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.bench_function("budgeted_random_n100_k3", |b| {
+        let mut rng = StdRng::seed_from_u64(11);
+        b.iter(|| black_box(generators::budgeted_random(100, 3, &mut rng)))
+    });
+    group.bench_function("random_with_m_edges_n100_m400", |b| {
+        let mut rng = StdRng::seed_from_u64(11);
+        b.iter(|| black_box(generators::random_with_m_edges(100, 400, &mut rng)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bfs, bench_all_pairs, bench_canonical_key, bench_generators);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Benchmarks of the theory artefacts: verifying the paper's best-response cycles
+//! (Thm 3.7 / Thm 4.1) and exploring the Cor. 4.2 host-graph state spaces.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ncg_instances::{fig05, fig09, fig10, hosts};
+use std::hint::black_box;
+
+fn bench_cycle_verification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cycle_verification");
+    group.bench_function("fig05_sum_asg_budget1", |b| {
+        let inst = fig05::cycle();
+        b.iter(|| black_box(inst.verify().unwrap()))
+    });
+    group.bench_function("fig09_sum_gbg", |b| {
+        let inst = fig09::greedy_buy_game_cycle();
+        b.iter(|| black_box(inst.verify().unwrap()))
+    });
+    group.bench_function("fig09_sum_bg_exhaustive", |b| {
+        let inst = fig09::buy_game_cycle();
+        b.iter(|| black_box(inst.verify().unwrap()))
+    });
+    group.bench_function("fig10_max_gbg", |b| {
+        let inst = fig10::greedy_buy_game_cycle();
+        b.iter(|| black_box(inst.verify().unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_host_exploration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("host_state_space_exploration");
+    group.sample_size(10);
+    group.bench_function("cor42_sum_host", |b| {
+        b.iter(|| black_box(hosts::explore_sum_host(20_000)))
+    });
+    group.bench_function("cor42_max_host", |b| {
+        b.iter(|| black_box(hosts::explore_max_host(20_000)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cycle_verification, bench_host_exploration);
+criterion_main!(benches);

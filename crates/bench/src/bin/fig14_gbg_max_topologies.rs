@@ -1,0 +1,4 @@
+//! Regenerates Fig14 of the paper's empirical study (see `ncg_sim::experiments`).
+fn main() {
+    ncg_bench::regenerate(ncg_sim::experiments::fig14(), ncg_bench::Scale::from_env());
+}

@@ -1,0 +1,32 @@
+//! Analyses, state by state, which agents are unhappy along the Fig. 9 / Fig. 10
+//! cycles on the Corollary 4.2 host graphs (see the reproduction note in
+//! `ncg_instances::hosts`).
+use ncg_core::{Game, Workspace};
+use ncg_core::moves::apply_move;
+
+fn analyze<G: Game>(label: &str, inst: &ncg_instances::CycleInstance<G>) {
+    println!("=== {label} ===");
+    let mut g = inst.initial.clone();
+    let mut ws = Workspace::new(g.num_nodes());
+    for (i, step) in inst.steps.iter().enumerate() {
+        print!("state {i}: unhappy = ");
+        for u in 0..g.num_nodes() {
+            let moves = inst.game.improving_moves(&g, u, &mut ws);
+            if !moves.is_empty() {
+                print!("{}({}) ", inst.names[u], moves.len());
+                if u != step.agent {
+                    for m in moves.iter().take(3) {
+                        print!("[{:?} {}->{}] ", m.mv, m.old_cost, m.new_cost);
+                    }
+                }
+            }
+        }
+        println!();
+        apply_move(&mut g, step.agent, &step.mv);
+    }
+}
+
+fn main() {
+    analyze("SUM fig09 on host", &ncg_instances::fig09::host_restricted_cycle());
+    analyze("MAX fig10 on host", &ncg_instances::fig10::host_restricted_cycle());
+}

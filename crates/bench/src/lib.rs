@@ -1,0 +1,101 @@
+//! Shared helpers for the figure-regeneration binaries of the benchmark crate.
+//!
+//! Every binary regenerates one figure of the paper's empirical study. The scale
+//! of the sweep (largest `n`, stride over the `n`-axis, trials per point, worker
+//! threads) is controlled by simple `key=value` command-line arguments so that the
+//! same binary can run a quick CI-scale sweep or the paper's full 10,000-trial
+//! configuration:
+//!
+//! ```text
+//! cargo run -p ncg-bench --release --bin fig07_asg_sum -- max_n=100 trials=10000
+//! ```
+
+#![forbid(unsafe_code)]
+
+use ncg_sim::{render_csv, render_table, FigureData, FigureDef};
+
+/// Scale parameters of a regeneration run.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Largest number of agents in the sweep.
+    pub max_n: usize,
+    /// Keep every `stride`-th sweep point.
+    pub stride: usize,
+    /// Trials per point.
+    pub trials: usize,
+    /// Worker threads (`None` = all CPUs).
+    pub threads: Option<usize>,
+    /// Also print CSV after the table.
+    pub csv: bool,
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale {
+            max_n: 40,
+            stride: 1,
+            trials: 30,
+            threads: None,
+            csv: false,
+        }
+    }
+}
+
+impl Scale {
+    /// Parses `key=value` arguments (`max_n`, `stride`, `trials`, `threads`, `csv`).
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut scale = Scale::default();
+        for arg in args {
+            let Some((key, value)) = arg.split_once('=') else {
+                continue;
+            };
+            match key {
+                "max_n" => scale.max_n = value.parse().unwrap_or(scale.max_n),
+                "stride" => scale.stride = value.parse().unwrap_or(scale.stride),
+                "trials" => scale.trials = value.parse().unwrap_or(scale.trials),
+                "threads" => scale.threads = value.parse().ok(),
+                "csv" => scale.csv = value.parse().unwrap_or(false),
+                _ => eprintln!("ignoring unknown argument {key}={value}"),
+            }
+        }
+        scale
+    }
+
+    /// Parses the process arguments.
+    pub fn from_env() -> Self {
+        Self::from_args(std::env::args().skip(1))
+    }
+}
+
+/// Runs one figure definition at the given scale and prints the table (and
+/// optionally CSV) to stdout.
+pub fn regenerate(def: FigureDef, scale: Scale) {
+    let def = def.scaled(scale.max_n, scale.stride, scale.trials);
+    eprintln!(
+        "regenerating {} (max_n={}, stride={}, trials={}) …",
+        def.id, scale.max_n, scale.stride, scale.trials
+    );
+    let data = FigureData::measure(&def, scale.threads);
+    println!("{}", render_table(&def, &data));
+    if scale.csv {
+        println!("{}", render_csv(&data));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        let s = Scale::from_args(
+            ["max_n=20", "trials=7", "stride=2", "csv=true", "bogus", "x=1"]
+                .map(String::from),
+        );
+        assert_eq!(s.max_n, 20);
+        assert_eq!(s.trials, 7);
+        assert_eq!(s.stride, 2);
+        assert!(s.csv);
+        assert_eq!(s.threads, None);
+    }
+}

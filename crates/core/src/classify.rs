@@ -1,0 +1,277 @@
+//! Bounded exploration of the improving-response state graph.
+//!
+//! For small instances we can enumerate every state reachable from an initial
+//! network by improving (or best-response) moves. The resulting directed graph
+//! certifies dynamic properties of the game on that instance:
+//!
+//! * a reachable **stable state** exists / does not exist,
+//! * a directed **cycle** among improving responses exists (⇒ not a FIPG),
+//! * every reachable state can still reach a stable state (the weak-acyclicity
+//!   property, restricted to the reachable region),
+//! * if the exploration is complete and **no** stable state is reachable, the game
+//!   is *not weakly acyclic* from this initial network (Cor. 3.6, 4.2, Thm 5.1).
+
+use crate::dynamics::ResponseMode;
+use crate::game::{Game, Workspace};
+use crate::moves::apply_move;
+use ncg_graph::{canonical_state_key, canonical_unlabeled_key, OwnedGraph, StateKey};
+use std::collections::HashMap;
+
+/// Limits and options for [`explore`].
+#[derive(Debug, Clone)]
+pub struct ExploreConfig {
+    /// Maximum number of distinct states to expand before giving up.
+    pub max_states: usize,
+    /// Explore all improving moves or only best responses.
+    pub response_mode: ResponseMode,
+    /// Whether ownership is part of the state identity (should match the game).
+    pub ownership_in_state: bool,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            max_states: 50_000,
+            response_mode: ResponseMode::BestResponse,
+            ownership_in_state: true,
+        }
+    }
+}
+
+impl ExploreConfig {
+    /// Explore every improving move instead of only best responses.
+    pub fn better_responses(mut self) -> Self {
+        self.response_mode = ResponseMode::FirstImproving;
+        self
+    }
+
+    /// Limit the number of expanded states.
+    pub fn with_max_states(mut self, max_states: usize) -> Self {
+        self.max_states = max_states;
+        self
+    }
+}
+
+/// Result of a state-space exploration.
+#[derive(Debug, Clone)]
+pub struct ExploreResult {
+    /// True if the reachable state space was exhausted within the limit.
+    pub complete: bool,
+    /// Number of distinct states discovered.
+    pub num_states: usize,
+    /// Indices (into `states`) of stable states.
+    pub stable_states: Vec<usize>,
+    /// All discovered states.
+    pub states: Vec<OwnedGraph>,
+    /// Transition lists: `transitions[i]` = states reachable from `states[i]` in one move.
+    pub transitions: Vec<Vec<usize>>,
+}
+
+impl ExploreResult {
+    /// True if some reachable state is stable.
+    pub fn stable_state_reachable(&self) -> bool {
+        !self.stable_states.is_empty()
+    }
+
+    /// True if the explored transition graph contains a directed cycle
+    /// (i.e. a better/best-response cycle is reachable). Only meaningful when the
+    /// exploration is complete; on truncated explorations the answer is a lower bound.
+    pub fn has_cycle(&self) -> bool {
+        // Iterative DFS with colors.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Gray,
+            Black,
+        }
+        let n = self.states.len();
+        let mut color = vec![Color::White; n];
+        for start in 0..n {
+            if color[start] != Color::White {
+                continue;
+            }
+            // stack of (node, next-child-index)
+            let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+            color[start] = Color::Gray;
+            while let Some(&mut (u, ref mut idx)) = stack.last_mut() {
+                if *idx < self.transitions[u].len() {
+                    let v = self.transitions[u][*idx];
+                    *idx += 1;
+                    match color[v] {
+                        Color::Gray => return true,
+                        Color::White => {
+                            color[v] = Color::Gray;
+                            stack.push((v, 0));
+                        }
+                        Color::Black => {}
+                    }
+                } else {
+                    color[u] = Color::Black;
+                    stack.pop();
+                }
+            }
+        }
+        false
+    }
+
+    /// True if *every* explored state can reach a stable state. Together with
+    /// `complete == true` this certifies weak acyclicity from the initial state
+    /// (under the explored response mode).
+    pub fn every_state_reaches_stable(&self) -> bool {
+        if self.stable_states.is_empty() {
+            return self.states.is_empty();
+        }
+        // Reverse reachability from the stable states.
+        let n = self.states.len();
+        let mut reverse: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (u, outs) in self.transitions.iter().enumerate() {
+            for &v in outs {
+                reverse[v].push(u);
+            }
+        }
+        let mut can_reach = vec![false; n];
+        let mut queue: Vec<usize> = self.stable_states.clone();
+        for &s in &queue {
+            can_reach[s] = true;
+        }
+        while let Some(u) = queue.pop() {
+            for &p in &reverse[u] {
+                if !can_reach[p] {
+                    can_reach[p] = true;
+                    queue.push(p);
+                }
+            }
+        }
+        can_reach.into_iter().all(|b| b)
+    }
+
+    /// Certifies "not weakly acyclic from the initial state": the exploration is
+    /// complete and no stable state is reachable by any sequence of (best/improving)
+    /// responses.
+    pub fn certifies_not_weakly_acyclic(&self) -> bool {
+        self.complete && !self.stable_state_reachable()
+    }
+}
+
+/// Explores the state graph reachable from `initial` under `game`.
+pub fn explore<G: Game + ?Sized>(
+    game: &G,
+    initial: &OwnedGraph,
+    config: &ExploreConfig,
+) -> ExploreResult {
+    let key_of = |g: &OwnedGraph| -> StateKey {
+        if config.ownership_in_state {
+            canonical_state_key(g)
+        } else {
+            canonical_unlabeled_key(g)
+        }
+    };
+
+    let mut ws = Workspace::new(initial.num_nodes());
+    let mut index: HashMap<StateKey, usize> = HashMap::new();
+    let mut states: Vec<OwnedGraph> = Vec::new();
+    let mut transitions: Vec<Vec<usize>> = Vec::new();
+    let mut stable_states: Vec<usize> = Vec::new();
+
+    index.insert(key_of(initial), 0);
+    states.push(initial.clone());
+    transitions.push(Vec::new());
+
+    let mut frontier = 0usize;
+    let mut complete = true;
+    while frontier < states.len() {
+        if states.len() > config.max_states {
+            complete = false;
+            break;
+        }
+        let g = states[frontier].clone();
+        let mut outs: Vec<usize> = Vec::new();
+        let mut any_move = false;
+        for agent in 0..g.num_nodes() {
+            let moves = match config.response_mode {
+                ResponseMode::BestResponse => game.best_responses(&g, agent, &mut ws),
+                ResponseMode::FirstImproving => game.improving_moves(&g, agent, &mut ws),
+            };
+            for scored in moves {
+                any_move = true;
+                let mut succ = g.clone();
+                let applied = apply_move(&mut succ, agent, &scored.mv);
+                debug_assert!(applied.is_some());
+                let key = key_of(&succ);
+                let next_index = *index.entry(key).or_insert_with(|| {
+                    states.push(succ.clone());
+                    transitions.push(Vec::new());
+                    states.len() - 1
+                });
+                if !outs.contains(&next_index) {
+                    outs.push(next_index);
+                }
+            }
+        }
+        if !any_move {
+            stable_states.push(frontier);
+        }
+        transitions[frontier] = outs;
+        frontier += 1;
+    }
+    // If we broke out early, the transition lists beyond `frontier` are incomplete.
+    let num_states = states.len();
+    ExploreResult {
+        complete,
+        num_states,
+        stable_states,
+        states,
+        transitions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::games::{AsymSwapGame, SwapGame};
+    use ncg_graph::generators;
+
+    #[test]
+    fn star_exploration_is_a_single_stable_state() {
+        let game = SwapGame::sum();
+        let g = generators::star(6);
+        let res = explore(&game, &g, &ExploreConfig::default());
+        assert!(res.complete);
+        assert_eq!(res.num_states, 1);
+        assert_eq!(res.stable_states, vec![0]);
+        assert!(!res.has_cycle());
+        assert!(res.every_state_reaches_stable());
+        assert!(!res.certifies_not_weakly_acyclic());
+    }
+
+    #[test]
+    fn small_tree_exploration_has_no_cycles() {
+        // SUM-ASG on trees is a potential game: the explored best-response graph is acyclic.
+        let game = AsymSwapGame::sum();
+        let g = generators::path(5);
+        let res = explore(&game, &g, &ExploreConfig::default());
+        assert!(res.complete);
+        assert!(res.num_states > 1);
+        assert!(!res.has_cycle());
+        assert!(res.stable_state_reachable());
+        assert!(res.every_state_reaches_stable());
+    }
+
+    #[test]
+    fn truncated_exploration_reports_incomplete() {
+        let game = SwapGame::sum();
+        let g = generators::path(7);
+        let res = explore(&game, &g, &ExploreConfig::default().with_max_states(2));
+        assert!(!res.complete);
+        assert!(!res.certifies_not_weakly_acyclic(), "incomplete exploration certifies nothing");
+    }
+
+    #[test]
+    fn better_response_exploration_includes_best_responses() {
+        let game = AsymSwapGame::sum();
+        let g = generators::path(4);
+        let best = explore(&game, &g, &ExploreConfig::default());
+        let better = explore(&game, &g, &ExploreConfig::default().better_responses());
+        assert!(better.num_states >= best.num_states);
+    }
+}

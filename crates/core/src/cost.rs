@@ -1,0 +1,189 @@
+//! Agent cost model.
+//!
+//! The cost of agent `u` in network `G` is `c(u) = e(u) + δ(u)` where `e(u)` is the
+//! edge-cost and `δ(u)` the distance-cost (paper §1.1):
+//!
+//! * **SUM** distance-cost: sum of shortest-path distances to all other agents,
+//! * **MAX** distance-cost: maximum distance (eccentricity),
+//! * both are `∞` when the network is disconnected from `u`'s point of view.
+//!
+//! The edge-cost depends on the game family: swap games have none, the unilateral
+//! buy games charge `α` per *owned* edge, and the bilateral equal-split game charges
+//! `α/2` per *incident* edge.
+
+use ncg_graph::{BfsBuffer, DistanceSummary, NodeId, OwnedGraph};
+
+/// Which aggregate of the distance vector enters the agent cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DistanceMetric {
+    /// Sum of distances to all other agents (average connection quality).
+    Sum,
+    /// Maximum distance / eccentricity (worst-case connection quality).
+    Max,
+}
+
+impl DistanceMetric {
+    /// Short label used in reports (`"SUM"` / `"MAX"`), matching the paper.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DistanceMetric::Sum => "SUM",
+            DistanceMetric::Max => "MAX",
+        }
+    }
+
+    /// Extracts the distance-cost from a per-source [`DistanceSummary`];
+    /// `f64::INFINITY` when disconnected.
+    pub fn distance_cost(&self, summary: &DistanceSummary) -> f64 {
+        match self {
+            DistanceMetric::Sum => summary.sum.map_or(f64::INFINITY, |s| s as f64),
+            DistanceMetric::Max => summary.max.map_or(f64::INFINITY, |m| f64::from(m)),
+        }
+    }
+}
+
+/// How edge-costs are charged to an agent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeCostMode {
+    /// No edge-cost at all (Swap Game, Asymmetric Swap Game).
+    Free,
+    /// The owner pays `α` per owned edge (Buy Game, Greedy Buy Game).
+    OwnerPays,
+    /// Both endpoints pay `α / 2` per incident edge (bilateral equal-split game).
+    EqualSplit,
+}
+
+impl EdgeCostMode {
+    /// Edge-cost of agent `u` in `g` given edge price `alpha`.
+    pub fn edge_cost(&self, g: &OwnedGraph, u: NodeId, alpha: f64) -> f64 {
+        match self {
+            EdgeCostMode::Free => 0.0,
+            EdgeCostMode::OwnerPays => alpha * g.owned_degree(u) as f64,
+            EdgeCostMode::EqualSplit => alpha / 2.0 * g.degree(u) as f64,
+        }
+    }
+}
+
+/// Structured cost of an agent: edge part, distance part and the total.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AgentCost {
+    /// Edge-cost component (`α`-weighted).
+    pub edge: f64,
+    /// Distance-cost component (`∞` when disconnected).
+    pub distance: f64,
+}
+
+impl AgentCost {
+    /// Total cost `edge + distance`.
+    #[inline]
+    pub fn total(&self) -> f64 {
+        self.edge + self.distance
+    }
+
+    /// True if the agent can reach every other agent.
+    #[inline]
+    pub fn is_connected(&self) -> bool {
+        self.distance.is_finite()
+    }
+}
+
+/// Computes the structured cost of agent `u`.
+pub fn agent_cost(
+    g: &OwnedGraph,
+    u: NodeId,
+    metric: DistanceMetric,
+    alpha: f64,
+    mode: EdgeCostMode,
+    buf: &mut BfsBuffer,
+) -> AgentCost {
+    let summary = buf.summary(g, u);
+    AgentCost {
+        edge: mode.edge_cost(g, u, alpha),
+        distance: metric.distance_cost(&summary),
+    }
+}
+
+/// Total cost of agent `u` (convenience wrapper around [`agent_cost`]).
+pub fn agent_cost_total(
+    g: &OwnedGraph,
+    u: NodeId,
+    metric: DistanceMetric,
+    alpha: f64,
+    mode: EdgeCostMode,
+    buf: &mut BfsBuffer,
+) -> f64 {
+    agent_cost(g, u, metric, alpha, mode, buf).total()
+}
+
+/// Returns `true` iff `new_cost` is a *strict* improvement over `old_cost`.
+///
+/// The paper only considers improving moves, i.e. strategy changes that strictly
+/// decrease the moving agent's cost. Two infinite costs never improve on each other.
+#[inline]
+pub fn is_improvement(old_cost: f64, new_cost: f64) -> bool {
+    new_cost < old_cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncg_graph::generators;
+
+    #[test]
+    fn metric_labels() {
+        assert_eq!(DistanceMetric::Sum.label(), "SUM");
+        assert_eq!(DistanceMetric::Max.label(), "MAX");
+    }
+
+    #[test]
+    fn swap_game_cost_is_distance_only() {
+        let g = generators::path(4);
+        let mut buf = BfsBuffer::new(4);
+        let c = agent_cost(&g, 0, DistanceMetric::Sum, 10.0, EdgeCostMode::Free, &mut buf);
+        assert_eq!(c.edge, 0.0);
+        assert_eq!(c.distance, 6.0);
+        assert_eq!(c.total(), 6.0);
+        let c = agent_cost(&g, 0, DistanceMetric::Max, 10.0, EdgeCostMode::Free, &mut buf);
+        assert_eq!(c.distance, 3.0);
+    }
+
+    #[test]
+    fn owner_pays_counts_owned_edges_only() {
+        // Path 0->1->2->3: every internal vertex owns exactly one edge.
+        let g = generators::path(4);
+        let mut buf = BfsBuffer::new(4);
+        let c0 = agent_cost(&g, 0, DistanceMetric::Sum, 2.0, EdgeCostMode::OwnerPays, &mut buf);
+        assert_eq!(c0.edge, 2.0);
+        let c3 = agent_cost(&g, 3, DistanceMetric::Sum, 2.0, EdgeCostMode::OwnerPays, &mut buf);
+        assert_eq!(c3.edge, 0.0, "vertex 3 owns no edge");
+    }
+
+    #[test]
+    fn equal_split_counts_incident_edges() {
+        let g = generators::star(5);
+        let mut buf = BfsBuffer::new(5);
+        let hub = agent_cost(&g, 0, DistanceMetric::Sum, 3.0, EdgeCostMode::EqualSplit, &mut buf);
+        assert_eq!(hub.edge, 1.5 * 4.0);
+        let leaf = agent_cost(&g, 1, DistanceMetric::Sum, 3.0, EdgeCostMode::EqualSplit, &mut buf);
+        assert_eq!(leaf.edge, 1.5);
+    }
+
+    #[test]
+    fn disconnected_cost_is_infinite() {
+        let mut g = ncg_graph::OwnedGraph::new(3);
+        g.add_edge(0, 1);
+        let mut buf = BfsBuffer::new(3);
+        let c = agent_cost(&g, 0, DistanceMetric::Sum, 1.0, EdgeCostMode::OwnerPays, &mut buf);
+        assert!(c.distance.is_infinite());
+        assert!(!c.is_connected());
+        assert!(c.total().is_infinite());
+    }
+
+    #[test]
+    fn improvement_is_strict() {
+        assert!(is_improvement(5.0, 4.0));
+        assert!(!is_improvement(5.0, 5.0));
+        assert!(!is_improvement(4.0, 5.0));
+        assert!(!is_improvement(f64::INFINITY, f64::INFINITY));
+        assert!(is_improvement(f64::INFINITY, 10.0));
+    }
+}

@@ -1,0 +1,246 @@
+//! The [`Game`] trait: everything the dynamics engine needs to know about a
+//! network creation game variant.
+//!
+//! A game defines (1) the cost of an agent in a state, (2) the admissible strategy
+//! changes (candidate moves) of an agent, and (3) which of those are *feasible*
+//! (host-graph restrictions are handled during enumeration; the bilateral game adds
+//! a consent check). On top of those primitives the trait provides derived queries
+//! used everywhere: improving moves, best responses and unhappiness tests.
+
+use crate::cost::{agent_cost_total, is_improvement, DistanceMetric, EdgeCostMode};
+use crate::moves::{apply_move, undo_move, Move};
+use ncg_graph::{BfsBuffer, HostGraph, NodeId, OwnedGraph};
+
+/// Reusable scratch space for best-response computations.
+///
+/// Keeping the BFS buffer, the scratch graph and the candidate vector alive across
+/// calls removes all allocation from the inner loop of the dynamics engine.
+#[derive(Debug, Clone)]
+pub struct Workspace {
+    /// Single-source BFS workspace.
+    pub bfs: BfsBuffer,
+    scratch: OwnedGraph,
+    candidates: Vec<Move>,
+}
+
+impl Workspace {
+    /// Creates a workspace for graphs on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Workspace {
+            bfs: BfsBuffer::new(n),
+            scratch: OwnedGraph::new(n),
+            candidates: Vec::new(),
+        }
+    }
+}
+
+/// A candidate move together with the moving agent's cost before and after.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoredMove {
+    /// The strategy change.
+    pub mv: Move,
+    /// The agent's cost in the current state.
+    pub old_cost: f64,
+    /// The agent's cost after performing the move.
+    pub new_cost: f64,
+}
+
+impl ScoredMove {
+    /// Strict cost decrease achieved by the move (positive for improving moves).
+    pub fn improvement(&self) -> f64 {
+        self.old_cost - self.new_cost
+    }
+}
+
+/// A network creation game variant (SG, ASG, GBG, BG or bilateral BG in SUM or MAX
+/// flavour, possibly on a restricted host graph).
+pub trait Game {
+    /// Human-readable name, e.g. `"SUM-ASG"`.
+    fn name(&self) -> String;
+
+    /// The distance-cost aggregate (SUM or MAX).
+    fn metric(&self) -> DistanceMetric;
+
+    /// The edge price α (irrelevant for swap games, where it is `0`).
+    fn alpha(&self) -> f64 {
+        0.0
+    }
+
+    /// How edge-costs are charged.
+    fn edge_cost_mode(&self) -> EdgeCostMode;
+
+    /// The host graph restricting which edges may be created.
+    fn host(&self) -> &HostGraph;
+
+    /// Cost of agent `u` in state `g`.
+    fn cost(&self, g: &OwnedGraph, u: NodeId, buf: &mut BfsBuffer) -> f64 {
+        agent_cost_total(g, u, self.metric(), self.alpha(), self.edge_cost_mode(), buf)
+    }
+
+    /// Enumerates the admissible strategy changes of agent `u` in state `g`
+    /// (host-graph restrictions already applied), appending them to `out`.
+    fn candidate_moves(&self, g: &OwnedGraph, u: NodeId, out: &mut Vec<Move>);
+
+    /// Returns `true` if the move is *blocked* by other agents.
+    ///
+    /// Only the bilateral equal-split game uses this: a strategy change is blocked
+    /// if some newly connected agent would see her cost strictly increase
+    /// (paper §5). `g_before` is the current state, `g_after` the state after the
+    /// move has been applied.
+    fn move_is_blocked(
+        &self,
+        _g_before: &OwnedGraph,
+        _agent: NodeId,
+        _mv: &Move,
+        _g_after: &OwnedGraph,
+        _buf: &mut BfsBuffer,
+    ) -> bool {
+        false
+    }
+
+    /// All feasible improving moves of agent `u`, in deterministic order.
+    fn improving_moves(&self, g: &OwnedGraph, u: NodeId, ws: &mut Workspace) -> Vec<ScoredMove> {
+        scan_moves(self, g, u, ws, ScanMode::AllImproving)
+    }
+
+    /// All feasible *best-response* moves of agent `u`: the improving moves of
+    /// maximal cost decrease. Empty iff the agent is happy.
+    fn best_responses(&self, g: &OwnedGraph, u: NodeId, ws: &mut Workspace) -> Vec<ScoredMove> {
+        let mut improving = scan_moves(self, g, u, ws, ScanMode::AllImproving);
+        if improving.is_empty() {
+            return improving;
+        }
+        let best = improving
+            .iter()
+            .map(|s| s.new_cost)
+            .fold(f64::INFINITY, f64::min);
+        improving.retain(|s| s.new_cost <= best);
+        improving
+    }
+
+    /// The deterministic first best response (ties broken by the move order:
+    /// deletions before swaps before purchases, then lexicographically).
+    fn best_response(&self, g: &OwnedGraph, u: NodeId, ws: &mut Workspace) -> Option<ScoredMove> {
+        let mut best = self.best_responses(g, u, ws);
+        if best.is_empty() {
+            None
+        } else {
+            best.sort_by_key(|s| s.mv.sort_key());
+            Some(best.remove(0))
+        }
+    }
+
+    /// Returns `true` iff agent `u` is unhappy, i.e. has at least one feasible
+    /// improving move. Stops at the first improving candidate found.
+    fn has_improving_move(&self, g: &OwnedGraph, u: NodeId, ws: &mut Workspace) -> bool {
+        !scan_moves(self, g, u, ws, ScanMode::FirstImproving).is_empty()
+    }
+}
+
+/// How [`scan_moves`] terminates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ScanMode {
+    AllImproving,
+    FirstImproving,
+}
+
+/// Shared candidate-evaluation loop: enumerate candidates, apply each to a scratch
+/// copy of the state, score it from the moving agent's point of view, filter to
+/// feasible strict improvements.
+fn scan_moves<G: Game + ?Sized>(
+    game: &G,
+    g: &OwnedGraph,
+    u: NodeId,
+    ws: &mut Workspace,
+    mode: ScanMode,
+) -> Vec<ScoredMove> {
+    ws.bfs.resize(g.num_nodes());
+    let old_cost = game.cost(g, u, &mut ws.bfs);
+    let mut candidates = std::mem::take(&mut ws.candidates);
+    candidates.clear();
+    game.candidate_moves(g, u, &mut candidates);
+
+    ws.scratch.clone_from(g);
+    let mut out = Vec::new();
+    for mv in &candidates {
+        let Some(undo) = apply_move(&mut ws.scratch, u, mv) else {
+            continue;
+        };
+        let new_cost = game.cost(&ws.scratch, u, &mut ws.bfs);
+        let improving = is_improvement(old_cost, new_cost);
+        let accepted = improving
+            && !game.move_is_blocked(g, u, mv, &ws.scratch, &mut ws.bfs);
+        undo_move(&mut ws.scratch, u, &undo);
+        if accepted {
+            out.push(ScoredMove {
+                mv: mv.clone(),
+                old_cost,
+                new_cost,
+            });
+            if mode == ScanMode::FirstImproving {
+                break;
+            }
+        }
+    }
+    debug_assert_eq!(&ws.scratch, g, "scratch graph must be restored after scanning");
+    ws.candidates = candidates;
+    out
+}
+
+/// Pushes a `Swap` candidate for every non-neighbour target allowed by the host.
+pub(crate) fn push_swap_targets(
+    g: &OwnedGraph,
+    host: &HostGraph,
+    u: NodeId,
+    from: NodeId,
+    out: &mut Vec<Move>,
+) {
+    for to in 0..g.num_nodes() {
+        if to == u || to == from || g.has_edge(u, to) || !host.allows(u, to) {
+            continue;
+        }
+        out.push(Move::Swap { from, to });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::games::SwapGame;
+    use ncg_graph::generators;
+
+    #[test]
+    fn scored_move_improvement() {
+        let s = ScoredMove {
+            mv: Move::Buy { to: 1 },
+            old_cost: 10.0,
+            new_cost: 7.5,
+        };
+        assert_eq!(s.improvement(), 2.5);
+    }
+
+    #[test]
+    fn best_response_is_subset_of_improving() {
+        let game = SwapGame::sum();
+        let g = generators::path(6);
+        let mut ws = Workspace::new(6);
+        let improving = game.improving_moves(&g, 0, &mut ws);
+        let best = game.best_responses(&g, 0, &mut ws);
+        assert!(!improving.is_empty());
+        assert!(!best.is_empty());
+        let best_cost = best[0].new_cost;
+        assert!(best.iter().all(|s| s.new_cost == best_cost));
+        assert!(improving.iter().all(|s| s.new_cost >= best_cost));
+        assert!(best.len() <= improving.len());
+    }
+
+    #[test]
+    fn workspace_is_reusable_across_graphs() {
+        let game = SwapGame::sum();
+        let mut ws = Workspace::new(4);
+        let small = generators::path(4);
+        let big = generators::path(8);
+        assert!(game.best_response(&small, 0, &mut ws).is_some());
+        assert!(game.best_response(&big, 0, &mut ws).is_some());
+    }
+}

@@ -1,0 +1,124 @@
+//! The Asymmetric Swap Game of Mihalák & Schlegel.
+//!
+//! Identical to the Swap Game except that every edge has an owner and only the
+//! owner may swap it. The strategy of agent `u` is her set of *owned* neighbours.
+
+use crate::cost::{DistanceMetric, EdgeCostMode};
+use crate::game::{push_swap_targets, Game};
+use crate::moves::Move;
+use ncg_graph::{HostGraph, NodeId, OwnedGraph};
+
+/// The Asymmetric Swap Game (ASG) in SUM or MAX flavour.
+#[derive(Debug, Clone)]
+pub struct AsymSwapGame {
+    metric: DistanceMetric,
+    host: HostGraph,
+}
+
+impl AsymSwapGame {
+    /// Asymmetric swap game with the given metric on the complete host graph.
+    pub fn new(metric: DistanceMetric) -> Self {
+        AsymSwapGame {
+            metric,
+            host: HostGraph::Complete,
+        }
+    }
+
+    /// The SUM-ASG.
+    pub fn sum() -> Self {
+        Self::new(DistanceMetric::Sum)
+    }
+
+    /// The MAX-ASG.
+    pub fn max() -> Self {
+        Self::new(DistanceMetric::Max)
+    }
+
+    /// Restricts edge creation to a host graph (Cor. 3.6).
+    pub fn with_host(mut self, host: HostGraph) -> Self {
+        self.host = host;
+        self
+    }
+}
+
+impl Game for AsymSwapGame {
+    fn name(&self) -> String {
+        format!("{}-ASG", self.metric.label())
+    }
+
+    fn metric(&self) -> DistanceMetric {
+        self.metric
+    }
+
+    fn edge_cost_mode(&self) -> EdgeCostMode {
+        EdgeCostMode::Free
+    }
+
+    fn host(&self) -> &HostGraph {
+        &self.host
+    }
+
+    fn candidate_moves(&self, g: &OwnedGraph, u: NodeId, out: &mut Vec<Move>) {
+        // Only edges owned by `u` may be swapped.
+        for &from in g.owned_neighbors(u) {
+            push_swap_targets(g, &self.host, u, from, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::game::Workspace;
+    use ncg_graph::generators;
+
+    #[test]
+    fn names() {
+        assert_eq!(AsymSwapGame::sum().name(), "SUM-ASG");
+        assert_eq!(AsymSwapGame::max().name(), "MAX-ASG");
+    }
+
+    #[test]
+    fn only_owned_edges_are_swappable() {
+        // Path 0->1->2->3: vertex 3 owns nothing and therefore has no moves at all,
+        // even though it has the worst cost.
+        let g = generators::path(4);
+        let game = AsymSwapGame::sum();
+        let mut out = Vec::new();
+        game.candidate_moves(&g, 3, &mut out);
+        assert!(out.is_empty());
+        let mut ws = Workspace::new(4);
+        assert!(!game.has_improving_move(&g, 3, &mut ws));
+        // Vertex 0 owns {0,1} and can improve by swapping towards the middle.
+        let br = game.best_response(&g, 0, &mut ws).unwrap();
+        assert_eq!(br.mv, Move::Swap { from: 1, to: 2 });
+    }
+
+    #[test]
+    fn swapping_a_bridge_away_never_improves() {
+        // Vertex 1 owns the bridge {1,2} in the path 0->1->2->3. Any swap it could
+        // perform keeps the graph connected or disconnects it; disconnection costs ∞.
+        let g = generators::path(4);
+        let game = AsymSwapGame::sum();
+        let mut ws = Workspace::new(4);
+        let improving = game.improving_moves(&g, 1, &mut ws);
+        for s in &improving {
+            assert!(s.new_cost.is_finite());
+        }
+    }
+
+    #[test]
+    fn asymmetric_has_fewer_moves_than_symmetric() {
+        use crate::games::SwapGame;
+        let g = generators::path(6);
+        let sym = SwapGame::sum();
+        let asym = AsymSwapGame::sum();
+        for u in 0..6 {
+            let mut sym_moves = Vec::new();
+            let mut asym_moves = Vec::new();
+            sym.candidate_moves(&g, u, &mut sym_moves);
+            asym.candidate_moves(&g, u, &mut asym_moves);
+            assert!(asym_moves.len() <= sym_moves.len());
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! The five game families studied in the paper.
+//!
+//! | Type | Struct | Strategy of agent `u` | Admissible changes |
+//! |------|--------|----------------------|---------------------|
+//! | SG   | [`SwapGame`] | neighbour set | replace one neighbour (either endpoint may swap) |
+//! | ASG  | [`AsymSwapGame`] | owned-neighbour set | replace one *owned* neighbour |
+//! | GBG  | [`GreedyBuyGame`] | owned-neighbour set | buy, delete or swap one owned edge |
+//! | BG   | [`BuyGame`] | owned-neighbour set | any subset of `V \ {u}` |
+//! | BEB  | [`BilateralBuyGame`] | neighbour set | any subset, new edges need the other endpoint's consent, cost `α/2` each |
+
+mod asym_swap;
+mod bilateral;
+mod buy;
+mod greedy_buy;
+mod swap;
+
+pub use asym_swap::AsymSwapGame;
+pub use bilateral::BilateralBuyGame;
+pub use buy::BuyGame;
+pub use greedy_buy::GreedyBuyGame;
+pub use swap::SwapGame;

@@ -1,0 +1,154 @@
+//! The (symmetric) Swap Game of Alon et al. (SPAA'10), "Basic Network Creation Game".
+//!
+//! The strategy of agent `u` is her neighbour set. An admissible change replaces
+//! exactly one neighbour by a non-neighbour; *both* endpoints of an edge are allowed
+//! to swap it, so edge-ownership has no influence on strategies or costs. There is
+//! no edge-cost term.
+
+use crate::cost::{DistanceMetric, EdgeCostMode};
+use crate::game::{push_swap_targets, Game};
+use crate::moves::Move;
+use ncg_graph::{HostGraph, NodeId, OwnedGraph};
+
+/// The Swap Game (SG) in SUM or MAX flavour.
+#[derive(Debug, Clone)]
+pub struct SwapGame {
+    metric: DistanceMetric,
+    host: HostGraph,
+}
+
+impl SwapGame {
+    /// Swap game with the given distance metric on the complete host graph.
+    pub fn new(metric: DistanceMetric) -> Self {
+        SwapGame {
+            metric,
+            host: HostGraph::Complete,
+        }
+    }
+
+    /// The SUM-SG.
+    pub fn sum() -> Self {
+        Self::new(DistanceMetric::Sum)
+    }
+
+    /// The MAX-SG.
+    pub fn max() -> Self {
+        Self::new(DistanceMetric::Max)
+    }
+
+    /// Restricts edge creation to a host graph.
+    pub fn with_host(mut self, host: HostGraph) -> Self {
+        self.host = host;
+        self
+    }
+}
+
+impl Game for SwapGame {
+    fn name(&self) -> String {
+        format!("{}-SG", self.metric.label())
+    }
+
+    fn metric(&self) -> DistanceMetric {
+        self.metric
+    }
+
+    fn edge_cost_mode(&self) -> EdgeCostMode {
+        EdgeCostMode::Free
+    }
+
+    fn host(&self) -> &HostGraph {
+        &self.host
+    }
+
+    fn candidate_moves(&self, g: &OwnedGraph, u: NodeId, out: &mut Vec<Move>) {
+        // Either endpoint may swap the edge, so every incident edge is a candidate.
+        for &from in g.neighbors(u) {
+            push_swap_targets(g, &self.host, u, from, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::game::Workspace;
+    use ncg_graph::generators;
+
+    #[test]
+    fn names() {
+        assert_eq!(SwapGame::sum().name(), "SUM-SG");
+        assert_eq!(SwapGame::max().name(), "MAX-SG");
+    }
+
+    #[test]
+    fn candidates_ignore_ownership() {
+        // Path 0->1->2: agent 2 owns nothing, yet may swap the edge {1,2}.
+        let g = generators::path(3);
+        let game = SwapGame::sum();
+        let mut out = Vec::new();
+        game.candidate_moves(&g, 2, &mut out);
+        assert_eq!(out, vec![Move::Swap { from: 1, to: 0 }]);
+    }
+
+    #[test]
+    fn path_endpoint_improves_by_swapping_to_center() {
+        let g = generators::path(5);
+        let game = SwapGame::sum();
+        let mut ws = Workspace::new(5);
+        let br = game.best_response(&g, 0, &mut ws).expect("endpoint is unhappy");
+        // Best swap for the endpoint connects to a median of the remaining path
+        // (vertex 2 or 3); the deterministic tie-break picks the smaller index.
+        assert_eq!(br.mv, Move::Swap { from: 1, to: 2 });
+        assert_eq!(br.old_cost, 10.0);
+        assert_eq!(br.new_cost, 8.0);
+    }
+
+    #[test]
+    fn star_center_is_happy() {
+        let g = generators::star(6);
+        let game = SwapGame::sum();
+        let mut ws = Workspace::new(6);
+        assert!(!game.has_improving_move(&g, 0, &mut ws));
+        // Leaves cannot improve either: a star is stable in the SUM-SG.
+        for leaf in 1..6 {
+            assert!(!game.has_improving_move(&g, leaf, &mut ws));
+        }
+    }
+
+    #[test]
+    fn max_metric_counts_eccentricity() {
+        let g = generators::path(5);
+        let game = SwapGame::max();
+        let mut ws = Workspace::new(5);
+        let br = game.best_response(&g, 0, &mut ws).expect("unhappy");
+        assert_eq!(br.old_cost, 4.0);
+        // Swapping to the center vertex drops the eccentricity to 1 + 2 = ... BFS: center has ecc 2, so 0 gets ecc 3? Actually connecting to vertex 2 gives distances [0,2,1,2,3] -> wait path 0-1-2-3-4, after swap {0,1}->{0,2}: 0-2, 1-2, 2-3, 3-4; dist from 0: to 2 =1, 1=2, 3=2, 4=3 => ecc 3.
+        assert!(br.new_cost < br.old_cost);
+    }
+
+    #[test]
+    fn host_graph_restricts_targets() {
+        let g = generators::path(4);
+        // Only the edge {0,2} may ever be created.
+        let host = HostGraph::restricted(4, &[(0, 2), (0, 1), (1, 2), (2, 3)]);
+        let game = SwapGame::sum().with_host(host);
+        let mut out = Vec::new();
+        game.candidate_moves(&g, 0, &mut out);
+        assert_eq!(out, vec![Move::Swap { from: 1, to: 2 }]);
+        // Vertex 3 may not connect to 0 or 1 under this host.
+        out.clear();
+        game.candidate_moves(&g, 3, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn disconnecting_swaps_are_never_improving() {
+        // Swapping the bridge of a path to the other endpoint of the bridge is not
+        // admissible (edge exists); swapping a pendant edge away can only reconnect.
+        let g = generators::path(3);
+        let game = SwapGame::sum();
+        let mut ws = Workspace::new(3);
+        // Middle vertex of P3 has cost 2, the minimum possible: happy.
+        assert!(!game.has_improving_move(&g, 1, &mut ws));
+    }
+}

@@ -1,0 +1,165 @@
+//! Move policies: who is allowed to move in the current state.
+//!
+//! A move policy only decides *which* unhappy agent moves, never *which* move she
+//! performs (paper §1.1: "we do not consider such strong policies"). The paper's
+//! results use the **max cost** policy and, in the experiments, the **random**
+//! policy; min-index and round-robin are provided as additional natural baselines
+//! and for the adversarial constructions in the tests.
+
+use crate::game::{Game, Workspace};
+use ncg_graph::{NodeId, OwnedGraph};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Which unhappy agent is selected to move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Policy {
+    /// The unhappy agent of maximum cost moves; ties broken according to
+    /// [`TieBreak`]. This is the paper's *max cost policy*.
+    MaxCost,
+    /// A uniformly random unhappy agent moves (the paper's experimental
+    /// *random policy*).
+    Random,
+    /// The unhappy agent with the smallest index moves (used in the Fig. 1
+    /// lower-bound construction).
+    MinIndex,
+    /// Agents are scanned cyclically starting after the previous mover.
+    RoundRobin,
+}
+
+/// How ties (among maximum-cost agents, or among equally good best responses)
+/// are broken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TieBreak {
+    /// Lowest agent index / lexicographically smallest move. Fully reproducible
+    /// independent of the RNG; matches the tie-breaking used in the paper's proofs.
+    Deterministic,
+    /// Uniformly at random (the paper's experimental setup).
+    Random,
+}
+
+impl Policy {
+    /// Human-readable label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Policy::MaxCost => "max cost",
+            Policy::Random => "random",
+            Policy::MinIndex => "min index",
+            Policy::RoundRobin => "round robin",
+        }
+    }
+
+    /// Selects the moving agent in state `g`, or `None` if every agent is happy
+    /// (the state is stable).
+    ///
+    /// `last_mover` is only used by [`Policy::RoundRobin`].
+    pub fn select_mover<G: Game + ?Sized, R: Rng>(
+        &self,
+        game: &G,
+        g: &OwnedGraph,
+        ws: &mut Workspace,
+        tie_break: TieBreak,
+        last_mover: Option<NodeId>,
+        rng: &mut R,
+    ) -> Option<NodeId> {
+        let n = g.num_nodes();
+        let mut order: Vec<NodeId> = (0..n).collect();
+        match self {
+            Policy::MaxCost => {
+                if tie_break == TieBreak::Random {
+                    order.shuffle(rng);
+                }
+                let costs: Vec<f64> = (0..n).map(|u| game.cost(g, u, &mut ws.bfs)).collect();
+                // Stable sort: the shuffled order implements random tie-breaking.
+                order.sort_by(|&a, &b| {
+                    costs[b].partial_cmp(&costs[a]).expect("costs are never NaN")
+                });
+            }
+            Policy::Random => {
+                order.shuffle(rng);
+            }
+            Policy::MinIndex => {}
+            Policy::RoundRobin => {
+                let start = last_mover.map_or(0, |m| (m + 1) % n.max(1));
+                order = (0..n).map(|i| (start + i) % n).collect();
+            }
+        }
+        order
+            .into_iter()
+            .find(|&u| game.has_improving_move(g, u, ws))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::games::{AsymSwapGame, SwapGame};
+    use ncg_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn labels() {
+        assert_eq!(Policy::MaxCost.label(), "max cost");
+        assert_eq!(Policy::Random.label(), "random");
+    }
+
+    #[test]
+    fn max_cost_policy_selects_a_leaf_on_trees() {
+        // Observation 2.12: an agent of maximum cost in a tree is a leaf.
+        let game = SwapGame::max();
+        let g = generators::path(7);
+        let mut ws = Workspace::new(7);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mover = Policy::MaxCost
+            .select_mover(&game, &g, &mut ws, TieBreak::Deterministic, None, &mut rng)
+            .expect("path is not stable");
+        assert!(g.degree(mover) == 1, "max-cost mover must be a leaf, got {mover}");
+        // Deterministic tie-break picks the lowest-index endpoint.
+        assert_eq!(mover, 0);
+    }
+
+    #[test]
+    fn stable_state_selects_nobody() {
+        let game = SwapGame::sum();
+        let g = generators::star(6);
+        let mut ws = Workspace::new(6);
+        let mut rng = StdRng::seed_from_u64(0);
+        for p in [Policy::MaxCost, Policy::Random, Policy::MinIndex, Policy::RoundRobin] {
+            assert_eq!(
+                p.select_mover(&game, &g, &mut ws, TieBreak::Random, None, &mut rng),
+                None
+            );
+        }
+    }
+
+    #[test]
+    fn min_index_and_round_robin_orderings() {
+        let game = AsymSwapGame::sum();
+        let g = generators::path(6);
+        let mut ws = Workspace::new(6);
+        let mut rng = StdRng::seed_from_u64(1);
+        let first = Policy::MinIndex
+            .select_mover(&game, &g, &mut ws, TieBreak::Deterministic, None, &mut rng)
+            .unwrap();
+        assert_eq!(first, 0, "vertex 0 owns an edge and can improve");
+        let rr = Policy::RoundRobin
+            .select_mover(&game, &g, &mut ws, TieBreak::Deterministic, Some(0), &mut rng)
+            .unwrap();
+        assert!(rr != 0 || !game.has_improving_move(&g, 1, &mut ws));
+    }
+
+    #[test]
+    fn random_policy_only_picks_unhappy_agents() {
+        let game = AsymSwapGame::sum();
+        let g = generators::path(8);
+        let mut ws = Workspace::new(8);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let u = Policy::Random
+                .select_mover(&game, &g, &mut ws, TieBreak::Random, None, &mut rng)
+                .unwrap();
+            assert!(game.has_improving_move(&g, u, &mut ws));
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Potential functions used in the convergence proofs.
+//!
+//! * The **social cost** is an ordinal potential of the SUM Swap Game on trees
+//!   (Lenzner, SAGT'11).
+//! * The **sorted cost vector**, compared lexicographically, is a generalized
+//!   ordinal potential of the MAX Swap Game on trees (paper Lemma 2.6).
+//!
+//! The property tests of this crate verify both along simulated trajectories.
+
+use crate::game::{Game, Workspace};
+use ncg_graph::OwnedGraph;
+use std::cmp::Ordering;
+
+/// The sorted cost vector `(γ¹, …, γⁿ)` of a network: the agents' costs sorted in
+/// non-increasing order (Definition 2.5).
+pub fn sorted_cost_vector<G: Game + ?Sized>(
+    game: &G,
+    g: &OwnedGraph,
+    ws: &mut Workspace,
+) -> Vec<f64> {
+    let mut costs: Vec<f64> = (0..g.num_nodes())
+        .map(|u| game.cost(g, u, &mut ws.bfs))
+        .collect();
+    costs.sort_by(|a, b| b.partial_cmp(a).expect("costs are never NaN"));
+    costs
+}
+
+/// Lexicographic comparison of two equally long cost vectors.
+///
+/// Returns `Ordering::Less` if `a` precedes `b`, i.e. `a` is the *smaller*
+/// potential value.
+pub fn lex_cmp(a: &[f64], b: &[f64]) -> Ordering {
+    debug_assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b.iter()) {
+        match x.partial_cmp(y).expect("costs are never NaN") {
+            Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    Ordering::Equal
+}
+
+/// Returns `true` if `after` is strictly lexicographically smaller than `before`
+/// — the decrease required from a generalized ordinal potential step.
+pub fn lex_decreased(before: &[f64], after: &[f64]) -> bool {
+    lex_cmp(after, before) == Ordering::Less
+}
+
+/// Social cost (sum of all agents' costs) — the ordinal potential of the SUM
+/// swap games on trees.
+pub fn social_cost_potential<G: Game + ?Sized>(
+    game: &G,
+    g: &OwnedGraph,
+    ws: &mut Workspace,
+) -> f64 {
+    crate::equilibrium::social_cost(game, g, ws)
+}
+
+/// Observation 2.9: in any connected network the two largest entries of the sorted
+/// cost vector (MAX metric) are equal and the smallest entry is `⌈γ¹ / 2⌉`.
+/// Exposed for the property tests.
+pub fn max_cost_vector_observation_holds(sorted_desc: &[f64]) -> bool {
+    if sorted_desc.len() < 2 {
+        return true;
+    }
+    let gamma1 = sorted_desc[0];
+    let gamma2 = sorted_desc[1];
+    let gamma_n = *sorted_desc.last().expect("non-empty");
+    if !gamma1.is_finite() {
+        return true; // disconnected: the observation only speaks about connected networks
+    }
+    gamma1 == gamma2 && gamma_n == (gamma1 / 2.0).ceil()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamics::{Dynamics, DynamicsConfig};
+    use crate::games::SwapGame;
+    use ncg_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sorted_vector_is_non_increasing() {
+        let game = SwapGame::max();
+        let g = generators::path(7);
+        let mut ws = Workspace::new(7);
+        let v = sorted_cost_vector(&game, &g, &mut ws);
+        for w in v.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        assert_eq!(v.len(), 7);
+    }
+
+    #[test]
+    fn lexicographic_comparison() {
+        assert_eq!(lex_cmp(&[3.0, 2.0], &[3.0, 2.0]), Ordering::Equal);
+        assert_eq!(lex_cmp(&[3.0, 1.0], &[3.0, 2.0]), Ordering::Less);
+        assert_eq!(lex_cmp(&[4.0, 0.0], &[3.0, 9.0]), Ordering::Greater);
+        assert!(lex_decreased(&[4.0, 4.0], &[4.0, 3.0]));
+        assert!(!lex_decreased(&[4.0, 3.0], &[4.0, 3.0]));
+    }
+
+    #[test]
+    fn observation_2_9_on_trees() {
+        let game = SwapGame::max();
+        let mut ws = Workspace::new(9);
+        for g in [generators::path(9), generators::star(9), generators::double_star(3, 4)] {
+            let v = sorted_cost_vector(&game, &g, &mut ws);
+            assert!(max_cost_vector_observation_holds(&v), "failed on {g:?}");
+        }
+    }
+
+    #[test]
+    fn max_sg_tree_dynamics_decreases_sorted_cost_vector() {
+        // Lemma 2.6 along an actual trajectory.
+        let game = SwapGame::max();
+        let g = generators::path(9);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut dynamics = Dynamics::new(&game, g, DynamicsConfig::simulation(1_000));
+        let mut ws = Workspace::new(9);
+        let mut prev = sorted_cost_vector(&game, dynamics.graph(), &mut ws);
+        while dynamics.step(&mut rng).is_some() {
+            let next = sorted_cost_vector(&game, dynamics.graph(), &mut ws);
+            assert!(
+                lex_decreased(&prev, &next),
+                "potential must strictly decrease: {prev:?} -> {next:?}"
+            );
+            prev = next;
+        }
+    }
+
+    #[test]
+    fn sum_sg_tree_dynamics_decreases_social_cost() {
+        let game = SwapGame::sum();
+        let g = generators::path(10);
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut dynamics = Dynamics::new(&game, g, DynamicsConfig::simulation(1_000));
+        let mut ws = Workspace::new(10);
+        let mut prev = social_cost_potential(&game, dynamics.graph(), &mut ws);
+        while dynamics.step(&mut rng).is_some() {
+            let next = social_cost_potential(&game, dynamics.graph(), &mut ws);
+            assert!(next < prev, "social cost must strictly decrease on trees");
+            prev = next;
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Canonical encodings of labelled network states.
+//!
+//! The dynamics engine detects better-response cycles by remembering every visited
+//! state. Two states of the creation process are the same iff the labelled edge set
+//! *and its ownership* coincide, so the canonical key is simply the sorted list of
+//! `owner -> other` pairs. For ownership-oblivious games (the symmetric Swap Game)
+//! an unlabelled-ownership variant is provided.
+
+use crate::graph::OwnedGraph;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// A compact, hashable fingerprint of a labelled network state.
+///
+/// Keys are exact (no hashing collisions): they contain the full sorted edge list.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StateKey {
+    n: usize,
+    edges: Vec<(u32, u32)>,
+}
+
+impl StateKey {
+    /// 64-bit digest of the key, convenient for logging.
+    pub fn digest(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.hash(&mut h);
+        h.finish()
+    }
+
+    /// Number of edges recorded in the key.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+}
+
+/// Canonical key of a state including edge ownership (ASG / GBG / BG / bilateral).
+pub fn canonical_state_key(g: &OwnedGraph) -> StateKey {
+    let mut edges: Vec<(u32, u32)> = g
+        .edges()
+        .map(|e| (e.owner as u32, e.other as u32))
+        .collect();
+    edges.sort_unstable();
+    StateKey {
+        n: g.num_nodes(),
+        edges,
+    }
+}
+
+/// Canonical key of a state ignoring edge ownership (symmetric Swap Game, where the
+/// owner has no influence on strategies or costs).
+pub fn canonical_unlabeled_key(g: &OwnedGraph) -> StateKey {
+    let mut edges: Vec<(u32, u32)> = g
+        .edges()
+        .map(|e| {
+            let (a, b) = (e.owner as u32, e.other as u32);
+            if a < b {
+                (a, b)
+            } else {
+                (b, a)
+            }
+        })
+        .collect();
+    edges.sort_unstable();
+    StateKey {
+        n: g.num_nodes(),
+        edges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::OwnedGraph;
+
+    #[test]
+    fn key_is_order_independent() {
+        let g1 = OwnedGraph::from_owned_edges(4, &[(0, 1), (2, 3)]);
+        let g2 = OwnedGraph::from_owned_edges(4, &[(2, 3), (0, 1)]);
+        assert_eq!(canonical_state_key(&g1), canonical_state_key(&g2));
+        assert_eq!(canonical_state_key(&g1).digest(), canonical_state_key(&g2).digest());
+    }
+
+    #[test]
+    fn ownership_distinguishes_labeled_keys() {
+        let g1 = OwnedGraph::from_owned_edges(3, &[(0, 1)]);
+        let g2 = OwnedGraph::from_owned_edges(3, &[(1, 0)]);
+        assert_ne!(canonical_state_key(&g1), canonical_state_key(&g2));
+        assert_eq!(canonical_unlabeled_key(&g1), canonical_unlabeled_key(&g2));
+    }
+
+    #[test]
+    fn different_sizes_differ() {
+        let g1 = OwnedGraph::from_owned_edges(3, &[(0, 1)]);
+        let g2 = OwnedGraph::from_owned_edges(4, &[(0, 1)]);
+        assert_ne!(canonical_state_key(&g1), canonical_state_key(&g2));
+    }
+
+    #[test]
+    fn edge_count_exposed() {
+        let g = OwnedGraph::from_owned_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(canonical_state_key(&g).num_edges(), 3);
+    }
+}

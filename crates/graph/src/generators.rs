@@ -1,0 +1,312 @@
+//! Deterministic and random network generators.
+//!
+//! The random generators reproduce the initial-network constructions of the paper's
+//! empirical study: the budget-constrained networks of §3.4.1 (every agent owns
+//! exactly `k` edges), the `m`-edge networks of §4.2.1, and the `rl` / `dl`
+//! path topologies of the starting-topology comparison (Fig. 12 / Fig. 14).
+
+use crate::graph::{NodeId, OwnedGraph};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Path `v0 - v1 - … - v(n-1)`; edge `{i, i+1}` is owned by `i`, so the ownership
+/// forms a directed path. This is exactly the paper's `dl` (directed line) setting.
+pub fn path(n: usize) -> OwnedGraph {
+    let mut g = OwnedGraph::new(n);
+    for i in 1..n {
+        g.add_edge(i - 1, i);
+    }
+    g
+}
+
+/// Alias for [`path`]: the `dl` (directed line) starting topology of Fig. 12 / 14.
+pub fn directed_line(n: usize) -> OwnedGraph {
+    path(n)
+}
+
+/// Path on `n` vertices where the owner of every edge is chosen uniformly at random
+/// among its endpoints — the paper's `rl` (random line) starting topology.
+pub fn random_line<R: Rng>(n: usize, rng: &mut R) -> OwnedGraph {
+    let mut g = OwnedGraph::new(n);
+    for i in 1..n {
+        if rng.gen_bool(0.5) {
+            g.add_edge(i - 1, i);
+        } else {
+            g.add_edge(i, i - 1);
+        }
+    }
+    g
+}
+
+/// Star with center `0` and leaves `1..n`; the center owns every edge.
+pub fn star(n: usize) -> OwnedGraph {
+    let mut g = OwnedGraph::new(n);
+    for i in 1..n {
+        g.add_edge(0, i);
+    }
+    g
+}
+
+/// Double star: centers `0` and `1` are adjacent, `a` leaves hang off center `0`
+/// and `b` leaves hang off center `1` (total `a + b + 2` vertices).
+pub fn double_star(a: usize, b: usize) -> OwnedGraph {
+    let n = a + b + 2;
+    let mut g = OwnedGraph::new(n);
+    g.add_edge(0, 1);
+    for i in 0..a {
+        g.add_edge(0, 2 + i);
+    }
+    for i in 0..b {
+        g.add_edge(1, 2 + a + i);
+    }
+    g
+}
+
+/// Cycle `v0 - v1 - … - v(n-1) - v0`; edge `{i, i+1 mod n}` owned by `i`.
+pub fn cycle(n: usize) -> OwnedGraph {
+    let mut g = OwnedGraph::new(n);
+    if n < 3 {
+        return path(n);
+    }
+    for i in 0..n {
+        g.add_edge(i, (i + 1) % n);
+    }
+    g
+}
+
+/// Complete graph; edge `{i, j}` with `i < j` owned by `i`.
+pub fn complete(n: usize) -> OwnedGraph {
+    let mut g = OwnedGraph::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            g.add_edge(i, j);
+        }
+    }
+    g
+}
+
+/// Random spanning tree following the paper's procedure (§3.4.1):
+/// start from a uniformly chosen pair, then repeatedly connect a uniformly chosen
+/// unmarked vertex to a uniformly chosen marked vertex. The owner of every edge is
+/// chosen uniformly among its endpoints, subject to the optional per-agent budget
+/// `max_owned` (an endpoint that already owns `max_owned` edges never becomes the
+/// owner; at least one endpoint always has capacity because the newly attached
+/// vertex owns nothing yet).
+pub fn random_spanning_tree<R: Rng>(
+    n: usize,
+    max_owned: Option<usize>,
+    rng: &mut R,
+) -> OwnedGraph {
+    let mut g = OwnedGraph::new(n);
+    if n <= 1 {
+        return g;
+    }
+    let cap = max_owned.unwrap_or(usize::MAX);
+    let mut marked: Vec<NodeId> = Vec::with_capacity(n);
+    let mut unmarked: Vec<NodeId> = (0..n).collect();
+    unmarked.shuffle(rng);
+
+    // First edge between a uniformly chosen pair.
+    let a = unmarked.pop().expect("n >= 2");
+    let b = unmarked.pop().expect("n >= 2");
+    add_with_random_owner(&mut g, a, b, cap, rng);
+    marked.push(a);
+    marked.push(b);
+
+    while let Some(u) = unmarked.pop() {
+        let &m = marked.choose(rng).expect("marked set non-empty");
+        add_with_random_owner(&mut g, u, m, cap, rng);
+        marked.push(u);
+    }
+    g
+}
+
+fn add_with_random_owner<R: Rng>(
+    g: &mut OwnedGraph,
+    a: NodeId,
+    b: NodeId,
+    cap: usize,
+    rng: &mut R,
+) {
+    let a_ok = g.owned_degree(a) < cap;
+    let b_ok = g.owned_degree(b) < cap;
+    let owner_is_a = match (a_ok, b_ok) {
+        (true, true) => rng.gen_bool(0.5),
+        (true, false) => true,
+        (false, true) => false,
+        (false, false) => rng.gen_bool(0.5), // over budget either way; keep the graph valid
+    };
+    if owner_is_a {
+        g.add_edge(a, b);
+    } else {
+        g.add_edge(b, a);
+    }
+}
+
+/// Connected random initial network where every agent owns exactly `k` edges
+/// (the bounded-budget workload of §3.4.1).
+///
+/// A random spanning tree (budget-respecting ownership) is built first; afterwards
+/// agents that still own fewer than `k` edges repeatedly buy an edge to a uniformly
+/// chosen non-neighbour. If an agent is already adjacent to every other vertex it is
+/// dropped from the fill-up phase — for feasible parameters (`k <= (n-1)/2` roughly)
+/// this never happens and every agent ends up owning exactly `k` edges.
+pub fn budgeted_random<R: Rng>(n: usize, k: usize, rng: &mut R) -> OwnedGraph {
+    let mut g = random_spanning_tree(n, Some(k), rng);
+    if n <= 1 {
+        return g;
+    }
+    // Agents that can still buy edges (own fewer than k).
+    let mut open: Vec<NodeId> = (0..n).filter(|&v| g.owned_degree(v) < k).collect();
+    let mut scratch: Vec<NodeId> = Vec::with_capacity(n);
+    while !open.is_empty() {
+        let idx = rng.gen_range(0..open.len());
+        let a = open[idx];
+        scratch.clear();
+        scratch.extend((0..n).filter(|&v| v != a && !g.has_edge(a, v)));
+        if scratch.is_empty() {
+            // Saturated vertex: cannot reach its budget, drop it.
+            open.swap_remove(idx);
+            continue;
+        }
+        let &b = scratch.choose(rng).expect("non-empty");
+        g.add_edge(a, b);
+        if g.owned_degree(a) >= k {
+            open.swap_remove(idx);
+        }
+    }
+    g
+}
+
+/// Connected random initial network with exactly `m` edges (the Greedy-Buy-Game
+/// workload of §4.2.1): a random spanning tree plus uniformly random additional
+/// edges, every edge owned by a uniformly chosen endpoint.
+///
+/// `m` is clamped to the feasible range `[n - 1, n(n-1)/2]`.
+pub fn random_with_m_edges<R: Rng>(n: usize, m: usize, rng: &mut R) -> OwnedGraph {
+    let mut g = random_spanning_tree(n, None, rng);
+    if n <= 1 {
+        return g;
+    }
+    let max_edges = n * (n - 1) / 2;
+    let target = m.clamp(n - 1, max_edges);
+    while g.num_edges() < target {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a == b || g.has_edge(a, b) {
+            continue;
+        }
+        if rng.gen_bool(0.5) {
+            g.add_edge(a, b);
+        } else {
+            g.add_edge(b, a);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties::{is_connected, is_tree};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_shapes() {
+        assert_eq!(path(5).num_edges(), 4);
+        assert_eq!(star(5).num_edges(), 4);
+        assert_eq!(cycle(5).num_edges(), 5);
+        assert_eq!(complete(5).num_edges(), 10);
+        assert_eq!(double_star(2, 3).num_nodes(), 7);
+        assert_eq!(double_star(2, 3).num_edges(), 6);
+        assert!(is_tree(&path(5)));
+        assert!(is_tree(&star(5)));
+        assert!(is_tree(&double_star(2, 3)));
+        assert!(!is_tree(&cycle(5)));
+    }
+
+    #[test]
+    fn directed_line_ownership() {
+        let g = directed_line(4);
+        assert!(g.owns_edge(0, 1) && g.owns_edge(1, 2) && g.owns_edge(2, 3));
+    }
+
+    #[test]
+    fn random_line_is_path() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = random_line(10, &mut rng);
+        assert!(is_tree(&g));
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(5), 2);
+    }
+
+    #[test]
+    fn spanning_tree_is_tree() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for n in [2usize, 3, 5, 17, 40] {
+            let g = random_spanning_tree(n, None, &mut rng);
+            assert!(is_tree(&g), "n={n}");
+            g.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn spanning_tree_respects_budget() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let g = random_spanning_tree(30, Some(1), &mut rng);
+            assert!(is_tree(&g));
+            assert!((0..30).all(|v| g.owned_degree(v) <= 1));
+        }
+    }
+
+    #[test]
+    fn budgeted_random_every_agent_owns_k() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for &(n, k) in &[(10usize, 1usize), (20, 2), (30, 3), (50, 5)] {
+            let g = budgeted_random(n, k, &mut rng);
+            assert!(is_connected(&g), "n={n} k={k}");
+            assert_eq!(g.num_edges(), n * k, "n={n} k={k}");
+            assert!((0..n).all(|v| g.owned_degree(v) == k), "n={n} k={k}");
+            g.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn budgeted_random_handles_tight_budgets() {
+        // k = 10 with n = 25 is close to the feasibility boundary; the generator
+        // must still terminate and produce a connected simple graph.
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = budgeted_random(25, 10, &mut rng);
+        assert!(is_connected(&g));
+        assert!(g.num_edges() <= 25 * 24 / 2);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn random_with_m_edges_counts() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for &(n, m) in &[(10usize, 10usize), (20, 40), (30, 120)] {
+            let g = random_with_m_edges(n, m, &mut rng);
+            assert!(is_connected(&g));
+            assert_eq!(g.num_edges(), m);
+            g.check_invariants().unwrap();
+        }
+        // Infeasibly small m is clamped up to a spanning tree.
+        let g = random_with_m_edges(10, 3, &mut rng);
+        assert_eq!(g.num_edges(), 9);
+        // Infeasibly large m is clamped down to the complete graph.
+        let g = random_with_m_edges(6, 1000, &mut rng);
+        assert_eq!(g.num_edges(), 15);
+    }
+
+    #[test]
+    fn tiny_graphs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(random_spanning_tree(0, None, &mut rng).num_nodes(), 0);
+        assert_eq!(random_spanning_tree(1, None, &mut rng).num_edges(), 0);
+        assert_eq!(budgeted_random(1, 3, &mut rng).num_edges(), 0);
+        assert_eq!(random_with_m_edges(1, 5, &mut rng).num_edges(), 0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Small-graph isomorphism testing.
+//!
+//! The best-response cycles constructed in the paper pass through states that are
+//! isomorphic to earlier states (Fig. 2: "G2 is isomorphic to G1 …"). The tests in
+//! `ncg-instances` verify these claims with an exact isomorphism check. The
+//! instances have at most ~25 vertices, so a degree-refined backtracking search is
+//! entirely sufficient; this is not intended for large graphs.
+
+use crate::graph::{NodeId, OwnedGraph};
+
+/// Returns `true` if the two graphs are isomorphic as *undirected, unlabelled*
+/// graphs (ownership ignored).
+pub fn are_isomorphic(a: &OwnedGraph, b: &OwnedGraph) -> bool {
+    isomorphic_impl(a, b, false)
+}
+
+/// Returns `true` if the two graphs are isomorphic as *ownership-labelled* graphs:
+/// the vertex bijection must map owned edges to owned edges with matching
+/// orientation (owner ↦ owner).
+pub fn are_isomorphic_owned(a: &OwnedGraph, b: &OwnedGraph) -> bool {
+    isomorphic_impl(a, b, true)
+}
+
+fn isomorphic_impl(a: &OwnedGraph, b: &OwnedGraph, respect_ownership: bool) -> bool {
+    let n = a.num_nodes();
+    if n != b.num_nodes() || a.num_edges() != b.num_edges() {
+        return false;
+    }
+    if n == 0 {
+        return true;
+    }
+    // Invariant signature per vertex: (degree, owned-degree if relevant,
+    // sorted multiset of neighbour degrees).
+    let sig = |g: &OwnedGraph, v: NodeId| -> (usize, usize, Vec<usize>) {
+        let mut nd: Vec<usize> = g.neighbors(v).iter().map(|&w| g.degree(w)).collect();
+        nd.sort_unstable();
+        let od = if respect_ownership { g.owned_degree(v) } else { 0 };
+        (g.degree(v), od, nd)
+    };
+    let sig_a: Vec<_> = (0..n).map(|v| sig(a, v)).collect();
+    let sig_b: Vec<_> = (0..n).map(|v| sig(b, v)).collect();
+    {
+        let mut sa = sig_a.clone();
+        let mut sb = sig_b.clone();
+        sa.sort();
+        sb.sort();
+        if sa != sb {
+            return false;
+        }
+    }
+
+    // Order the vertices of `a` by rarity of their signature so the backtracking
+    // fails fast.
+    let mut order: Vec<NodeId> = (0..n).collect();
+    order.sort_by_key(|&v| {
+        sig_a
+            .iter()
+            .filter(|s| **s == sig_a[v])
+            .count()
+    });
+
+    let mut mapping: Vec<Option<NodeId>> = vec![None; n];
+    let mut used: Vec<bool> = vec![false; n];
+    backtrack(
+        a,
+        b,
+        &order,
+        0,
+        &mut mapping,
+        &mut used,
+        &sig_a,
+        &sig_b,
+        respect_ownership,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn backtrack(
+    a: &OwnedGraph,
+    b: &OwnedGraph,
+    order: &[NodeId],
+    idx: usize,
+    mapping: &mut Vec<Option<NodeId>>,
+    used: &mut Vec<bool>,
+    sig_a: &[(usize, usize, Vec<usize>)],
+    sig_b: &[(usize, usize, Vec<usize>)],
+    respect_ownership: bool,
+) -> bool {
+    if idx == order.len() {
+        return true;
+    }
+    let u = order[idx];
+    for cand in 0..b.num_nodes() {
+        if used[cand] || sig_a[u] != sig_b[cand] {
+            continue;
+        }
+        if !consistent(a, b, u, cand, mapping, respect_ownership) {
+            continue;
+        }
+        mapping[u] = Some(cand);
+        used[cand] = true;
+        if backtrack(a, b, order, idx + 1, mapping, used, sig_a, sig_b, respect_ownership) {
+            return true;
+        }
+        mapping[u] = None;
+        used[cand] = false;
+    }
+    false
+}
+
+fn consistent(
+    a: &OwnedGraph,
+    b: &OwnedGraph,
+    u: NodeId,
+    cand: NodeId,
+    mapping: &[Option<NodeId>],
+    respect_ownership: bool,
+) -> bool {
+    for (v, &mv) in mapping.iter().enumerate() {
+        let Some(mv) = mv else { continue };
+        let edge_a = a.has_edge(u, v);
+        let edge_b = b.has_edge(cand, mv);
+        if edge_a != edge_b {
+            return false;
+        }
+        if edge_a && respect_ownership {
+            let owner_a_is_u = a.owns_edge(u, v);
+            let owner_b_is_cand = b.owns_edge(cand, mv);
+            if owner_a_is_u != owner_b_is_cand {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn identical_graphs_are_isomorphic() {
+        let g = generators::cycle(6);
+        assert!(are_isomorphic(&g, &g));
+        assert!(are_isomorphic_owned(&g, &g));
+    }
+
+    #[test]
+    fn relabelled_path_is_isomorphic() {
+        let a = OwnedGraph::from_owned_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let b = OwnedGraph::from_owned_edges(4, &[(2, 0), (0, 3), (3, 1)]);
+        assert!(are_isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn path_vs_star_not_isomorphic() {
+        let p = generators::path(5);
+        let s = generators::star(5);
+        assert!(!are_isomorphic(&p, &s));
+    }
+
+    #[test]
+    fn same_shape_different_ownership() {
+        let a = OwnedGraph::from_owned_edges(3, &[(0, 1), (1, 2)]);
+        // Same path, but the middle vertex owns both edges.
+        let b = OwnedGraph::from_owned_edges(3, &[(1, 0), (1, 2)]);
+        assert!(are_isomorphic(&a, &b));
+        assert!(!are_isomorphic_owned(&a, &b));
+        // An ownership-respecting relabelling of `a` (reverse the path).
+        let c = OwnedGraph::from_owned_edges(3, &[(2, 1), (1, 0)]);
+        assert!(are_isomorphic_owned(&a, &c));
+    }
+
+    #[test]
+    fn different_edge_counts_fail_fast() {
+        let a = generators::path(5);
+        let b = generators::cycle(5);
+        assert!(!are_isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn empty_graphs() {
+        let a = OwnedGraph::new(0);
+        let b = OwnedGraph::new(0);
+        assert!(are_isomorphic(&a, &b));
+        assert!(!are_isomorphic(&OwnedGraph::new(2), &OwnedGraph::new(3)));
+    }
+
+    #[test]
+    fn petersen_like_regular_graphs() {
+        // Two 3-regular graphs on 6 vertices: K_{3,3} and the prism. Same degree
+        // sequence but not isomorphic (prism contains triangles).
+        let k33 = OwnedGraph::from_owned_edges(
+            6,
+            &[(0, 3), (0, 4), (0, 5), (1, 3), (1, 4), (1, 5), (2, 3), (2, 4), (2, 5)],
+        );
+        let prism = OwnedGraph::from_owned_edges(
+            6,
+            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (0, 3), (1, 4), (2, 5)],
+        );
+        assert!(!are_isomorphic(&k33, &prism));
+        assert!(are_isomorphic(&k33, &k33.clone()));
+    }
+}

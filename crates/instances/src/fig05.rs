@@ -1,0 +1,178 @@
+//! Fig. 5 / Theorem 3.7 (SUM version): a best-response cycle for the SUM Asymmetric
+//! Swap Game on a network in which **every agent owns exactly one edge** — the
+//! uniform unit-budget case of Ehsani et al. (SPAA'11). One non-tree edge already
+//! suffices for cyclic behaviour.
+//!
+//! The arXiv text gives the construction through its counting argument; the network
+//! below is a reconstruction that satisfies every quantitative claim of the proof:
+//!
+//! * `n_c = n_b + n_d + 1` (here `8 = 3 + 4 + 1`), so agent `a1`'s swap `b1 → c1`
+//!   improves her cost by exactly 1,
+//! * agent `b1`'s swap `d1 → a4` improves her cost by exactly 2 (a swap towards
+//!   `a3` ties),
+//! * agent `a1`'s swap back `c1 → b1` improves by exactly 1 (distances to all `b`,
+//!   `d` vertices and to `a4`, `a5` drop by 1, distances to all `c` vertices grow
+//!   by 1),
+//! * agent `b1`'s swap back `a4 → d1` improves by exactly 1 (the `a4` edge is worth
+//!   a distance decrease of 7 while reconnecting to `d1` gains 8 on the `d`
+//!   vertices).
+//!
+//! Note: the figure labels only `c1 … c7`, but the proof's identity
+//! `n_c = n_b + n_d + 1` requires eight `c`-vertices; we follow the proof.
+//!
+//! Structure (owner → target, one owned edge per agent):
+//!
+//! ```text
+//! a5→a4→a3→a2→a1 ⇢ b1        (a1's edge is the first dynamic edge)
+//! b2→b1, b3→b2
+//! c1→b1, c2…c8→c1            (the c-star hangs off b1 via c1)
+//! d1→b3, d2…d4→d1            (the d-star hangs off b3 via d1)
+//! b1 ⇢ d1                     (b1's edge is the second dynamic edge)
+//! ```
+
+use crate::{CycleInstance, CycleStep};
+use ncg_core::moves::Move;
+use ncg_core::AsymSwapGame;
+use ncg_graph::OwnedGraph;
+
+/// Number of vertices of the instance.
+pub const N: usize = 20;
+
+/// Vertex indices of the figure's labels.
+pub mod v {
+    /// `a1` … `a5` are vertices 0…4.
+    pub const A1: usize = 0;
+    /// `a2`.
+    pub const A2: usize = 1;
+    /// `a3`.
+    pub const A3: usize = 2;
+    /// `a4`.
+    pub const A4: usize = 3;
+    /// `a5`.
+    pub const A5: usize = 4;
+    /// `b1`.
+    pub const B1: usize = 5;
+    /// `b2`.
+    pub const B2: usize = 6;
+    /// `b3`.
+    pub const B3: usize = 7;
+    /// `c1`; `c2` … `c8` follow consecutively (indices 9…15).
+    pub const C1: usize = 8;
+    /// `d1`; `d2` … `d4` follow consecutively (indices 17…19).
+    pub const D1: usize = 16;
+}
+
+/// Vertex names, indexed by vertex id.
+pub fn names() -> Vec<&'static str> {
+    vec![
+        "a1", "a2", "a3", "a4", "a5", "b1", "b2", "b3", "c1", "c2", "c3", "c4", "c5", "c6", "c7",
+        "c8", "d1", "d2", "d3", "d4",
+    ]
+}
+
+/// The initial network (state (1) of Fig. 5). Every agent owns exactly one edge.
+pub fn initial() -> OwnedGraph {
+    use v::*;
+    let mut edges: Vec<(usize, usize)> = vec![
+        // The a-path hangs off a1; each deeper vertex owns the edge towards a1.
+        (A2, A1),
+        (A3, A2),
+        (A4, A3),
+        (A5, A4),
+        // a1's dynamic edge.
+        (A1, B1),
+        // The b-path.
+        (B2, B1),
+        (B3, B2),
+        // b1's dynamic edge.
+        (B1, D1),
+        // The c-star, attached to b1 via c1.
+        (C1, B1),
+        // d1 attaches to b3; the remaining d-vertices hang off d1.
+        (D1, B3),
+    ];
+    for cj in (C1 + 1)..=(C1 + 7) {
+        edges.push((cj, C1));
+    }
+    for dj in (D1 + 1)..=(D1 + 3) {
+        edges.push((dj, D1));
+    }
+    OwnedGraph::from_owned_edges(N, &edges)
+}
+
+/// The four moves of one round of the cycle.
+pub fn steps() -> Vec<CycleStep> {
+    use v::*;
+    vec![
+        CycleStep {
+            agent: A1,
+            mv: Move::Swap { from: B1, to: C1 },
+            description: "a1 swaps b1 → c1 (improves by 1, n_c = n_b + n_d + 1)",
+        },
+        CycleStep {
+            agent: B1,
+            mv: Move::Swap { from: D1, to: A4 },
+            description: "b1 swaps d1 → a4 (improves by 2)",
+        },
+        CycleStep {
+            agent: A1,
+            mv: Move::Swap { from: C1, to: B1 },
+            description: "a1 swaps back c1 → b1 (improves by 1)",
+        },
+        CycleStep {
+            agent: B1,
+            mv: Move::Swap { from: A4, to: D1 },
+            description: "b1 swaps back a4 → d1 (improves by 1, d-distances gain 8)",
+        },
+    ]
+}
+
+/// The cycle as an instance of the SUM Asymmetric Swap Game.
+pub fn cycle() -> CycleInstance<AsymSwapGame> {
+    CycleInstance {
+        game: AsymSwapGame::sum(),
+        initial: initial(),
+        steps: steps(),
+        names: names(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncg_core::moves::apply_move;
+    use ncg_core::{Game, Workspace};
+    use ncg_graph::properties;
+
+    #[test]
+    fn every_agent_owns_exactly_one_edge() {
+        let g = initial();
+        assert_eq!(g.num_nodes(), N);
+        assert_eq!(g.num_edges(), N, "n vertices, n edges: exactly one non-tree edge");
+        for u in 0..N {
+            assert_eq!(g.owned_degree(u), 1, "agent {u} must own exactly one edge");
+        }
+        assert!(properties::is_connected(&g));
+    }
+
+    #[test]
+    fn stated_improvements_match_the_proof() {
+        let game = AsymSwapGame::sum();
+        let mut ws = Workspace::new(N);
+        let mut g = initial();
+        let expected_gains = [1.0, 2.0, 1.0, 1.0];
+        for (step, gain) in steps().into_iter().zip(expected_gains) {
+            let before = game.cost(&g, step.agent, &mut ws.bfs);
+            apply_move(&mut g, step.agent, &step.mv).expect("move applies");
+            let after = game.cost(&g, step.agent, &mut ws.bfs);
+            assert_eq!(before - after, gain, "gain of '{}'", step.description);
+        }
+        assert_eq!(g, initial(), "four moves close the cycle");
+    }
+
+    #[test]
+    fn cycle_verifies_as_best_responses() {
+        let states = cycle().verify().expect("Fig. 5 cycle must verify");
+        assert_eq!(states.len(), 5);
+    }
+}

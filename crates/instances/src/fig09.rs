@@ -1,0 +1,201 @@
+//! Fig. 9 / Theorem 4.1 (SUM version): a best-response cycle for the SUM Buy Game
+//! and the SUM Greedy Buy Game with edge price `7 < α < 8`.
+//!
+//! The construction is fully determined by the proof text: `G1` is the path
+//! `a–b–c–d–e–f–g` where agent `g` owns the edge `gf` and agent `c` owns the edge
+//! `cb`; the six-step cycle is
+//!
+//! 1. `g` swaps `gf → gc` (cost `α+21 → α+15`),
+//! 2. `f` buys `fb` (cost `19 → 11+α`),
+//! 3. `c` deletes `cb` (cost `9+α → 16`),
+//! 4. `g` swaps `gc → gf` (mirror of step 1),
+//! 5. `c` buys `cb` (mirror of step 2),
+//! 6. `f` deletes `fb` (mirror of step 3), returning to `G1`.
+//!
+//! Every step is a best response even among arbitrary strategy changes, so the
+//! cycle applies to the Buy Game as well as to the Greedy Buy Game. Corollary 4.2
+//! plays the same cycle on the host graph `G1 + {bf, cg}`, where in every state the
+//! moving agent has exactly one improving move — the game is then not weakly
+//! acyclic ([`host_graph`]).
+
+use crate::{CycleInstance, CycleStep};
+use ncg_core::moves::Move;
+use ncg_core::{BuyGame, GreedyBuyGame};
+use ncg_graph::{HostGraph, OwnedGraph};
+
+/// Vertex indices of the figure's labels `a..g`.
+pub mod v {
+    /// Vertex `a`.
+    pub const A: usize = 0;
+    /// Vertex `b`.
+    pub const B: usize = 1;
+    /// Vertex `c`.
+    pub const C: usize = 2;
+    /// Vertex `d`.
+    pub const D: usize = 3;
+    /// Vertex `e`.
+    pub const E: usize = 4;
+    /// Vertex `f`.
+    pub const F: usize = 5;
+    /// Vertex `g`.
+    pub const G: usize = 6;
+}
+
+/// A valid edge price for the cycle (`7 < α < 8`).
+pub const ALPHA: f64 = 7.5;
+
+/// Vertex names, indexed by vertex id.
+pub fn names() -> Vec<&'static str> {
+    vec!["a", "b", "c", "d", "e", "f", "g"]
+}
+
+/// The initial network `G1`: the path `a–b–c–d–e–f–g` with `g` owning `gf` and `c`
+/// owning `cb`. The owners of the remaining edges never move them; they are
+/// assigned to the lower-index endpoint.
+pub fn initial() -> OwnedGraph {
+    use v::*;
+    OwnedGraph::from_owned_edges(
+        7,
+        &[
+            (A, B), // a owns ab
+            (C, B), // c owns cb (deleted in step 3, re-bought in step 5); c owns nothing else
+            (D, C), // static
+            (D, E), // static
+            (E, F), // static; f owns nothing in G1
+            (G, F), // g owns gf (swapped in steps 1 and 4)
+        ],
+    )
+}
+
+/// The six moves of one round of the cycle.
+pub fn steps() -> Vec<CycleStep> {
+    use v::*;
+    vec![
+        CycleStep {
+            agent: G,
+            mv: Move::Swap { from: F, to: C },
+            description: "g swaps gf to gc (α+21 → α+15)",
+        },
+        CycleStep {
+            agent: F,
+            mv: Move::Buy { to: B },
+            description: "f buys fb (19 → 11+α)",
+        },
+        CycleStep {
+            agent: C,
+            mv: Move::Delete { to: B },
+            description: "c deletes cb (9+α → 16)",
+        },
+        CycleStep {
+            agent: G,
+            mv: Move::Swap { from: C, to: F },
+            description: "g swaps gc to gf",
+        },
+        CycleStep {
+            agent: C,
+            mv: Move::Buy { to: B },
+            description: "c buys cb",
+        },
+        CycleStep {
+            agent: F,
+            mv: Move::Delete { to: B },
+            description: "f deletes fb",
+        },
+    ]
+}
+
+/// The cycle as an instance of the SUM Buy Game (arbitrary strategy changes).
+pub fn buy_game_cycle() -> CycleInstance<BuyGame> {
+    CycleInstance {
+        game: BuyGame::sum(ALPHA),
+        initial: initial(),
+        steps: steps(),
+        names: names(),
+    }
+}
+
+/// The cycle as an instance of the SUM Greedy Buy Game (single-edge moves).
+pub fn greedy_buy_game_cycle() -> CycleInstance<GreedyBuyGame> {
+    CycleInstance {
+        game: GreedyBuyGame::sum(ALPHA),
+        initial: initial(),
+        steps: steps(),
+        names: names(),
+    }
+}
+
+/// The non-complete host graph of Corollary 4.2 (SUM version): the edges of `G1`
+/// plus `{b, f}` and `{c, g}`. On this host every state of the cycle has exactly
+/// one unhappy agent with exactly one improving move, so no sequence of improving
+/// moves can reach a stable network.
+pub fn host_graph() -> HostGraph {
+    use v::*;
+    HostGraph::restricted(
+        7,
+        &[
+            (A, B),
+            (B, C),
+            (C, D),
+            (D, E),
+            (E, F),
+            (F, G),
+            (B, F),
+            (C, G),
+        ],
+    )
+}
+
+/// The cycle on the restricted host graph (Cor. 4.2, SUM version).
+pub fn host_restricted_cycle() -> CycleInstance<GreedyBuyGame> {
+    CycleInstance {
+        game: GreedyBuyGame::sum(ALPHA).with_host(host_graph()),
+        initial: initial(),
+        steps: steps(),
+        names: names(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncg_core::{Game, Workspace};
+
+    #[test]
+    fn initial_network_matches_the_figure() {
+        let g = initial();
+        assert_eq!(g.num_nodes(), 7);
+        assert_eq!(g.num_edges(), 6);
+        assert!(g.owns_edge(v::G, v::F), "g owns gf");
+        assert!(g.owns_edge(v::C, v::B), "c owns cb");
+        assert!(ncg_graph::is_tree(&g));
+    }
+
+    #[test]
+    fn stated_costs_of_g1_match_the_paper() {
+        let game = GreedyBuyGame::sum(ALPHA);
+        let g = initial();
+        let mut ws = Workspace::new(7);
+        // g: α + 21 (leaf of a path of length 6).
+        assert_eq!(game.cost(&g, v::G, &mut ws.bfs), ALPHA + 21.0);
+        // f in G2 has cost 19; in G1 it owns nothing and pays only distances.
+        assert_eq!(game.cost(&g, v::F, &mut ws.bfs), 16.0);
+    }
+
+    #[test]
+    fn greedy_cycle_verifies() {
+        let states = greedy_buy_game_cycle().verify().expect("cycle must verify");
+        assert_eq!(states.len(), 7);
+        assert_eq!(states[0], states[6]);
+    }
+
+    #[test]
+    fn buy_game_cycle_verifies() {
+        // The same moves are best responses even among arbitrary strategy changes.
+        buy_game_cycle().verify().expect("BG cycle must verify");
+    }
+
+    #[test]
+    fn host_restricted_cycle_verifies() {
+        host_restricted_cycle().verify().expect("host cycle must verify");
+    }
+}

@@ -1,0 +1,202 @@
+//! Fig. 10 / Theorem 4.1 (MAX version): a best-response cycle for the MAX Buy Game
+//! and the MAX Greedy Buy Game with edge price `1 < α < 2`.
+//!
+//! The arXiv text describes the construction through the proof rather than an edge
+//! list. The network used here is a reconstruction that satisfies **every**
+//! quantitative statement of the proof:
+//!
+//! * `G1`: agent `g` has cost 5, buying `ga` is a best response and yields
+//!   distance-cost 3 (and no single edge achieves 2),
+//! * `G2 = G1 + ga`: agent `e` has cost 4, buying `ea` yields distance-cost 2,
+//! * `G3 = G2 + ea`: agent `g` has cost `3 + α`, deleting `ga` yields cost 4
+//!   (no swap achieves distance-cost < 3),
+//! * `G4 = G1 + ea`: agent `e` has cost `3 + α`, deleting `ea` yields cost 4 and
+//!   returns to `G1`.
+//!
+//! The reconstructed `G1` is the tree `a–b–c–d` with `e`, `f`, `h` attached to `d`
+//! and `g` attached to `f`; agents `e` and `g` own no edges, exactly as required.
+
+use crate::{CycleInstance, CycleStep};
+use ncg_core::moves::Move;
+use ncg_core::{BuyGame, GreedyBuyGame};
+use ncg_graph::{HostGraph, OwnedGraph};
+
+/// Vertex indices of the figure's labels `a..h`.
+pub mod v {
+    /// Vertex `a`.
+    pub const A: usize = 0;
+    /// Vertex `b`.
+    pub const B: usize = 1;
+    /// Vertex `c`.
+    pub const C: usize = 2;
+    /// Vertex `d`.
+    pub const D: usize = 3;
+    /// Vertex `e`.
+    pub const E: usize = 4;
+    /// Vertex `f`.
+    pub const F: usize = 5;
+    /// Vertex `g`.
+    pub const G: usize = 6;
+    /// Vertex `h`.
+    pub const H: usize = 7;
+}
+
+/// A valid edge price for the cycle (`1 < α < 2`).
+pub const ALPHA: f64 = 1.5;
+
+/// Vertex names, indexed by vertex id.
+pub fn names() -> Vec<&'static str> {
+    vec!["a", "b", "c", "d", "e", "f", "g", "h"]
+}
+
+/// The initial network `G1` (reconstruction, see module docs). Agents `e` and `g`
+/// own no edges; all other edges are owned by the lower-lettered endpoint.
+pub fn initial() -> OwnedGraph {
+    use v::*;
+    OwnedGraph::from_owned_edges(
+        8,
+        &[
+            (A, B),
+            (B, C),
+            (C, D),
+            (D, F),
+            (D, E),
+            (D, H),
+            (F, G),
+        ],
+    )
+}
+
+/// The four moves of one round of the cycle.
+pub fn steps() -> Vec<CycleStep> {
+    use v::*;
+    vec![
+        CycleStep {
+            agent: G,
+            mv: Move::Buy { to: A },
+            description: "g buys ga (5 → 3+α)",
+        },
+        CycleStep {
+            agent: E,
+            mv: Move::Buy { to: A },
+            description: "e buys ea (4 → 2+α)",
+        },
+        CycleStep {
+            agent: G,
+            mv: Move::Delete { to: A },
+            description: "g deletes ga (3+α → 4)",
+        },
+        CycleStep {
+            agent: E,
+            mv: Move::Delete { to: A },
+            description: "e deletes ea (3+α → 4)",
+        },
+    ]
+}
+
+/// The cycle as an instance of the MAX Buy Game (arbitrary strategy changes).
+pub fn buy_game_cycle() -> CycleInstance<BuyGame> {
+    CycleInstance {
+        game: BuyGame::max(ALPHA),
+        initial: initial(),
+        steps: steps(),
+        names: names(),
+    }
+}
+
+/// The cycle as an instance of the MAX Greedy Buy Game (single-edge moves).
+pub fn greedy_buy_game_cycle() -> CycleInstance<GreedyBuyGame> {
+    CycleInstance {
+        game: GreedyBuyGame::max(ALPHA),
+        initial: initial(),
+        steps: steps(),
+        names: names(),
+    }
+}
+
+/// The non-complete host graph of Corollary 4.2 (MAX version): the edges of `G1`
+/// plus `{a, g}` and `{a, e}` — exactly the two edges bought and deleted along the
+/// cycle. On this host the moving agent always has exactly one improving move.
+pub fn host_graph() -> HostGraph {
+    use v::*;
+    HostGraph::restricted(
+        8,
+        &[
+            (A, B),
+            (B, C),
+            (C, D),
+            (D, F),
+            (D, E),
+            (D, H),
+            (F, G),
+            (A, G),
+            (A, E),
+        ],
+    )
+}
+
+/// The cycle on the restricted host graph (Cor. 4.2, MAX version).
+pub fn host_restricted_cycle() -> CycleInstance<GreedyBuyGame> {
+    CycleInstance {
+        game: GreedyBuyGame::max(ALPHA).with_host(host_graph()),
+        initial: initial(),
+        steps: steps(),
+        names: names(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncg_core::moves::apply_move;
+    use ncg_core::{Game, Workspace};
+
+    #[test]
+    fn stated_costs_match_the_proof() {
+        let game = GreedyBuyGame::max(ALPHA);
+        let mut ws = Workspace::new(8);
+        let g1 = initial();
+        // G1: g has cost 5 (owns nothing), e has eccentricity 4.
+        assert_eq!(game.cost(&g1, v::G, &mut ws.bfs), 5.0);
+        assert_eq!(game.cost(&g1, v::E, &mut ws.bfs), 4.0);
+        // G2 = G1 + ga: g has 3 + α, e has 4.
+        let mut g2 = g1.clone();
+        apply_move(&mut g2, v::G, &Move::Buy { to: v::A }).unwrap();
+        assert_eq!(game.cost(&g2, v::G, &mut ws.bfs), 3.0 + ALPHA);
+        assert_eq!(game.cost(&g2, v::E, &mut ws.bfs), 4.0);
+        // G3 = G2 + ea: e has 2 + α, g has 3 + α.
+        let mut g3 = g2.clone();
+        apply_move(&mut g3, v::E, &Move::Buy { to: v::A }).unwrap();
+        assert_eq!(game.cost(&g3, v::E, &mut ws.bfs), 2.0 + ALPHA);
+        assert_eq!(game.cost(&g3, v::G, &mut ws.bfs), 3.0 + ALPHA);
+        // G4 = G1 + ea: e has 3 + α, g has 4.
+        let mut g4 = g3.clone();
+        apply_move(&mut g4, v::G, &Move::Delete { to: v::A }).unwrap();
+        assert_eq!(game.cost(&g4, v::E, &mut ws.bfs), 3.0 + ALPHA);
+        assert_eq!(game.cost(&g4, v::G, &mut ws.bfs), 4.0);
+    }
+
+    #[test]
+    fn e_and_g_own_no_edges_in_g1() {
+        let g = initial();
+        assert_eq!(g.owned_degree(v::E), 0);
+        assert_eq!(g.owned_degree(v::G), 0);
+    }
+
+    #[test]
+    fn greedy_cycle_verifies() {
+        let states = greedy_buy_game_cycle().verify().expect("cycle must verify");
+        assert_eq!(states.len(), 5);
+        assert_eq!(states[0], states[4]);
+    }
+
+    #[test]
+    fn buy_game_cycle_verifies() {
+        buy_game_cycle().verify().expect("BG cycle must verify");
+    }
+
+    #[test]
+    fn host_restricted_cycle_verifies() {
+        host_restricted_cycle().verify().expect("host cycle must verify");
+    }
+}

@@ -1,0 +1,72 @@
+//! The path instances of Section 2 (Fig. 1 and the Θ(n log n) lower bound of
+//! Theorem 2.11 / Lemma 2.14).
+//!
+//! The lower-bound construction runs the MAX Swap Game on the path
+//! `P_n = v1 v2 … vn` under the max cost policy with deterministic tie-breaking
+//! (smallest index first). Fig. 1 illustrates the resulting convergence process for
+//! `n = 9`: the maximum-cost leaf repeatedly swaps towards the current center until
+//! the tree collapses into a star.
+
+use ncg_graph::{generators, OwnedGraph};
+
+/// The path `P_n` used by Fig. 1 and Lemma 2.14. Vertex `i` of the figure is index
+/// `i - 1`; edge `{i, i+1}` is owned by the left endpoint (ownership is irrelevant
+/// in the symmetric Swap Game).
+pub fn figure1_path(n: usize) -> OwnedGraph {
+    generators::path(n)
+}
+
+/// The concrete 9-vertex path of Fig. 1.
+pub fn figure1_p9() -> OwnedGraph {
+    figure1_path(9)
+}
+
+/// Lower bound on the number of moves of the MAX-SG on `P_n` under the max cost
+/// policy (Lemma 2.14): `Σ_{c=4}^{n-1} log2(c / 3)`, which is `Ω(n log n)`.
+pub fn lemma_2_14_lower_bound(n: usize) -> f64 {
+    (4..n).map(|c| (c as f64 / 3.0).log2()).sum::<f64>().max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncg_core::dynamics::{run_dynamics, DynamicsConfig};
+    use ncg_core::policy::{Policy, TieBreak};
+    use ncg_core::SwapGame;
+    use ncg_graph::properties;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn p9_is_a_path() {
+        let g = figure1_p9();
+        assert_eq!(g.num_nodes(), 9);
+        assert_eq!(g.num_edges(), 8);
+        assert!(properties::is_tree(&g));
+        assert_eq!(properties::diameter(&g), Some(8));
+    }
+
+    #[test]
+    fn p9_max_cost_dynamics_converges_to_a_star_like_tree() {
+        // Fig. 1: the MAX-SG on P9 under the max cost policy ends in a star.
+        let game = SwapGame::max();
+        let g = figure1_p9();
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = DynamicsConfig::simulation(1_000)
+            .with_policy(Policy::MaxCost)
+            .with_tie_break(TieBreak::Deterministic);
+        let out = run_dynamics(&game, &g, &cfg, &mut rng);
+        assert!(out.converged());
+        assert!(properties::is_star_or_double_star(&out.final_graph));
+        // Θ(n log n) regime: well below the generic O(n^3) bound.
+        assert!(out.steps <= 9 * 9);
+    }
+
+    #[test]
+    fn lower_bound_grows_superlinearly() {
+        let b20 = lemma_2_14_lower_bound(20);
+        let b200 = lemma_2_14_lower_bound(200);
+        assert!(b200 > 10.0 * b20 * 0.9, "n log n growth: {b20} vs {b200}");
+        assert_eq!(lemma_2_14_lower_bound(3), 0.0);
+    }
+}

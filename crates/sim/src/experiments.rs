@@ -1,0 +1,336 @@
+//! The parameter sweeps behind every empirical figure of the paper.
+//!
+//! Every figure is a family of *series* (one curve per legend entry); every series
+//! is a sweep over the number of agents `n`. The paper uses `n = 10, 20, …, 100`
+//! with 10,000 trials per configuration for the ASG figures and 5,000 for the GBG
+//! figures. Those trial counts take hours on a laptop, so [`FigureDef::scaled`]
+//! lets callers trade trials and sweep density for runtime while keeping the shape
+//! of the curves; the regeneration binaries in `ncg-bench` expose this on the
+//! command line and default to a CI-friendly scale.
+
+use crate::runner::{run_point, PointSummary};
+use crate::spec::{AlphaSpec, ExperimentPoint, GameFamily, InitialTopology};
+use ncg_core::policy::Policy;
+
+/// One curve of a figure: a label plus the experiment points of its `n`-sweep.
+#[derive(Debug, Clone)]
+pub struct SeriesDef {
+    /// Legend label, matching the paper (e.g. `"k=2 max cost"`).
+    pub label: String,
+    /// The sweep points, one per value of `n`.
+    pub points: Vec<ExperimentPoint>,
+}
+
+/// A full figure: its name, its series and the reference envelopes the paper plots
+/// next to the data (e.g. `f(n) = 5n`).
+#[derive(Debug, Clone)]
+pub struct FigureDef {
+    /// Identifier, e.g. `"fig07"`.
+    pub id: &'static str,
+    /// The caption-style title.
+    pub title: &'static str,
+    /// The curves.
+    pub series: Vec<SeriesDef>,
+    /// Reference envelopes as `(label, f(n))` pairs.
+    pub envelopes: Vec<(&'static str, fn(f64) -> f64)>,
+}
+
+impl FigureDef {
+    /// Scales the figure for a quicker run: keeps every `n_stride`-th sweep point,
+    /// caps `n` at `max_n` and uses `trials` trials per point.
+    pub fn scaled(mut self, max_n: usize, n_stride: usize, trials: usize) -> Self {
+        for series in &mut self.series {
+            series.points.retain(|p| p.n <= max_n);
+            let stride = n_stride.max(1);
+            series.points = series
+                .points
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % stride == 0)
+                .map(|(_, p)| p.clone())
+                .collect();
+            for p in &mut series.points {
+                p.trials = trials;
+            }
+        }
+        self
+    }
+
+    /// Runs every point of every series and returns the summaries in the same
+    /// structure. `threads = None` uses all available CPUs.
+    pub fn run(&self, threads: Option<usize>) -> Vec<(String, Vec<PointSummary>)> {
+        self.series
+            .iter()
+            .map(|s| {
+                let summaries = s.points.iter().map(|p| run_point(p, threads)).collect();
+                (s.label.clone(), summaries)
+            })
+            .collect()
+    }
+}
+
+/// Values of `n` used by the paper's sweeps.
+pub fn paper_n_values() -> Vec<usize> {
+    (1..=10).map(|i| i * 10).collect()
+}
+
+const PAPER_ASG_TRIALS: usize = 10_000;
+const PAPER_GBG_TRIALS: usize = 5_000;
+/// Generous step limit (`max_steps = factor · n`); the paper observed convergence
+/// within 5n–8n steps.
+const STEP_FACTOR: usize = 400;
+
+fn asg_series(
+    family: GameFamily,
+    k: usize,
+    policy: Policy,
+    base_seed: u64,
+) -> SeriesDef {
+    let points = paper_n_values()
+        .into_iter()
+        .map(|n| ExperimentPoint {
+            n,
+            family,
+            alpha: AlphaSpec::Fixed(0.0),
+            topology: InitialTopology::Budgeted { k },
+            policy,
+            trials: PAPER_ASG_TRIALS,
+            base_seed: base_seed ^ (n as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            max_steps_factor: STEP_FACTOR,
+        })
+        .collect();
+    SeriesDef {
+        label: format!("k={k} {}", policy.label()),
+        points,
+    }
+}
+
+fn gbg_series(
+    family: GameFamily,
+    topology: InitialTopology,
+    alpha: AlphaSpec,
+    policy: Policy,
+    base_seed: u64,
+) -> SeriesDef {
+    let points = paper_n_values()
+        .into_iter()
+        .map(|n| ExperimentPoint {
+            n,
+            family,
+            alpha,
+            topology,
+            policy,
+            trials: PAPER_GBG_TRIALS,
+            base_seed: base_seed ^ (n as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            max_steps_factor: STEP_FACTOR,
+        })
+        .collect();
+    SeriesDef {
+        label: format!("{}, a={}, {}", topology.label(), alpha.label(), policy.label()),
+        points,
+    }
+}
+
+/// Fig. 7: SUM-ASG with budget `k`, both policies, envelope `5n`.
+pub fn fig07() -> FigureDef {
+    budgeted_figure("fig07", "Steps until convergence, SUM-ASG, budget = k", GameFamily::AsgSum)
+}
+
+/// Fig. 8: MAX-ASG with budget `k`, both policies, envelopes `5n` and `n log n`.
+pub fn fig08() -> FigureDef {
+    let mut fig = budgeted_figure(
+        "fig08",
+        "Steps until convergence, MAX-ASG, budget = k",
+        GameFamily::AsgMax,
+    );
+    fig.envelopes.push(("n log n", |n| n * n.log2()));
+    fig
+}
+
+fn budgeted_figure(id: &'static str, title: &'static str, family: GameFamily) -> FigureDef {
+    let budgets = [1usize, 2, 3, 4, 5, 6, 10];
+    let mut series = Vec::new();
+    for (i, &k) in budgets.iter().enumerate() {
+        for (j, policy) in [Policy::MaxCost, Policy::Random].into_iter().enumerate() {
+            series.push(asg_series(family, k, policy, 1000 + (i * 2 + j) as u64));
+        }
+    }
+    FigureDef {
+        id,
+        title,
+        series,
+        envelopes: vec![("5n", |n| 5.0 * n)],
+    }
+}
+
+/// Fig. 11: SUM-GBG, `m ∈ {n, 2n, 4n}`, `α ∈ {n/10, n/4, n}`, both policies,
+/// envelope `7n`.
+pub fn fig11() -> FigureDef {
+    gbg_density_figure("fig11", "Steps until convergence, SUM-GBG", GameFamily::GbgSum, 7.0)
+}
+
+/// Fig. 13: MAX-GBG, as Fig. 11, envelope `8n`.
+pub fn fig13() -> FigureDef {
+    gbg_density_figure("fig13", "Steps until convergence, MAX-GBG", GameFamily::GbgMax, 8.0)
+}
+
+fn gbg_density_figure(
+    id: &'static str,
+    title: &'static str,
+    family: GameFamily,
+    envelope_factor: f64,
+) -> FigureDef {
+    let densities = [1usize, 4];
+    let alphas = [
+        AlphaSpec::FractionOfN(0.1),
+        AlphaSpec::FractionOfN(0.25),
+        AlphaSpec::FractionOfN(1.0),
+    ];
+    let mut series = Vec::new();
+    let mut seed = 2000u64;
+    for &m in &densities {
+        for &alpha in &alphas {
+            for policy in [Policy::MaxCost, Policy::Random] {
+                series.push(gbg_series(
+                    family,
+                    InitialTopology::RandomEdges { m_per_n: m },
+                    alpha,
+                    policy,
+                    seed,
+                ));
+                seed += 1;
+            }
+        }
+    }
+    let envelopes: Vec<(&'static str, fn(f64) -> f64)> = if envelope_factor == 7.0 {
+        vec![("7n", |n| 7.0 * n)]
+    } else {
+        vec![("8n", |n| 8.0 * n)]
+    };
+    FigureDef {
+        id,
+        title,
+        series,
+        envelopes,
+    }
+}
+
+/// Fig. 12: SUM-GBG starting-topology comparison (`random` / `rl` / `dl`) for
+/// `α ∈ {n/10, n/4, n/2, n}`, envelope `3n`.
+pub fn fig12() -> FigureDef {
+    topology_comparison_figure(
+        "fig12",
+        "Starting-topology comparison, SUM-GBG",
+        GameFamily::GbgSum,
+        3.0,
+    )
+}
+
+/// Fig. 14: MAX-GBG starting-topology comparison, envelope `6n`.
+pub fn fig14() -> FigureDef {
+    topology_comparison_figure(
+        "fig14",
+        "Starting-topology comparison, MAX-GBG",
+        GameFamily::GbgMax,
+        6.0,
+    )
+}
+
+fn topology_comparison_figure(
+    id: &'static str,
+    title: &'static str,
+    family: GameFamily,
+    envelope_factor: f64,
+) -> FigureDef {
+    let topologies = [
+        InitialTopology::RandomEdges { m_per_n: 1 },
+        InitialTopology::RandomLine,
+        InitialTopology::DirectedLine,
+    ];
+    let alphas = [
+        AlphaSpec::FractionOfN(0.1),
+        AlphaSpec::FractionOfN(0.25),
+        AlphaSpec::FractionOfN(0.5),
+        AlphaSpec::FractionOfN(1.0),
+    ];
+    let mut series = Vec::new();
+    let mut seed = 3000u64;
+    for policy in [Policy::MaxCost, Policy::Random] {
+        for &topology in &topologies {
+            for &alpha in &alphas {
+                series.push(gbg_series(family, topology, alpha, policy, seed));
+                seed += 1;
+            }
+        }
+    }
+    let envelopes: Vec<(&'static str, fn(f64) -> f64)> = if envelope_factor == 3.0 {
+        vec![("3n", |n| 3.0 * n)]
+    } else {
+        vec![("6n", |n| 6.0 * n)]
+    };
+    FigureDef {
+        id,
+        title,
+        series,
+        envelopes,
+    }
+}
+
+/// All empirical figures of the paper.
+pub fn all_figures() -> Vec<FigureDef> {
+    vec![fig07(), fig08(), fig11(), fig12(), fig13(), fig14()]
+}
+
+/// Looks a figure up by its id (`"fig07"`, …, `"fig14"`).
+pub fn figure(id: &str) -> Option<FigureDef> {
+    all_figures().into_iter().find(|f| f.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_lookup() {
+        assert!(figure("fig07").is_some());
+        assert!(figure("fig13").is_some());
+        assert!(figure("fig99").is_none());
+        assert_eq!(all_figures().len(), 6);
+    }
+
+    #[test]
+    fn figure_definitions_follow_the_paper() {
+        let f7 = fig07();
+        // 7 budgets × 2 policies.
+        assert_eq!(f7.series.len(), 14);
+        assert_eq!(f7.series[0].points.len(), 10);
+        assert_eq!(f7.series[0].points[0].n, 10);
+        assert_eq!(f7.series[0].points[9].n, 100);
+        assert_eq!(f7.series[0].points[0].trials, 10_000);
+        let f11 = fig11();
+        assert_eq!(f11.series[0].points[0].trials, 5_000);
+        let f12 = fig12();
+        assert_eq!(f12.series.len(), 2 * 3 * 4);
+    }
+
+    #[test]
+    fn scaling_reduces_work() {
+        let f = fig07().scaled(40, 2, 5);
+        for s in &f.series {
+            assert!(s.points.iter().all(|p| p.n <= 40 && p.trials == 5));
+            assert_eq!(s.points.len(), 2, "n = 10 and n = 30 survive the stride");
+        }
+    }
+
+    #[test]
+    fn tiny_run_of_fig07_converges_everywhere() {
+        let f = fig07().scaled(12, 10, 2);
+        let results = f.run(Some(2));
+        assert_eq!(results.len(), f.series.len());
+        for (label, summaries) in &results {
+            for s in summaries {
+                assert_eq!(s.non_converged, 0, "series {label} must converge");
+            }
+        }
+    }
+}

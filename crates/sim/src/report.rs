@@ -1,0 +1,142 @@
+//! Rendering of measured figure data as plain-text tables and CSV.
+
+use crate::experiments::FigureDef;
+use crate::runner::PointSummary;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Measured data of one series (curve) of a figure.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SeriesData {
+    /// Legend label.
+    pub label: String,
+    /// One summary per sweep point.
+    pub points: Vec<PointSummary>,
+}
+
+/// Measured data of one figure.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FigureData {
+    /// Figure identifier (`"fig07"`, …).
+    pub id: String,
+    /// Caption-style title.
+    pub title: String,
+    /// All measured series.
+    pub series: Vec<SeriesData>,
+}
+
+impl FigureData {
+    /// Runs the figure definition and collects the results.
+    pub fn measure(def: &FigureDef, threads: Option<usize>) -> Self {
+        let series = def
+            .run(threads)
+            .into_iter()
+            .map(|(label, points)| SeriesData { label, points })
+            .collect();
+        FigureData {
+            id: def.id.to_string(),
+            title: def.title.to_string(),
+            series,
+        }
+    }
+
+    /// True if every trial of every point converged (the paper's headline
+    /// empirical observation).
+    pub fn all_converged(&self) -> bool {
+        self.series
+            .iter()
+            .all(|s| s.points.iter().all(|p| p.non_converged == 0))
+    }
+
+    /// The largest observed `max_steps / n` ratio over all series and points —
+    /// comparable to the paper's 5n / 7n / 8n envelopes.
+    pub fn worst_steps_per_agent(&self) -> f64 {
+        self.series
+            .iter()
+            .flat_map(|s| s.points.iter())
+            .map(|p| p.max_steps as f64 / p.n as f64)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Renders the measured data as a plain-text table: one block per series with the
+/// average and maximum steps per `n`, next to the paper's envelopes.
+pub fn render_table(def: &FigureDef, data: &FigureData) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{} ({})", data.title, data.id);
+    let _ = writeln!(out, "{}", "=".repeat(data.title.len() + data.id.len() + 3));
+    for series in &data.series {
+        let _ = writeln!(out, "\nseries: {}", series.label);
+        let _ = write!(out, "{:>6} {:>12} {:>10} {:>10}", "n", "avg steps", "max", "trials");
+        for (label, _) in &def.envelopes {
+            let _ = write!(out, " {:>10}", label);
+        }
+        let _ = writeln!(out);
+        for p in &series.points {
+            let _ = write!(
+                out,
+                "{:>6} {:>12.2} {:>10} {:>10}",
+                p.n, p.avg_steps, p.max_steps, p.trials
+            );
+            for (_, f) in &def.envelopes {
+                let _ = write!(out, " {:>10.1}", f(p.n as f64));
+            }
+            let _ = writeln!(out);
+        }
+    }
+    let _ = writeln!(
+        out,
+        "\nall trials converged: {}   worst max-steps/n: {:.2}",
+        data.all_converged(),
+        data.worst_steps_per_agent()
+    );
+    out
+}
+
+/// Renders the measured data as CSV with one row per (series, n) pair.
+pub fn render_csv(data: &FigureData) -> String {
+    let mut out = String::from(
+        "figure,series,n,trials,avg_steps,max_steps,min_steps,non_converged,deletions,swaps,purchases\n",
+    );
+    for series in &data.series {
+        for p in &series.points {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{:.4},{},{},{},{},{},{}",
+                data.id,
+                series.label.replace(',', ";"),
+                p.n,
+                p.trials,
+                p.avg_steps,
+                p.max_steps,
+                p.min_steps,
+                p.non_converged,
+                p.kinds.deletions,
+                p.kinds.swaps,
+                p.kinds.purchases
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::fig11;
+
+    #[test]
+    fn measure_and_render_a_tiny_figure() {
+        let def = fig11().scaled(12, 20, 2);
+        let data = FigureData::measure(&def, Some(2));
+        assert!(data.all_converged());
+        assert!(data.worst_steps_per_agent() < 20.0);
+        let table = render_table(&def, &data);
+        assert!(table.contains("SUM-GBG"));
+        assert!(table.contains("avg steps"));
+        assert!(table.contains("7n"));
+        let csv = render_csv(&data);
+        assert!(csv.lines().count() > 1);
+        assert!(csv.starts_with("figure,series,n"));
+    }
+}

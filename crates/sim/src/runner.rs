@@ -1,0 +1,288 @@
+//! Deterministic, parallel trial runner.
+//!
+//! A *trial* generates one random initial network, runs best-response dynamics
+//! under the configured move policy until a stable network is reached (or the step
+//! limit fires) and records the number of steps and the kinds of moves performed.
+//! A *point* aggregates many independent trials; trials are distributed over worker
+//! threads with `crossbeam::scope`, each trial seeded as `base_seed + trial_index`
+//! so that results are reproducible independent of the number of threads.
+
+use crate::spec::ExperimentPoint;
+use ncg_core::dynamics::{Dynamics, DynamicsConfig, ResponseMode};
+use ncg_core::moves::Move;
+use ncg_core::policy::TieBreak;
+use ncg_core::Game;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// How many moves of each kind a trajectory contained.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MoveKindCounts {
+    /// Edge deletions.
+    pub deletions: usize,
+    /// Edge swaps.
+    pub swaps: usize,
+    /// Edge purchases.
+    pub purchases: usize,
+}
+
+impl MoveKindCounts {
+    fn record(&mut self, mv: &Move) {
+        match mv {
+            Move::Delete { .. } => self.deletions += 1,
+            Move::Swap { .. } => self.swaps += 1,
+            Move::Buy { .. } => self.purchases += 1,
+            Move::SetOwned { .. } | Move::SetNeighbors { .. } => {}
+        }
+    }
+
+    /// Total number of recorded moves.
+    pub fn total(&self) -> usize {
+        self.deletions + self.swaps + self.purchases
+    }
+}
+
+/// Result of a single trial.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TrialResult {
+    /// Number of improving moves until convergence (or until the step limit).
+    pub steps: usize,
+    /// True if a stable network was reached.
+    pub converged: bool,
+    /// Move-kind breakdown of the trajectory.
+    pub kinds: MoveKindCounts,
+}
+
+/// Aggregated results of all trials of an experiment point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PointSummary {
+    /// Number of agents.
+    pub n: usize,
+    /// Number of trials.
+    pub trials: usize,
+    /// Average number of steps until convergence.
+    pub avg_steps: f64,
+    /// Maximum number of steps observed.
+    pub max_steps: usize,
+    /// Minimum number of steps observed.
+    pub min_steps: usize,
+    /// Number of trials that did *not* converge within the step limit
+    /// (the paper never observed any; neither do we).
+    pub non_converged: usize,
+    /// Summed move-kind counts over all trials.
+    pub kinds: MoveKindCounts,
+}
+
+impl PointSummary {
+    /// Average steps per agent (`avg_steps / n`), the quantity the paper's
+    /// "converges in O(n) steps" observation is about.
+    pub fn avg_steps_per_agent(&self) -> f64 {
+        self.avg_steps / self.n as f64
+    }
+}
+
+/// Runs a single trial of `point` with the given trial index.
+pub fn run_trial(point: &ExperimentPoint, trial_index: usize) -> TrialResult {
+    let game = point.make_game();
+    run_trial_with_game(point, game.as_ref(), trial_index)
+}
+
+/// Runs a single trial re-using an already constructed game (avoids the per-trial
+/// boxing when the caller runs many trials of the same point).
+pub fn run_trial_with_game(
+    point: &ExperimentPoint,
+    game: &(dyn Game + Send + Sync),
+    trial_index: usize,
+) -> TrialResult {
+    let mut rng = StdRng::seed_from_u64(point.base_seed.wrapping_add(trial_index as u64));
+    let initial = point.topology.generate(point.n, &mut rng);
+    let config = DynamicsConfig {
+        policy: point.policy,
+        tie_break: TieBreak::Random,
+        response_mode: ResponseMode::BestResponse,
+        max_steps: point.max_steps(),
+        detect_cycles: false,
+        record_trajectory: false,
+        ownership_in_state: true,
+    };
+    let mut dynamics = Dynamics::new(game, initial, config);
+    let mut kinds = MoveKindCounts::default();
+    let mut steps = 0usize;
+    let converged = loop {
+        if steps >= point.max_steps() {
+            break false;
+        }
+        match dynamics.step(&mut rng) {
+            Some(record) => {
+                kinds.record(&record.mv);
+                steps += 1;
+            }
+            None => break true,
+        }
+    };
+    TrialResult {
+        steps,
+        converged,
+        kinds,
+    }
+}
+
+/// Runs all trials of `point`, distributing them over `threads` worker threads
+/// (defaults to the number of available CPUs when `None`).
+pub fn run_point(point: &ExperimentPoint, threads: Option<usize>) -> PointSummary {
+    let threads = threads
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        })
+        .max(1)
+        .min(point.trials.max(1));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: Mutex<Vec<TrialResult>> = Mutex::new(Vec::with_capacity(point.trials));
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| {
+                let game = point.make_game();
+                loop {
+                    let t = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if t >= point.trials {
+                        break;
+                    }
+                    let result = run_trial_with_game(point, game.as_ref(), t);
+                    results.lock().push(result);
+                }
+            });
+        }
+    })
+    .expect("worker threads must not panic");
+
+    let results = results.into_inner();
+    summarize(point, &results)
+}
+
+fn summarize(point: &ExperimentPoint, results: &[TrialResult]) -> PointSummary {
+    let trials = results.len();
+    let mut avg = 0.0;
+    let mut max = 0usize;
+    let mut min = usize::MAX;
+    let mut non_converged = 0usize;
+    let mut kinds = MoveKindCounts::default();
+    for r in results {
+        avg += r.steps as f64;
+        max = max.max(r.steps);
+        min = min.min(r.steps);
+        if !r.converged {
+            non_converged += 1;
+        }
+        kinds.deletions += r.kinds.deletions;
+        kinds.swaps += r.kinds.swaps;
+        kinds.purchases += r.kinds.purchases;
+    }
+    if trials > 0 {
+        avg /= trials as f64;
+    } else {
+        min = 0;
+    }
+    PointSummary {
+        n: point.n,
+        trials,
+        avg_steps: avg,
+        max_steps: max,
+        min_steps: min,
+        non_converged,
+        kinds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{AlphaSpec, GameFamily, InitialTopology};
+    use ncg_core::policy::Policy;
+
+    fn small_point(family: GameFamily, topology: InitialTopology, policy: Policy) -> ExperimentPoint {
+        ExperimentPoint {
+            n: 14,
+            family,
+            alpha: AlphaSpec::FractionOfN(0.25),
+            topology,
+            policy,
+            trials: 6,
+            base_seed: 99,
+            max_steps_factor: 200,
+        }
+    }
+
+    #[test]
+    fn trials_are_reproducible() {
+        let point = small_point(
+            GameFamily::AsgSum,
+            InitialTopology::Budgeted { k: 2 },
+            Policy::MaxCost,
+        );
+        let a = run_trial(&point, 3);
+        let b = run_trial(&point, 3);
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.kinds, b.kinds);
+    }
+
+    #[test]
+    fn asg_trials_only_swap() {
+        let point = small_point(
+            GameFamily::AsgMax,
+            InitialTopology::Budgeted { k: 1 },
+            Policy::Random,
+        );
+        let r = run_trial(&point, 0);
+        assert!(r.converged);
+        assert_eq!(r.kinds.deletions, 0);
+        assert_eq!(r.kinds.purchases, 0);
+        assert_eq!(r.kinds.swaps, r.steps);
+    }
+
+    #[test]
+    fn gbg_trials_converge_and_count_kinds() {
+        let point = small_point(
+            GameFamily::GbgSum,
+            InitialTopology::RandomEdges { m_per_n: 2 },
+            Policy::MaxCost,
+        );
+        let r = run_trial(&point, 1);
+        assert!(r.converged);
+        assert_eq!(r.kinds.total(), r.steps);
+    }
+
+    #[test]
+    fn point_summary_aggregates() {
+        let point = small_point(
+            GameFamily::GbgSum,
+            InitialTopology::RandomEdges { m_per_n: 1 },
+            Policy::Random,
+        );
+        let summary = run_point(&point, Some(2));
+        assert_eq!(summary.trials, 6);
+        assert_eq!(summary.non_converged, 0, "all trials must converge");
+        assert!(summary.min_steps <= summary.max_steps);
+        assert!(summary.avg_steps <= summary.max_steps as f64);
+        assert!(summary.avg_steps >= summary.min_steps as f64);
+        assert!(summary.avg_steps_per_agent() < 10.0);
+    }
+
+    #[test]
+    fn parallel_and_sequential_summaries_agree() {
+        let point = small_point(
+            GameFamily::AsgSum,
+            InitialTopology::Budgeted { k: 2 },
+            Policy::MaxCost,
+        );
+        let par = run_point(&point, Some(3));
+        let seq = run_point(&point, Some(1));
+        assert_eq!(par.avg_steps, seq.avg_steps);
+        assert_eq!(par.max_steps, seq.max_steps);
+        assert_eq!(par.kinds, seq.kinds);
+    }
+}

@@ -1,0 +1,236 @@
+//! Declarative experiment descriptions.
+
+use ncg_core::policy::Policy;
+use ncg_core::{AsymSwapGame, DistanceMetric, Game, GreedyBuyGame};
+use ncg_graph::{generators, OwnedGraph};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Which game family a simulation runs (the empirical study only uses the ASG and
+/// the GBG; best responses of the full Buy Game are NP-hard, exactly as the paper
+/// notes in §4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GameFamily {
+    /// Asymmetric Swap Game, SUM distance-cost (Fig. 7).
+    AsgSum,
+    /// Asymmetric Swap Game, MAX distance-cost (Fig. 8).
+    AsgMax,
+    /// Greedy Buy Game, SUM distance-cost (Fig. 11 / 12).
+    GbgSum,
+    /// Greedy Buy Game, MAX distance-cost (Fig. 13 / 14).
+    GbgMax,
+}
+
+impl GameFamily {
+    /// Short label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            GameFamily::AsgSum => "SUM-ASG",
+            GameFamily::AsgMax => "MAX-ASG",
+            GameFamily::GbgSum => "SUM-GBG",
+            GameFamily::GbgMax => "MAX-GBG",
+        }
+    }
+
+    /// The distance metric of the family.
+    pub fn metric(&self) -> DistanceMetric {
+        match self {
+            GameFamily::AsgSum | GameFamily::GbgSum => DistanceMetric::Sum,
+            GameFamily::AsgMax | GameFamily::GbgMax => DistanceMetric::Max,
+        }
+    }
+
+    /// True for the buy games (which need an edge price α).
+    pub fn needs_alpha(&self) -> bool {
+        matches!(self, GameFamily::GbgSum | GameFamily::GbgMax)
+    }
+}
+
+/// How the edge price α is derived from the number of agents. The paper uses
+/// α ∈ {n/10, n/4, n/2, n} (§4.2.1, following Demaine et al.).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AlphaSpec {
+    /// A fixed price independent of `n`.
+    Fixed(f64),
+    /// `α = fraction · n`.
+    FractionOfN(f64),
+}
+
+impl AlphaSpec {
+    /// Resolves the edge price for `n` agents.
+    pub fn resolve(&self, n: usize) -> f64 {
+        match self {
+            AlphaSpec::Fixed(a) => *a,
+            AlphaSpec::FractionOfN(f) => f * n as f64,
+        }
+    }
+
+    /// Label such as `"n/4"` used in the paper's legends.
+    pub fn label(&self) -> String {
+        match self {
+            AlphaSpec::Fixed(a) => format!("{a}"),
+            AlphaSpec::FractionOfN(f) => {
+                if (*f - 1.0).abs() < 1e-12 {
+                    "n".to_string()
+                } else {
+                    format!("n/{:.0}", 1.0 / f)
+                }
+            }
+        }
+    }
+}
+
+/// How the random initial network is generated (§3.4.1 and §4.2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InitialTopology {
+    /// Every agent owns exactly `k` edges (bounded-budget ASG workload).
+    Budgeted {
+        /// The per-agent budget `k`.
+        k: usize,
+    },
+    /// Connected random network with `m = m_per_n · n` edges, uniform ownership
+    /// (GBG workload; the paper uses `m ∈ {n, 2n, 4n}`).
+    RandomEdges {
+        /// Edge count as a multiple of `n`.
+        m_per_n: usize,
+    },
+    /// Path with uniformly random edge-ownership (`rl` in Fig. 12 / 14).
+    RandomLine,
+    /// Path whose ownership forms a directed line (`dl` in Fig. 12 / 14).
+    DirectedLine,
+}
+
+impl InitialTopology {
+    /// Generates an initial network on `n` agents.
+    pub fn generate<R: Rng>(&self, n: usize, rng: &mut R) -> OwnedGraph {
+        match self {
+            InitialTopology::Budgeted { k } => generators::budgeted_random(n, *k, rng),
+            InitialTopology::RandomEdges { m_per_n } => {
+                generators::random_with_m_edges(n, m_per_n * n, rng)
+            }
+            InitialTopology::RandomLine => generators::random_line(n, rng),
+            InitialTopology::DirectedLine => generators::directed_line(n),
+        }
+    }
+
+    /// Label such as `"k=2"`, `"m=4n"`, `"rl"`, `"dl"`.
+    pub fn label(&self) -> String {
+        match self {
+            InitialTopology::Budgeted { k } => format!("k={k}"),
+            InitialTopology::RandomEdges { m_per_n } => format!("m={m_per_n}n"),
+            InitialTopology::RandomLine => "rl".to_string(),
+            InitialTopology::DirectedLine => "dl".to_string(),
+        }
+    }
+}
+
+/// One point of a parameter sweep: everything needed to run its trials.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentPoint {
+    /// Number of agents.
+    pub n: usize,
+    /// Game family.
+    pub family: GameFamily,
+    /// Edge price rule (ignored by the swap games).
+    pub alpha: AlphaSpec,
+    /// Initial-network generator.
+    pub topology: InitialTopology,
+    /// Move policy.
+    #[serde(skip, default = "default_policy")]
+    pub policy: Policy,
+    /// Number of independent trials.
+    pub trials: usize,
+    /// Base RNG seed; trial `t` uses `base_seed + t`.
+    pub base_seed: u64,
+    /// Step limit as a multiple of `n` (simulations in the paper always converged
+    /// within a small constant times `n`; the limit only guards against the —
+    /// never observed — non-convergent case).
+    pub max_steps_factor: usize,
+}
+
+fn default_policy() -> Policy {
+    Policy::MaxCost
+}
+
+impl ExperimentPoint {
+    /// Instantiates the game for this point as a boxed trait object.
+    pub fn make_game(&self) -> Box<dyn Game + Send + Sync> {
+        let alpha = self.alpha.resolve(self.n);
+        match self.family {
+            GameFamily::AsgSum => Box::new(AsymSwapGame::sum()),
+            GameFamily::AsgMax => Box::new(AsymSwapGame::max()),
+            GameFamily::GbgSum => Box::new(GreedyBuyGame::sum(alpha)),
+            GameFamily::GbgMax => Box::new(GreedyBuyGame::max(alpha)),
+        }
+    }
+
+    /// The step limit of one trial.
+    pub fn max_steps(&self) -> usize {
+        self.max_steps_factor * self.n
+    }
+
+    /// Short label (family, topology, α, policy) used in reports.
+    pub fn label(&self) -> String {
+        let mut parts = vec![self.family.label().to_string(), self.topology.label()];
+        if self.family.needs_alpha() {
+            parts.push(format!("a={}", self.alpha.label()));
+        }
+        parts.push(self.policy.label().to_string());
+        parts.join(", ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn alpha_resolution_and_labels() {
+        assert_eq!(AlphaSpec::Fixed(2.5).resolve(100), 2.5);
+        assert_eq!(AlphaSpec::FractionOfN(0.25).resolve(40), 10.0);
+        assert_eq!(AlphaSpec::FractionOfN(0.25).label(), "n/4");
+        assert_eq!(AlphaSpec::FractionOfN(1.0).label(), "n");
+    }
+
+    #[test]
+    fn topology_generation_matches_spec() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = InitialTopology::Budgeted { k: 2 }.generate(20, &mut rng);
+        assert_eq!(g.num_edges(), 40);
+        let g = InitialTopology::RandomEdges { m_per_n: 2 }.generate(20, &mut rng);
+        assert_eq!(g.num_edges(), 40);
+        let g = InitialTopology::RandomLine.generate(20, &mut rng);
+        assert_eq!(g.num_edges(), 19);
+        let g = InitialTopology::DirectedLine.generate(20, &mut rng);
+        assert!(g.owns_edge(0, 1));
+    }
+
+    #[test]
+    fn family_labels_and_metric() {
+        assert_eq!(GameFamily::AsgSum.label(), "SUM-ASG");
+        assert_eq!(GameFamily::GbgMax.metric(), DistanceMetric::Max);
+        assert!(GameFamily::GbgSum.needs_alpha());
+        assert!(!GameFamily::AsgMax.needs_alpha());
+    }
+
+    #[test]
+    fn point_labels_and_game_construction() {
+        let point = ExperimentPoint {
+            n: 30,
+            family: GameFamily::GbgSum,
+            alpha: AlphaSpec::FractionOfN(0.25),
+            topology: InitialTopology::RandomEdges { m_per_n: 2 },
+            policy: Policy::MaxCost,
+            trials: 3,
+            base_seed: 7,
+            max_steps_factor: 100,
+        };
+        assert_eq!(point.max_steps(), 3000);
+        let game = point.make_game();
+        assert_eq!(game.name(), "SUM-GBG");
+        assert_eq!(game.alpha(), 7.5);
+        assert!(point.label().contains("n/4"));
+    }
+}

@@ -1,0 +1,55 @@
+//! Overlay-network formation — the motivating scenario of the paper's introduction.
+//!
+//! Selfish peers of a peer-to-peer overlay repeatedly rewire their connections to
+//! improve their own latency (distance-cost) versus link-maintenance cost. The
+//! example compares, for growing network sizes, how many uncoordinated improving
+//! moves the swarm needs before the overlay stabilises, under the two move
+//! policies studied in the paper, and how far the resulting social cost is from
+//! the star-shaped social optimum (the price of building the network selfishly).
+//!
+//! Run with: `cargo run --release --example overlay_formation`
+
+use selfish_ncg::core::{equilibrium, DynamicsConfig};
+use selfish_ncg::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn social_optimum_cost(n: usize, alpha: f64) -> f64 {
+    // For α in the paper's regime a star minimises social cost: n-1 edges plus
+    // distance-cost (n-1) for the centre and 1 + 2(n-2) for each leaf.
+    alpha * (n - 1) as f64 + (n - 1) as f64 + (n - 1) as f64 * (1.0 + 2.0 * (n - 2) as f64)
+}
+
+fn main() {
+    println!(
+        "{:>4} {:>10} {:>10} {:>12} {:>18}",
+        "n", "policy", "moves", "moves / n", "cost vs optimum"
+    );
+    for &n in &[10usize, 20, 40, 60] {
+        let alpha = n as f64 / 4.0;
+        for policy in [Policy::MaxCost, Policy::Random] {
+            let mut rng = StdRng::seed_from_u64(7 + n as u64);
+            let initial = generators::random_with_m_edges(n, 2 * n, &mut rng);
+            let game = GreedyBuyGame::sum(alpha);
+            let config = DynamicsConfig::simulation(200 * n).with_policy(policy);
+            let outcome = run_dynamics(&game, &initial, &config, &mut rng);
+            assert!(outcome.converged(), "the overlay must stabilise");
+            let mut ws = Workspace::new(n);
+            let cost = equilibrium::social_cost(&game, &outcome.final_graph, &mut ws);
+            let ratio = cost / social_optimum_cost(n, alpha);
+            println!(
+                "{:>4} {:>10} {:>10} {:>12.2} {:>17.3}x",
+                n,
+                policy.label(),
+                outcome.steps,
+                outcome.steps as f64 / n as f64,
+                ratio
+            );
+        }
+    }
+    println!(
+        "\nThe overlay stabilises after a small constant number of moves per peer \
+         (the paper's O(n) observation), and the stable overlay's social cost stays \
+         close to the optimum (low price of anarchy)."
+    );
+}

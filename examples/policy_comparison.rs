@@ -1,0 +1,51 @@
+//! Move-policy comparison on trees — Theorem 2.1 vs. Theorem 2.11 in action.
+//!
+//! The MAX Swap Game on a tree always converges (it is a generalized ordinal
+//! potential game), but the *speed* depends on who is allowed to move: an
+//! arbitrary schedule is only bounded by O(n³) while the max cost policy needs
+//! just Θ(n log n) moves. This example measures the number of moves on the path
+//! P_n for the max cost, random, and min-index policies and prints them next to
+//! the analytic yardsticks.
+//!
+//! Run with: `cargo run --release --example policy_comparison`
+
+use selfish_ncg::core::DynamicsConfig;
+use selfish_ncg::instances::paths;
+use selfish_ncg::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn measure(policy: Policy, n: usize, seed: u64) -> usize {
+    let game = SwapGame::max();
+    let initial = paths::figure1_path(n);
+    let config = DynamicsConfig::simulation(10 * n * n * n).with_policy(policy);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let outcome = run_dynamics(&game, &initial, &config, &mut rng);
+    assert!(outcome.converged(), "MAX-SG on trees is a poly-FIPG (Thm 2.1)");
+    outcome.steps
+}
+
+fn main() {
+    println!(
+        "{:>5} {:>10} {:>10} {:>10} {:>12} {:>10}",
+        "n", "max cost", "random", "min index", "n log2 n", "n^2"
+    );
+    for &n in &[9usize, 17, 33, 65] {
+        let max_cost = measure(Policy::MaxCost, n, 1);
+        let random = measure(Policy::Random, n, 2);
+        let min_index = measure(Policy::MinIndex, n, 3);
+        println!(
+            "{:>5} {:>10} {:>10} {:>10} {:>12.1} {:>10}",
+            n,
+            max_cost,
+            random,
+            min_index,
+            (n as f64) * (n as f64).log2(),
+            n * n
+        );
+    }
+    println!(
+        "\nEvery schedule converges (Theorem 2.1), and the max cost policy stays in \
+         the Θ(n log n) regime of Theorem 2.11, clearly below n²."
+    );
+}

@@ -1,0 +1,73 @@
+//! Quickstart: run selfish network creation dynamics on a random network.
+//!
+//! Twenty agents start from a random connected network with 40 edges and play the
+//! SUM Greedy Buy Game (buy / delete / swap one edge per move) under the max cost
+//! policy until nobody wants to change anything. The example prints the trajectory
+//! summary, the final network and its social cost compared to the initial one.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use selfish_ncg::core::{equilibrium, DynamicsConfig};
+use selfish_ncg::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let n = 20;
+    let alpha = n as f64 / 4.0;
+    let mut rng = StdRng::seed_from_u64(2013);
+
+    // 1. A random connected initial network with 2n edges (as in the paper's §4.2.1).
+    let initial = generators::random_with_m_edges(n, 2 * n, &mut rng);
+    println!(
+        "initial network: {} agents, {} edges, diameter {:?}",
+        initial.num_nodes(),
+        initial.num_edges(),
+        selfish_ncg::graph::diameter(&initial)
+    );
+
+    // 2. The game: SUM Greedy Buy Game with edge price α = n/4.
+    let game = GreedyBuyGame::sum(alpha);
+    let mut ws = Workspace::new(n);
+    let initial_social_cost = equilibrium::social_cost(&game, &initial, &mut ws);
+
+    // 3. Run best-response dynamics under the max cost policy.
+    let mut config = DynamicsConfig::simulation(100 * n).with_policy(Policy::MaxCost);
+    config.record_trajectory = true;
+    let outcome = run_dynamics(&game, &initial, &config, &mut rng);
+
+    println!(
+        "dynamics: {} ({} moves)",
+        if outcome.converged() {
+            "converged to a stable network"
+        } else {
+            "step limit reached"
+        },
+        outcome.steps
+    );
+    let (mut deletions, mut swaps, mut buys) = (0, 0, 0);
+    for rec in &outcome.trajectory {
+        match rec.mv {
+            selfish_ncg::core::Move::Delete { .. } => deletions += 1,
+            selfish_ncg::core::Move::Swap { .. } => swaps += 1,
+            selfish_ncg::core::Move::Buy { .. } => buys += 1,
+            _ => {}
+        }
+    }
+    println!("moves: {deletions} deletions, {swaps} swaps, {buys} purchases");
+
+    // 4. Inspect the stable network.
+    let stable = &outcome.final_graph;
+    let final_social_cost = equilibrium::social_cost(&game, stable, &mut ws);
+    println!(
+        "stable network: {} edges, diameter {:?}",
+        stable.num_edges(),
+        selfish_ncg::graph::diameter(stable)
+    );
+    println!(
+        "social cost: {initial_social_cost:.1} -> {final_social_cost:.1} \
+         (steps per agent: {:.2})",
+        outcome.steps as f64 / n as f64
+    );
+    assert!(equilibrium::is_stable(&game, stable, &mut ws));
+}

@@ -1,0 +1,195 @@
+//! Property-based tests (proptest) for the core invariants of the library:
+//! graph substrate consistency, strict improvement of moves, potential functions
+//! on trees, and convergence of the simulated game families.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use selfish_ncg::core::potential::{lex_decreased, sorted_cost_vector};
+use selfish_ncg::core::{apply_move, undo_move, DynamicsConfig, Game};
+use selfish_ncg::graph::{
+    canonical_state_key, is_connected, is_tree, properties, BfsBuffer, DistanceMatrix,
+};
+use selfish_ncg::prelude::*;
+
+fn seeded_graph(n: usize, m_per_n: usize, seed: u64) -> OwnedGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    generators::random_with_m_edges(n, m_per_n * n, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The budgeted generator always produces connected simple graphs where every
+    /// agent owns exactly k edges, and the invariants of the ownership structure hold.
+    #[test]
+    fn budgeted_generator_invariants(n in 6usize..40, k in 1usize..4, seed in 0u64..1000) {
+        prop_assume!(k * 2 + 1 < n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::budgeted_random(n, k, &mut rng);
+        prop_assert!(is_connected(&g));
+        prop_assert_eq!(g.num_edges(), n * k);
+        for v in 0..n {
+            prop_assert_eq!(g.owned_degree(v), k);
+        }
+        prop_assert!(g.check_invariants().is_ok());
+    }
+
+    /// Random spanning trees are trees; BFS distances agree with the all-pairs matrix.
+    #[test]
+    fn distances_are_consistent(n in 2usize..30, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::random_spanning_tree(n, None, &mut rng);
+        prop_assert!(is_tree(&g));
+        let matrix = DistanceMatrix::compute(&g);
+        let mut buf = BfsBuffer::new(n);
+        for s in 0..n {
+            prop_assert_eq!(matrix.row(s), buf.run(&g, s));
+        }
+        // Distances are symmetric and satisfy the tree identity sum(ecc) >= diameter.
+        for u in 0..n {
+            for v in 0..n {
+                prop_assert_eq!(matrix.dist(u, v), matrix.dist(v, u));
+            }
+        }
+        let diameter = properties::diameter(&g).unwrap();
+        prop_assert!(matrix.eccentricity(0).unwrap() <= diameter);
+    }
+
+    /// Applying any improving move strictly decreases the mover's cost, and undoing
+    /// it restores the exact state (including ownership).
+    #[test]
+    fn improving_moves_improve_and_undo_restores(seed in 0u64..500, agent in 0usize..15) {
+        let g = seeded_graph(15, 2, seed);
+        let game = GreedyBuyGame::sum(4.0);
+        let mut ws = Workspace::new(15);
+        let before_key = canonical_state_key(&g);
+        let improving = game.improving_moves(&g, agent, &mut ws);
+        let old_cost = game.cost(&g, agent, &mut ws.bfs);
+        let mut h = g.clone();
+        for scored in improving {
+            prop_assert!(scored.new_cost < old_cost);
+            let undo = apply_move(&mut h, agent, &scored.mv).expect("applies");
+            let measured = game.cost(&h, agent, &mut ws.bfs);
+            prop_assert!((measured - scored.new_cost).abs() < 1e-9);
+            undo_move(&mut h, agent, &undo);
+            prop_assert_eq!(canonical_state_key(&h), before_key.clone());
+        }
+    }
+
+    /// Best responses are at least as good as every improving move.
+    #[test]
+    fn best_responses_dominate_improving_moves(seed in 0u64..300, agent in 0usize..12) {
+        let g = seeded_graph(12, 2, seed);
+        for metric_max in [false, true] {
+            let game: Box<dyn Game> = if metric_max {
+                Box::new(GreedyBuyGame::max(3.0))
+            } else {
+                Box::new(GreedyBuyGame::sum(3.0))
+            };
+            let mut ws = Workspace::new(12);
+            let improving = game.improving_moves(&g, agent, &mut ws);
+            let best = game.best_responses(&g, agent, &mut ws);
+            if let Some(best_cost) = best.first().map(|s| s.new_cost) {
+                for s in &improving {
+                    prop_assert!(s.new_cost + 1e-9 >= best_cost);
+                }
+                prop_assert!(!improving.is_empty());
+            } else {
+                prop_assert!(improving.is_empty());
+            }
+        }
+    }
+
+    /// Lemma 2.6 as a property: along MAX-SG trajectories on random trees the
+    /// sorted cost vector strictly lexicographically decreases, and the process
+    /// converges to a tree of diameter at most 3.
+    #[test]
+    fn max_sg_tree_potential(n in 4usize..20, seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tree = generators::random_spanning_tree(n, None, &mut rng);
+        let game = SwapGame::max();
+        let mut dynamics = selfish_ncg::core::Dynamics::new(
+            &game,
+            tree,
+            DynamicsConfig::simulation(n * n * n).with_policy(Policy::Random),
+        );
+        let mut ws = Workspace::new(n);
+        let mut prev = sorted_cost_vector(&game, dynamics.graph(), &mut ws);
+        while dynamics.step(&mut rng).is_some() {
+            let next = sorted_cost_vector(&game, dynamics.graph(), &mut ws);
+            prop_assert!(lex_decreased(&prev, &next));
+            prev = next;
+        }
+        prop_assert!(properties::is_star_or_double_star(dynamics.graph()));
+    }
+
+    /// The SUM-ASG on trees converges under any policy and stays a tree; the
+    /// social cost never increases along the trajectory (ordinal potential).
+    #[test]
+    fn sum_asg_tree_social_cost_potential(n in 4usize..18, seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tree = generators::random_spanning_tree(n, Some(2), &mut rng);
+        let game = AsymSwapGame::sum();
+        let mut dynamics = selfish_ncg::core::Dynamics::new(
+            &game,
+            tree,
+            DynamicsConfig::simulation(n * n * n).with_policy(Policy::MinIndex),
+        );
+        let mut ws = Workspace::new(n);
+        let mut prev = selfish_ncg::core::social_cost(&game, dynamics.graph(), &mut ws);
+        let mut steps = 0usize;
+        while dynamics.step(&mut rng).is_some() {
+            prop_assert!(is_tree(dynamics.graph()));
+            let next = selfish_ncg::core::social_cost(&game, dynamics.graph(), &mut ws);
+            prop_assert!(next < prev, "social cost must strictly decrease on trees");
+            prev = next;
+            steps += 1;
+        }
+        prop_assert!(steps <= n * n * n);
+    }
+
+    /// Greedy Buy Game dynamics on random connected networks converge to a stable,
+    /// connected network for both metrics and both policies (the paper's headline
+    /// empirical observation), and every trajectory move strictly improves its mover.
+    #[test]
+    fn gbg_random_instances_converge(seed in 0u64..60) {
+        let n = 16;
+        let g = seeded_graph(n, 2, seed);
+        for metric_max in [false, true] {
+            let alpha = n as f64 / 4.0;
+            let game: Box<dyn Game + Send + Sync> = if metric_max {
+                Box::new(GreedyBuyGame::max(alpha))
+            } else {
+                Box::new(GreedyBuyGame::sum(alpha))
+            };
+            let mut cfg = DynamicsConfig::simulation(400 * n).with_policy(Policy::MaxCost);
+            cfg.record_trajectory = true;
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd);
+            let out = selfish_ncg::core::run_dynamics(game.as_ref(), &g, &cfg, &mut rng);
+            prop_assert!(out.converged());
+            prop_assert!(is_connected(&out.final_graph));
+            for rec in &out.trajectory {
+                prop_assert!(rec.new_cost < rec.old_cost);
+            }
+        }
+    }
+
+    /// Canonical state keys are invariant under edge-insertion order and change
+    /// whenever the edge set or its ownership changes.
+    #[test]
+    fn canonical_keys_identify_states(seed in 0u64..500) {
+        let g = seeded_graph(10, 1, seed);
+        let edges: Vec<_> = g.edges().map(|e| (e.owner, e.other)).collect();
+        let mut reversed = edges.clone();
+        reversed.reverse();
+        let h = OwnedGraph::from_owned_edges(10, &reversed);
+        prop_assert_eq!(canonical_state_key(&g), canonical_state_key(&h));
+        // Flipping the ownership of one edge changes the labelled key.
+        let (owner, other) = edges[0];
+        let mut flipped_edges = edges.clone();
+        flipped_edges[0] = (other, owner);
+        let f = OwnedGraph::from_owned_edges(10, &flipped_edges);
+        prop_assert_ne!(canonical_state_key(&g), canonical_state_key(&f));
+    }
+}

@@ -1,0 +1,180 @@
+//! Integration tests reproducing the *qualitative shape* of the paper's empirical
+//! study (Fig. 7, 8, 11–14) at a reduced scale:
+//!
+//! * every simulated run converges (no better-response cycle is ever encountered),
+//! * convergence takes a small constant number of steps per agent (the paper's
+//!   envelopes are 5n for the ASG, 7n / 8n for the GBG),
+//! * for the SUM games the max cost policy is at least as fast as the random
+//!   policy on average,
+//! * for the GBG the directed-line start (`dl`) is not slower than the random
+//!   start in the SUM version (Fig. 12's counter-intuitive finding).
+
+use ncg_sim::{
+    run_point, AlphaSpec, ExperimentPoint, FigureData, GameFamily, InitialTopology,
+};
+use selfish_ncg::prelude::Policy;
+
+fn point(
+    family: GameFamily,
+    n: usize,
+    topology: InitialTopology,
+    alpha: AlphaSpec,
+    policy: Policy,
+    trials: usize,
+    seed: u64,
+) -> ExperimentPoint {
+    ExperimentPoint {
+        n,
+        family,
+        alpha,
+        topology,
+        policy,
+        trials,
+        base_seed: seed,
+        max_steps_factor: 400,
+    }
+}
+
+#[test]
+fn fig07_shape_sum_asg_converges_within_5n() {
+    for &k in &[1usize, 2, 3] {
+        for policy in [Policy::MaxCost, Policy::Random] {
+            let p = point(
+                GameFamily::AsgSum,
+                30,
+                InitialTopology::Budgeted { k },
+                AlphaSpec::Fixed(0.0),
+                policy,
+                15,
+                100 + k as u64,
+            );
+            let s = run_point(&p, None);
+            assert_eq!(s.non_converged, 0, "k={k}, {}", policy.label());
+            assert!(
+                s.max_steps <= 5 * p.n,
+                "k={k}, {}: {} steps exceeds the 5n envelope",
+                policy.label(),
+                s.max_steps
+            );
+        }
+    }
+}
+
+#[test]
+fn fig08_shape_max_asg_converges_within_5n() {
+    for &k in &[1usize, 3] {
+        for policy in [Policy::MaxCost, Policy::Random] {
+            let p = point(
+                GameFamily::AsgMax,
+                30,
+                InitialTopology::Budgeted { k },
+                AlphaSpec::Fixed(0.0),
+                policy,
+                15,
+                200 + k as u64,
+            );
+            let s = run_point(&p, None);
+            assert_eq!(s.non_converged, 0);
+            assert!(
+                s.max_steps <= 5 * p.n + p.n,
+                "k={k}, {}: {} steps",
+                policy.label(),
+                s.max_steps
+            );
+        }
+    }
+}
+
+#[test]
+fn fig11_fig13_shape_gbg_converges_linearly() {
+    for family in [GameFamily::GbgSum, GameFamily::GbgMax] {
+        let envelope = if family == GameFamily::GbgSum { 7 } else { 8 };
+        for &m in &[1usize, 4] {
+            let p = point(
+                family,
+                25,
+                InitialTopology::RandomEdges { m_per_n: m },
+                AlphaSpec::FractionOfN(0.25),
+                Policy::MaxCost,
+                12,
+                300 + m as u64,
+            );
+            let s = run_point(&p, None);
+            assert_eq!(s.non_converged, 0, "{} m={m}n", family.label());
+            assert!(
+                s.max_steps <= envelope * p.n,
+                "{} m={m}n: {} steps exceeds {}n",
+                family.label(),
+                s.max_steps,
+                envelope
+            );
+            // Dense starts require deletions (a star-like equilibrium has ~n-1 edges).
+            if m == 4 {
+                assert!(s.kinds.deletions > 0);
+            }
+        }
+    }
+}
+
+#[test]
+fn sum_games_max_cost_policy_not_slower_than_random() {
+    // Fig. 7 and Fig. 11: in the SUM versions the max cost policy converges at
+    // least as fast (on average) as the random policy. Allow a small tolerance
+    // because our trial counts are far below the paper's 10,000.
+    let mk = |policy| {
+        point(
+            GameFamily::AsgSum,
+            40,
+            InitialTopology::Budgeted { k: 2 },
+            AlphaSpec::Fixed(0.0),
+            policy,
+            20,
+            4242,
+        )
+    };
+    let max_cost = run_point(&mk(Policy::MaxCost), None);
+    let random = run_point(&mk(Policy::Random), None);
+    assert!(
+        max_cost.avg_steps <= random.avg_steps * 1.15,
+        "max cost ({:.1}) should not be slower than random ({:.1})",
+        max_cost.avg_steps,
+        random.avg_steps
+    );
+}
+
+#[test]
+fn fig12_shape_directed_line_not_slower_than_random_start() {
+    // Fig. 12's surprising observation: for the SUM-GBG the dl start converges
+    // at least as fast as the random start (the authors expected the opposite).
+    let mk = |topology| {
+        point(
+            GameFamily::GbgSum,
+            30,
+            topology,
+            AlphaSpec::FractionOfN(0.25),
+            Policy::MaxCost,
+            12,
+            777,
+        )
+    };
+    let dl = run_point(&mk(InitialTopology::DirectedLine), None);
+    let random = run_point(&mk(InitialTopology::RandomEdges { m_per_n: 1 }), None);
+    assert_eq!(dl.non_converged + random.non_converged, 0);
+    assert!(
+        dl.max_steps as f64 <= random.max_steps as f64 * 1.5 + 10.0,
+        "dl ({}) should be in the same regime as random ({})",
+        dl.max_steps,
+        random.max_steps
+    );
+}
+
+#[test]
+fn figure_harness_runs_end_to_end_at_tiny_scale() {
+    // Smoke test of the full Fig. 7 pipeline (definition -> runner -> report).
+    let def = ncg_sim::experiments::fig07().scaled(20, 4, 3);
+    let data = FigureData::measure(&def, None);
+    assert!(data.all_converged(), "no better-response cycle may be encountered");
+    assert!(data.worst_steps_per_agent() <= 5.0);
+    let table = ncg_sim::render_table(&def, &data);
+    assert!(table.contains("all trials converged: true"));
+}
