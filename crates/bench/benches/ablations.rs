@@ -8,7 +8,7 @@ use ncg_core::dynamics::{run_dynamics, DynamicsConfig};
 use ncg_core::policy::Policy;
 use ncg_core::{Game, GreedyBuyGame, Workspace};
 use ncg_graph::{generators, DistanceMatrix};
-use ncg_sim::{run_point, AlphaSpec, ExperimentPoint, GameFamily, InitialTopology};
+use ncg_sim::{run_point, AlphaSpec, EngineSpec, ExperimentPoint, GameFamily, InitialTopology};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -55,7 +55,9 @@ fn ablation_policy_scan(c: &mut Criterion) {
     group.bench_function("early_exit_scan", |b| {
         let mut ws = Workspace::new(n);
         b.iter(|| {
-            let count = (0..n).filter(|&u| game.has_improving_move(&g, u, &mut ws)).count();
+            let count = (0..n)
+                .filter(|&u| game.has_improving_move(&g, u, &mut ws))
+                .count();
             black_box(count)
         })
     });
@@ -77,7 +79,11 @@ fn ablation_cycle_detection(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_cycle_detection");
     group.sample_size(10);
     for detect in [false, true] {
-        let label = if detect { "with_state_hashing" } else { "without" };
+        let label = if detect {
+            "with_state_hashing"
+        } else {
+            "without"
+        };
         group.bench_function(label, |b| {
             b.iter(|| {
                 let mut rng = StdRng::seed_from_u64(11);
@@ -103,6 +109,7 @@ fn ablation_parallel_runner(c: &mut Criterion) {
         trials: 16,
         base_seed: 5,
         max_steps_factor: 400,
+        engine: EngineSpec::default(),
     };
     let mut group = c.benchmark_group("ablation_parallel_runner");
     group.sample_size(10);

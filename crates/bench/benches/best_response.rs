@@ -78,5 +78,10 @@ fn bench_unhappiness_scan(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_swap_games, bench_buy_games, bench_unhappiness_scan);
+criterion_group!(
+    benches,
+    bench_swap_games,
+    bench_buy_games,
+    bench_unhappiness_scan
+);
 criterion_main!(benches);

@@ -9,7 +9,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ncg_core::policy::Policy;
-use ncg_sim::{run_trial, AlphaSpec, ExperimentPoint, GameFamily, InitialTopology};
+use ncg_sim::{run_trial, AlphaSpec, EngineSpec, ExperimentPoint, GameFamily, InitialTopology};
 use std::hint::black_box;
 
 fn point(family: GameFamily, n: usize, k: usize, policy: Policy) -> ExperimentPoint {
@@ -22,6 +22,7 @@ fn point(family: GameFamily, n: usize, k: usize, policy: Policy) -> ExperimentPo
         trials: 1,
         base_seed: 42,
         max_steps_factor: 400,
+        engine: EngineSpec::default(),
     }
 }
 

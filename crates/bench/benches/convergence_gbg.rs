@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ncg_core::policy::Policy;
-use ncg_sim::{run_trial, AlphaSpec, ExperimentPoint, GameFamily, InitialTopology};
+use ncg_sim::{run_trial, AlphaSpec, EngineSpec, ExperimentPoint, GameFamily, InitialTopology};
 use std::hint::black_box;
 
 fn point(
@@ -23,6 +23,7 @@ fn point(
         trials: 1,
         base_seed: 7,
         max_steps_factor: 400,
+        engine: EngineSpec::default(),
     }
 }
 
@@ -40,7 +41,11 @@ fn bench_fig11_fig13_density(c: &mut Criterion) {
                     alpha,
                     Policy::MaxCost,
                 );
-                let id = format!("{}_n{n}_m{m}n_a{}", family.label(), alpha.label().replace('/', "_"));
+                let id = format!(
+                    "{}_n{n}_m{m}n_a{}",
+                    family.label(),
+                    alpha.label().replace('/', "_")
+                );
                 group.bench_with_input(BenchmarkId::from_parameter(id), &p, |b, p| {
                     b.iter(|| {
                         let r = run_trial(p, 0);
@@ -64,7 +69,13 @@ fn bench_fig12_fig14_topologies(c: &mut Criterion) {
             InitialTopology::DirectedLine,
         ] {
             let n = 30;
-            let p = point(family, n, topology, AlphaSpec::FractionOfN(0.25), Policy::MaxCost);
+            let p = point(
+                family,
+                n,
+                topology,
+                AlphaSpec::FractionOfN(0.25),
+                Policy::MaxCost,
+            );
             let id = format!("{}_n{n}_{}", family.label(), topology.label());
             group.bench_with_input(BenchmarkId::from_parameter(id), &p, |b, p| {
                 b.iter(|| {
@@ -78,5 +89,9 @@ fn bench_fig12_fig14_topologies(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fig11_fig13_density, bench_fig12_fig14_topologies);
+criterion_group!(
+    benches,
+    bench_fig11_fig13_density,
+    bench_fig12_fig14_topologies
+);
 criterion_main!(benches);

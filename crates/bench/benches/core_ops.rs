@@ -53,5 +53,11 @@ fn bench_generators(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_bfs, bench_all_pairs, bench_canonical_key, bench_generators);
+criterion_group!(
+    benches,
+    bench_bfs,
+    bench_all_pairs,
+    bench_canonical_key,
+    bench_generators
+);
 criterion_main!(benches);

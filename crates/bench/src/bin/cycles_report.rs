@@ -27,10 +27,19 @@ fn report<G: Game>(title: &str, instance: &CycleInstance<G>) {
 }
 
 fn main() {
-    report("Fig. 5 — SUM-ASG, every agent owns one edge (Thm 3.7)", &fig05::cycle());
-    report("Fig. 9 — SUM Greedy Buy Game (Thm 4.1)", &fig09::greedy_buy_game_cycle());
+    report(
+        "Fig. 5 — SUM-ASG, every agent owns one edge (Thm 3.7)",
+        &fig05::cycle(),
+    );
+    report(
+        "Fig. 9 — SUM Greedy Buy Game (Thm 4.1)",
+        &fig09::greedy_buy_game_cycle(),
+    );
     report("Fig. 9 — SUM Buy Game (Thm 4.1)", &fig09::buy_game_cycle());
-    report("Fig. 10 — MAX Greedy Buy Game (Thm 4.1)", &fig10::greedy_buy_game_cycle());
+    report(
+        "Fig. 10 — MAX Greedy Buy Game (Thm 4.1)",
+        &fig10::greedy_buy_game_cycle(),
+    );
     report("Fig. 10 — MAX Buy Game (Thm 4.1)", &fig10::buy_game_cycle());
     report(
         "Fig. 9 on the Cor. 4.2 host graph",

@@ -1,8 +1,8 @@
 //! Analyses, state by state, which agents are unhappy along the Fig. 9 / Fig. 10
 //! cycles on the Corollary 4.2 host graphs (see the reproduction note in
 //! `ncg_instances::hosts`).
-use ncg_core::{Game, Workspace};
 use ncg_core::moves::apply_move;
+use ncg_core::{Game, Workspace};
 
 fn analyze<G: Game>(label: &str, inst: &ncg_instances::CycleInstance<G>) {
     println!("=== {label} ===");
@@ -27,6 +27,12 @@ fn analyze<G: Game>(label: &str, inst: &ncg_instances::CycleInstance<G>) {
 }
 
 fn main() {
-    analyze("SUM fig09 on host", &ncg_instances::fig09::host_restricted_cycle());
-    analyze("MAX fig10 on host", &ncg_instances::fig10::host_restricted_cycle());
+    analyze(
+        "SUM fig09 on host",
+        &ncg_instances::fig09::host_restricted_cycle(),
+    );
+    analyze(
+        "MAX fig10 on host",
+        &ncg_instances::fig10::host_restricted_cycle(),
+    );
 }

@@ -1,0 +1,121 @@
+//! Ablation report: full-BFS re-evaluation vs. the incremental distance
+//! oracle (with and without dirty-agent tracking) on the swap-game and
+//! greedy-buy-game dynamics hot paths, over an `n` sweep.
+//!
+//! ```text
+//! cargo run -p ncg-bench --release --bin oracle_ablation -- max_n=512 trials=5
+//! ```
+//!
+//! Prints, per `(family, n)`, the wall-clock per engine and the speedup of the
+//! fast engine (incremental oracle + dirty-agent tracking) over the historical
+//! full-BFS baseline.
+
+use ncg_core::policy::Policy;
+use ncg_sim::{
+    run_trial_with_game, AlphaSpec, EngineSpec, ExperimentPoint, GameFamily, InitialTopology,
+};
+use std::time::Instant;
+
+struct Scale {
+    max_n: usize,
+    trials: usize,
+}
+
+fn parse_scale() -> Scale {
+    let mut scale = Scale {
+        max_n: 256,
+        trials: 3,
+    };
+    for arg in std::env::args().skip(1) {
+        let Some((key, value)) = arg.split_once('=') else {
+            continue;
+        };
+        match key {
+            "max_n" => scale.max_n = value.parse().unwrap_or(scale.max_n),
+            "trials" => scale.trials = value.parse().unwrap_or(scale.trials),
+            _ => eprintln!("ignoring unknown argument {key}={value}"),
+        }
+    }
+    scale
+}
+
+fn point(family: GameFamily, n: usize, engine: EngineSpec, trials: usize) -> ExperimentPoint {
+    let topology = match family {
+        GameFamily::AsgSum | GameFamily::AsgMax => InitialTopology::Budgeted { k: 2 },
+        GameFamily::GbgSum | GameFamily::GbgMax => InitialTopology::RandomEdges { m_per_n: 2 },
+    };
+    ExperimentPoint {
+        n,
+        family,
+        alpha: AlphaSpec::FractionOfN(0.25),
+        topology,
+        policy: Policy::MaxCost,
+        trials,
+        base_seed: 42,
+        max_steps_factor: 400,
+        engine,
+    }
+}
+
+/// Wall-clock seconds of `trials` converged runs of `point`.
+fn measure(point: &ExperimentPoint) -> (f64, usize) {
+    let game = point.make_game();
+    let start = Instant::now();
+    let mut steps = 0usize;
+    for t in 0..point.trials {
+        let r = run_trial_with_game(point, game.as_ref(), t);
+        assert!(r.converged, "{} n={} must converge", point.label(), point.n);
+        steps += r.steps;
+    }
+    (start.elapsed().as_secs_f64(), steps)
+}
+
+fn main() {
+    let scale = parse_scale();
+    let engines = [
+        EngineSpec::baseline(),
+        EngineSpec::default(),
+        EngineSpec::fast(),
+    ];
+    let mut ns = Vec::new();
+    let mut n = 64usize;
+    while n <= scale.max_n {
+        ns.push(n);
+        n *= 2;
+    }
+    println!(
+        "oracle ablation (trials per cell: {}; engines: {})",
+        scale.trials,
+        engines
+            .iter()
+            .map(|e| e.label())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    for family in [GameFamily::AsgSum, GameFamily::GbgSum] {
+        println!("\nfamily {}", family.label());
+        println!(
+            "{:>6} {:>16} {:>16} {:>16} {:>9} {:>9}",
+            "n", "full-bfs [s]", "incremental [s]", "inc+dirty [s]", "speedup", "steps"
+        );
+        for &n in &ns {
+            let mut times = Vec::new();
+            let mut steps = 0usize;
+            for engine in engines {
+                let p = point(family, n, engine, scale.trials);
+                let (secs, s) = measure(&p);
+                times.push(secs);
+                steps = s;
+            }
+            println!(
+                "{:>6} {:>16.4} {:>16.4} {:>16.4} {:>8.1}x {:>9}",
+                n,
+                times[0],
+                times[1],
+                times[2],
+                times[0] / times[2].max(1e-9),
+                steps
+            );
+        }
+    }
+}

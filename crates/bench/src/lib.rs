@@ -89,8 +89,10 @@ mod tests {
     #[test]
     fn scale_parsing() {
         let s = Scale::from_args(
-            ["max_n=20", "trials=7", "stride=2", "csv=true", "bogus", "x=1"]
-                .map(String::from),
+            [
+                "max_n=20", "trials=7", "stride=2", "csv=true", "bogus", "x=1",
+            ]
+            .map(String::from),
         );
         assert_eq!(s.max_n, 20);
         assert_eq!(s.trials, 7);

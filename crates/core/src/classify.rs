@@ -263,7 +263,10 @@ mod tests {
         let g = generators::path(7);
         let res = explore(&game, &g, &ExploreConfig::default().with_max_states(2));
         assert!(!res.complete);
-        assert!(!res.certifies_not_weakly_acyclic(), "incomplete exploration certifies nothing");
+        assert!(
+            !res.certifies_not_weakly_acyclic(),
+            "incomplete exploration certifies nothing"
+        );
     }
 
     #[test]

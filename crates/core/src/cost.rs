@@ -36,7 +36,7 @@ impl DistanceMetric {
     pub fn distance_cost(&self, summary: &DistanceSummary) -> f64 {
         match self {
             DistanceMetric::Sum => summary.sum.map_or(f64::INFINITY, |s| s as f64),
-            DistanceMetric::Max => summary.max.map_or(f64::INFINITY, |m| f64::from(m)),
+            DistanceMetric::Max => summary.max.map_or(f64::INFINITY, f64::from),
         }
     }
 }
@@ -138,11 +138,25 @@ mod tests {
     fn swap_game_cost_is_distance_only() {
         let g = generators::path(4);
         let mut buf = BfsBuffer::new(4);
-        let c = agent_cost(&g, 0, DistanceMetric::Sum, 10.0, EdgeCostMode::Free, &mut buf);
+        let c = agent_cost(
+            &g,
+            0,
+            DistanceMetric::Sum,
+            10.0,
+            EdgeCostMode::Free,
+            &mut buf,
+        );
         assert_eq!(c.edge, 0.0);
         assert_eq!(c.distance, 6.0);
         assert_eq!(c.total(), 6.0);
-        let c = agent_cost(&g, 0, DistanceMetric::Max, 10.0, EdgeCostMode::Free, &mut buf);
+        let c = agent_cost(
+            &g,
+            0,
+            DistanceMetric::Max,
+            10.0,
+            EdgeCostMode::Free,
+            &mut buf,
+        );
         assert_eq!(c.distance, 3.0);
     }
 
@@ -151,9 +165,23 @@ mod tests {
         // Path 0->1->2->3: every internal vertex owns exactly one edge.
         let g = generators::path(4);
         let mut buf = BfsBuffer::new(4);
-        let c0 = agent_cost(&g, 0, DistanceMetric::Sum, 2.0, EdgeCostMode::OwnerPays, &mut buf);
+        let c0 = agent_cost(
+            &g,
+            0,
+            DistanceMetric::Sum,
+            2.0,
+            EdgeCostMode::OwnerPays,
+            &mut buf,
+        );
         assert_eq!(c0.edge, 2.0);
-        let c3 = agent_cost(&g, 3, DistanceMetric::Sum, 2.0, EdgeCostMode::OwnerPays, &mut buf);
+        let c3 = agent_cost(
+            &g,
+            3,
+            DistanceMetric::Sum,
+            2.0,
+            EdgeCostMode::OwnerPays,
+            &mut buf,
+        );
         assert_eq!(c3.edge, 0.0, "vertex 3 owns no edge");
     }
 
@@ -161,9 +189,23 @@ mod tests {
     fn equal_split_counts_incident_edges() {
         let g = generators::star(5);
         let mut buf = BfsBuffer::new(5);
-        let hub = agent_cost(&g, 0, DistanceMetric::Sum, 3.0, EdgeCostMode::EqualSplit, &mut buf);
+        let hub = agent_cost(
+            &g,
+            0,
+            DistanceMetric::Sum,
+            3.0,
+            EdgeCostMode::EqualSplit,
+            &mut buf,
+        );
         assert_eq!(hub.edge, 1.5 * 4.0);
-        let leaf = agent_cost(&g, 1, DistanceMetric::Sum, 3.0, EdgeCostMode::EqualSplit, &mut buf);
+        let leaf = agent_cost(
+            &g,
+            1,
+            DistanceMetric::Sum,
+            3.0,
+            EdgeCostMode::EqualSplit,
+            &mut buf,
+        );
         assert_eq!(leaf.edge, 1.5);
     }
 
@@ -172,7 +214,14 @@ mod tests {
         let mut g = ncg_graph::OwnedGraph::new(3);
         g.add_edge(0, 1);
         let mut buf = BfsBuffer::new(3);
-        let c = agent_cost(&g, 0, DistanceMetric::Sum, 1.0, EdgeCostMode::OwnerPays, &mut buf);
+        let c = agent_cost(
+            &g,
+            0,
+            DistanceMetric::Sum,
+            1.0,
+            EdgeCostMode::OwnerPays,
+            &mut buf,
+        );
         assert!(c.distance.is_infinite());
         assert!(!c.is_connected());
         assert!(c.total().is_infinite());

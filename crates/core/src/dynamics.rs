@@ -9,6 +9,7 @@
 use crate::game::{Game, ScoredMove, Workspace};
 use crate::moves::{apply_move, Move};
 use crate::policy::{Policy, TieBreak};
+use ncg_graph::oracle::{OracleKind, OracleStats};
 use ncg_graph::{canonical_state_key, canonical_unlabeled_key, NodeId, OwnedGraph, StateKey};
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -43,6 +44,16 @@ pub struct DynamicsConfig {
     /// detection (correct for ASG/GBG/BG/bilateral). The symmetric Swap Game
     /// ignores ownership and should set this to `false`.
     pub ownership_in_state: bool,
+    /// Which distance-oracle backend scores candidate moves.
+    pub oracle: OracleKind,
+    /// If `true`, the engine keeps a dirty-agent set: after a move only agents
+    /// whose distance vectors could have changed are re-examined, instead of
+    /// re-scanning all `n` agents per step. Termination stays exact — before
+    /// declaring convergence the engine re-verifies every agent against the
+    /// final state — but the *order* in which unhappy agents are discovered
+    /// can differ from the eager scan, so trajectories may differ from the
+    /// `dirty_agents: false` runs (both are valid sequential-move processes).
+    pub dirty_agents: bool,
 }
 
 impl DynamicsConfig {
@@ -57,6 +68,8 @@ impl DynamicsConfig {
             detect_cycles: false,
             record_trajectory: false,
             ownership_in_state: true,
+            oracle: OracleKind::default(),
+            dirty_agents: false,
         }
     }
 
@@ -71,6 +84,8 @@ impl DynamicsConfig {
             detect_cycles: true,
             record_trajectory: true,
             ownership_in_state: true,
+            oracle: OracleKind::default(),
+            dirty_agents: false,
         }
     }
 
@@ -89,6 +104,18 @@ impl DynamicsConfig {
     /// Sets the response mode.
     pub fn with_response_mode(mut self, mode: ResponseMode) -> Self {
         self.response_mode = mode;
+        self
+    }
+
+    /// Sets the distance-oracle backend.
+    pub fn with_oracle(mut self, oracle: OracleKind) -> Self {
+        self.oracle = oracle;
+        self
+    }
+
+    /// Enables or disables dirty-agent tracking.
+    pub fn with_dirty_agents(mut self, dirty_agents: bool) -> Self {
+        self.dirty_agents = dirty_agents;
         self
     }
 }
@@ -158,21 +185,46 @@ pub struct Dynamics<'a, G: Game + ?Sized> {
     last_mover: Option<NodeId>,
     seen: HashMap<StateKey, usize>,
     trajectory: Vec<MoveRecord>,
+    /// Dirty-agent bookkeeping (only maintained when `config.dirty_agents`).
+    ///
+    /// `verified_happy[u]` means `u` was found to have no improving move and no
+    /// later move is suspected to have changed `u`'s distance vector.
+    verified_happy: Vec<bool>,
+    /// `cached_cost[u]` is `u`'s cost when `cost_fresh[u]`; used by the
+    /// max-cost policy so that only invalidated agents are re-measured.
+    cached_cost: Vec<f64>,
+    cost_fresh: Vec<bool>,
+    /// Set after every performed move: before declaring convergence, one full
+    /// re-verification sweep runs so termination is exact even if the dirty
+    /// heuristic under-approximated.
+    confirm_pending: bool,
+    /// Scratch distance vectors of the move endpoints (pre-move state).
+    pre_dists: Vec<Vec<u32>>,
+    /// Reusable per-thread workspaces of the parallel scan (empty until the
+    /// first [`Dynamics::step_parallel`] call).
+    par_pool: Vec<Workspace>,
 }
 
 impl<'a, G: Game + ?Sized> Dynamics<'a, G> {
     /// Creates a process in the given initial state.
     pub fn new(game: &'a G, initial: OwnedGraph, config: DynamicsConfig) -> Self {
         let n = initial.num_nodes();
+        let ws = Workspace::with_oracle(n, config.oracle);
         let mut dyn_ = Dynamics {
             game,
             graph: initial,
             config,
-            ws: Workspace::new(n),
+            ws,
             steps: 0,
             last_mover: None,
             seen: HashMap::new(),
             trajectory: Vec::new(),
+            verified_happy: vec![false; n],
+            cached_cost: vec![f64::INFINITY; n],
+            cost_fresh: vec![false; n],
+            confirm_pending: false,
+            pre_dists: Vec::new(),
+            par_pool: Vec::new(),
         };
         if dyn_.config.detect_cycles {
             let key = dyn_.state_key();
@@ -215,14 +267,18 @@ impl<'a, G: Game + ?Sized> Dynamics<'a, G> {
     /// Performs one step with the configured policy. Returns `None` if the state is
     /// stable (and the process therefore stops).
     pub fn step<R: Rng>(&mut self, rng: &mut R) -> Option<MoveRecord> {
-        let mover = self.config.policy.select_mover(
-            self.game,
-            &self.graph,
-            &mut self.ws,
-            self.config.tie_break,
-            self.last_mover,
-            rng,
-        )?;
+        let mover = if self.config.dirty_agents {
+            self.select_mover_dirty(rng)?
+        } else {
+            self.config.policy.select_mover(
+                self.game,
+                &self.graph,
+                &mut self.ws,
+                self.config.tie_break,
+                self.last_mover,
+                rng,
+            )?
+        };
         self.step_with_agent(mover, rng)
     }
 
@@ -230,8 +286,16 @@ impl<'a, G: Game + ?Sized> Dynamics<'a, G> {
     /// policy of the proofs). Returns `None` if the agent has no improving move.
     pub fn step_with_agent<R: Rng>(&mut self, agent: NodeId, rng: &mut R) -> Option<MoveRecord> {
         let chosen = self.choose_response(agent, rng)?;
+        let endpoints = if self.config.dirty_agents {
+            self.snapshot_endpoints(agent, &chosen.mv)
+        } else {
+            None
+        };
         let undo = apply_move(&mut self.graph, agent, &chosen.mv);
         debug_assert!(undo.is_some(), "selected move must be applicable");
+        if self.config.dirty_agents {
+            self.invalidate_after_move(agent, endpoints);
+        }
         let record = MoveRecord {
             step: self.steps,
             agent,
@@ -245,6 +309,113 @@ impl<'a, G: Game + ?Sized> Dynamics<'a, G> {
             self.trajectory.push(record.clone());
         }
         Some(record)
+    }
+
+    /// Work counters of the workspace's distance oracle.
+    pub fn oracle_stats(&self) -> OracleStats {
+        self.ws.oracle_stats()
+    }
+
+    /// The vertices whose distance vectors a single-edge move by `agent` can
+    /// touch, together with their pre-move distance vectors. `None` means the
+    /// move is a whole-strategy change and everything must be invalidated.
+    fn snapshot_endpoints(&mut self, agent: NodeId, mv: &Move) -> Option<Vec<NodeId>> {
+        let endpoints: Vec<NodeId> = match *mv {
+            Move::Swap { from, to } => vec![agent, from, to],
+            Move::Buy { to } | Move::Delete { to } => vec![agent, to],
+            Move::SetOwned { .. } | Move::SetNeighbors { .. } => return None,
+        };
+        self.pre_dists.resize(endpoints.len(), Vec::new());
+        for (i, &e) in endpoints.iter().enumerate() {
+            let dist = self.ws.bfs.run(&self.graph, e);
+            self.pre_dists[i].clear();
+            self.pre_dists[i].extend_from_slice(dist);
+        }
+        Some(endpoints)
+    }
+
+    /// Invalidates the happiness / cost caches of every agent whose distance
+    /// vector may have changed: for single-edge moves, exactly the agents whose
+    /// distance to one of the move's endpoints differs between the pre- and
+    /// post-move states (plus the endpoints themselves).
+    fn invalidate_after_move(&mut self, agent: NodeId, endpoints: Option<Vec<NodeId>>) {
+        let n = self.graph.num_nodes();
+        match endpoints {
+            None => {
+                self.verified_happy.iter_mut().for_each(|f| *f = false);
+                self.cost_fresh.iter_mut().for_each(|f| *f = false);
+            }
+            Some(endpoints) => {
+                for (i, &e) in endpoints.iter().enumerate() {
+                    let post = self.ws.bfs.run(&self.graph, e);
+                    let pre = &self.pre_dists[i];
+                    debug_assert_eq!(post.len(), pre.len());
+                    for x in 0..n {
+                        if pre[x] != post[x] {
+                            self.verified_happy[x] = false;
+                            self.cost_fresh[x] = false;
+                        }
+                    }
+                    self.verified_happy[e] = false;
+                    self.cost_fresh[e] = false;
+                }
+                self.verified_happy[agent] = false;
+                self.cost_fresh[agent] = false;
+            }
+        }
+        self.confirm_pending = true;
+    }
+
+    /// Lazy mover selection: agents verified happy since their last
+    /// invalidation are skipped; before concluding that the state is stable,
+    /// one full re-verification sweep runs against the final graph.
+    fn select_mover_dirty<R: Rng>(&mut self, rng: &mut R) -> Option<NodeId> {
+        let n = self.graph.num_nodes();
+        loop {
+            let mut order: Vec<NodeId> = (0..n).collect();
+            match self.config.policy {
+                Policy::MaxCost => {
+                    for u in 0..n {
+                        if !self.cost_fresh[u] && !self.verified_happy[u] {
+                            self.cached_cost[u] = self.game.cost(&self.graph, u, &mut self.ws.bfs);
+                            self.cost_fresh[u] = true;
+                        }
+                    }
+                    if self.config.tie_break == TieBreak::Random {
+                        order.shuffle(rng);
+                    }
+                    let costs = &self.cached_cost;
+                    order.sort_by(|&a, &b| {
+                        costs[b]
+                            .partial_cmp(&costs[a])
+                            .expect("costs are never NaN")
+                    });
+                }
+                Policy::Random => order.shuffle(rng),
+                Policy::MinIndex => {}
+                Policy::RoundRobin => {
+                    let start = self.last_mover.map_or(0, |m| (m + 1) % n.max(1));
+                    order = (0..n).map(|i| (start + i) % n).collect();
+                }
+            }
+            for u in order {
+                if self.verified_happy[u] {
+                    continue;
+                }
+                if self.game.has_improving_move(&self.graph, u, &mut self.ws) {
+                    return Some(u);
+                }
+                self.verified_happy[u] = true;
+            }
+            if self.confirm_pending {
+                // The dirty heuristic found nobody; re-verify everyone once
+                // against the current state before declaring convergence.
+                self.confirm_pending = false;
+                self.verified_happy.iter_mut().for_each(|f| *f = false);
+                continue;
+            }
+            return None;
+        }
     }
 
     fn choose_response<R: Rng>(&mut self, agent: NodeId, rng: &mut R) -> Option<ScoredMove> {
@@ -269,6 +440,22 @@ impl<'a, G: Game + ?Sized> Dynamics<'a, G> {
         }
     }
 
+    /// Checks the current termination/cycle bookkeeping after a successful
+    /// step; shared by the sequential and parallel run loops.
+    fn post_step_cycle_check(&mut self) -> Option<Termination> {
+        if self.config.detect_cycles {
+            let key = self.state_key();
+            if let Some(&first) = self.seen.get(&key) {
+                return Some(Termination::CycleDetected {
+                    first_seen_step: first,
+                    period: self.steps - first,
+                });
+            }
+            self.seen.insert(key, self.steps);
+        }
+        None
+    }
+
     /// Runs the process until termination and returns the outcome.
     pub fn run<R: Rng>(mut self, rng: &mut R) -> DynamicsOutcome {
         loop {
@@ -280,16 +467,8 @@ impl<'a, G: Game + ?Sized> Dynamics<'a, G> {
                 None => return self.finish(Termination::Converged),
                 Some(_) => {
                     debug_assert_eq!(self.steps, before_steps + 1);
-                    if self.config.detect_cycles {
-                        let key = self.state_key();
-                        if let Some(&first) = self.seen.get(&key) {
-                            let termination = Termination::CycleDetected {
-                                first_seen_step: first,
-                                period: self.steps - first,
-                            };
-                            return self.finish(termination);
-                        }
-                        self.seen.insert(key, self.steps);
+                    if let Some(termination) = self.post_step_cycle_check() {
+                        return self.finish(termination);
                     }
                 }
             }
@@ -303,6 +482,69 @@ impl<'a, G: Game + ?Sized> Dynamics<'a, G> {
             final_graph: self.graph,
             trajectory: self.trajectory,
         }
+    }
+}
+
+impl<'a, G: Game + Sync + ?Sized> Dynamics<'a, G> {
+    /// Like [`Dynamics::step`], but the per-agent unhappiness scan (and, for
+    /// the max-cost policy, the cost measurements) run across `threads`
+    /// scoped worker threads, each with its own workspace.
+    ///
+    /// This is a *full* scan — it neither consults nor needs the dirty-agent
+    /// set — so it suits the large-`n` regime where one step's scan dominates
+    /// and a rescan per step is acceptable when spread over cores. The
+    /// selected mover follows the configured policy and tie-break exactly as
+    /// in the sequential scan (the RNG stream differs, so trajectories are
+    /// reproducible per `(seed, threads)` but not across scan modes).
+    pub fn step_parallel<R: Rng>(&mut self, rng: &mut R, threads: usize) -> Option<MoveRecord> {
+        let mover = self.select_mover_parallel(rng, threads)?;
+        self.step_with_agent(mover, rng)
+    }
+
+    fn select_mover_parallel<R: Rng>(&mut self, rng: &mut R, threads: usize) -> Option<NodeId> {
+        let n = self.graph.num_nodes();
+        if n == 0 {
+            return None;
+        }
+        let need_cost = self.config.policy == Policy::MaxCost;
+        let kind = self.ws.oracle_kind();
+        let results: Vec<(bool, f64)> = crate::equilibrium::scan_agents_parallel(
+            self.game,
+            &self.graph,
+            kind,
+            threads,
+            &mut self.par_pool,
+            |game, g, u, ws| {
+                let unhappy = game.has_improving_move(g, u, ws);
+                let cost = if need_cost {
+                    game.cost(g, u, &mut ws.bfs)
+                } else {
+                    0.0
+                };
+                (unhappy, cost)
+            },
+        );
+        let mut order: Vec<NodeId> = (0..n).collect();
+        match self.config.policy {
+            Policy::MaxCost => {
+                if self.config.tie_break == TieBreak::Random {
+                    order.shuffle(rng);
+                }
+                order.sort_by(|&a, &b| {
+                    results[b]
+                        .1
+                        .partial_cmp(&results[a].1)
+                        .expect("costs are never NaN")
+                });
+            }
+            Policy::Random => order.shuffle(rng),
+            Policy::MinIndex => {}
+            Policy::RoundRobin => {
+                let start = self.last_mover.map_or(0, |m| (m + 1) % n);
+                order = (0..n).map(|i| (start + i) % n).collect();
+            }
+        }
+        order.into_iter().find(|&u| results[u].0)
     }
 }
 
@@ -359,7 +601,11 @@ mod tests {
         let out = run_dynamics(&game, &g, &cfg, &mut rng);
         assert!(out.converged());
         for rec in &out.trajectory {
-            assert!(rec.new_cost < rec.old_cost, "step {}: not improving", rec.step);
+            assert!(
+                rec.new_cost < rec.old_cost,
+                "step {}: not improving",
+                rec.step
+            );
         }
     }
 
@@ -409,6 +655,72 @@ mod tests {
         assert_eq!(rec.agent, 0);
         assert_eq!(dynamics.steps(), 1);
         assert_eq!(dynamics.trajectory().len(), 1);
+    }
+
+    #[test]
+    fn dirty_agent_tracking_reaches_stable_states() {
+        // The dirty-agent engine may pick different movers than the eager
+        // scan, but every run must still end in a genuinely stable network
+        // (the final confirmation sweep makes termination exact).
+        use crate::equilibrium::is_stable;
+        for kind in [OracleKind::FullBfs, OracleKind::Incremental] {
+            let mut rng = StdRng::seed_from_u64(17);
+            let n = 18;
+            let g = generators::random_with_m_edges(n, 2 * n, &mut rng);
+            let game = GreedyBuyGame::sum(n as f64 / 4.0);
+            let mut cfg = DynamicsConfig::simulation(400 * n)
+                .with_oracle(kind)
+                .with_dirty_agents(true);
+            cfg.record_trajectory = true;
+            let out = run_dynamics(&game, &g, &cfg, &mut rng);
+            assert!(out.converged(), "{}", kind.label());
+            let mut ws = Workspace::new(n);
+            assert!(
+                is_stable(&game, &out.final_graph, &mut ws),
+                "{}: final state must be a pure Nash equilibrium",
+                kind.label()
+            );
+            for rec in &out.trajectory {
+                assert!(rec.new_cost < rec.old_cost, "{}", kind.label());
+            }
+        }
+    }
+
+    #[test]
+    fn dirty_agent_swap_dynamics_match_convergence_regime() {
+        // SUM-ASG on trees under the max-cost policy: the Corollary 3.2 regime
+        // (≈ 1.5 n moves) must hold with dirty tracking too.
+        let mut rng = StdRng::seed_from_u64(31);
+        for &n in &[16usize, 25] {
+            let tree = generators::random_spanning_tree(n, Some(1), &mut rng);
+            let cfg = DynamicsConfig::simulation(10 * n).with_dirty_agents(true);
+            let out = run_dynamics(&AsymSwapGame::sum(), &tree, &cfg, &mut rng);
+            assert!(out.converged(), "n={n}");
+            assert!(is_tree(&out.final_graph));
+            assert!(out.steps <= 2 * n, "n={n}: {} steps", out.steps);
+        }
+    }
+
+    #[test]
+    fn parallel_scan_selects_valid_movers_and_converges() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let n = 16;
+        let g = generators::random_with_m_edges(n, 2 * n, &mut rng);
+        let game = GreedyBuyGame::sum(n as f64 / 4.0);
+        let cfg = DynamicsConfig::simulation(400 * n);
+        let mut dynamics = Dynamics::new(&game, g, cfg);
+        let mut steps = 0usize;
+        while let Some(record) = dynamics.step_parallel(&mut rng, 3) {
+            assert!(record.new_cost < record.old_cost);
+            steps += 1;
+            assert!(steps <= 400 * n, "did not converge");
+        }
+        let mut ws = Workspace::new(n);
+        assert!(crate::equilibrium::is_stable(
+            &game,
+            dynamics.graph(),
+            &mut ws
+        ));
     }
 
     #[test]

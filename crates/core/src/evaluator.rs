@@ -1,0 +1,305 @@
+//! Delta-based candidate scoring on top of the pluggable distance oracles.
+//!
+//! [`CostEvaluator`] is the bridge between the game layer and
+//! [`ncg_graph::oracle`]: it pins the moving agent's base distance vector once
+//! per best-response scan and then scores every single-edge candidate move
+//! ([`Move::Swap`], [`Move::Buy`], [`Move::Delete`]) as a pair of
+//! [`EdgeDelta`]s — no graph mutation, no full BFS per candidate. The edge-cost
+//! component of the agent's cost is reconstructed arithmetically from the move
+//! kind, so a candidate evaluation never needs the mutated graph at all.
+//!
+//! Whole-strategy moves ([`Move::SetOwned`], [`Move::SetNeighbors`]) and games
+//! that need a consent check on the post-move state fall back to the classic
+//! apply → BFS → undo cycle in [`crate::game`].
+
+use crate::cost::EdgeCostMode;
+use crate::moves::Move;
+use ncg_graph::oracle::{make_oracle, DistanceOracle, EdgeDelta, OracleKind, OracleStats};
+use ncg_graph::{DistanceSummary, NodeId, OwnedGraph};
+
+/// Outcome of a delta-based candidate evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DeltaScore {
+    /// The move applies; this is the agent's distance summary afterwards.
+    Summary(DistanceSummary),
+    /// The move does not apply in the current state (mirrors the moves
+    /// rejected by [`crate::moves::apply_move`]); skip it.
+    Inapplicable,
+    /// The move is not expressible as edge deltas; use the fallback path.
+    Unsupported,
+}
+
+/// A distance-oracle-backed scorer for one agent's candidate moves.
+pub struct CostEvaluator {
+    kind: OracleKind,
+    oracle: Box<dyn DistanceOracle>,
+    deltas: Vec<EdgeDelta>,
+}
+
+impl CostEvaluator {
+    /// Creates an evaluator with the given backend for graphs on `n` vertices.
+    pub fn new(kind: OracleKind, n: usize) -> Self {
+        CostEvaluator {
+            kind,
+            oracle: make_oracle(kind, n),
+            deltas: Vec::with_capacity(4),
+        }
+    }
+
+    /// The configured backend.
+    pub fn kind(&self) -> OracleKind {
+        self.kind
+    }
+
+    /// Work counters of the underlying oracle.
+    pub fn stats(&self) -> OracleStats {
+        self.oracle.stats()
+    }
+
+    /// Clears the work counters.
+    pub fn reset_stats(&mut self) {
+        self.oracle.reset_stats();
+    }
+
+    /// Pins the base state `(g, u)` for the following
+    /// [`CostEvaluator::try_score`] calls and returns `u`'s base summary.
+    pub fn begin_agent(&mut self, g: &OwnedGraph, u: NodeId) -> DistanceSummary {
+        self.oracle.begin(g, u)
+    }
+
+    /// Scores candidate `mv` of agent `u` against the pinned base state.
+    ///
+    /// `g` must be the same graph passed to the preceding
+    /// [`CostEvaluator::begin_agent`]; it is only consulted for applicability
+    /// checks, never mutated.
+    pub fn try_score(&mut self, g: &OwnedGraph, u: NodeId, mv: &Move) -> DeltaScore {
+        self.deltas.clear();
+        match *mv {
+            Move::Swap { from, to } => {
+                if !g.has_edge(u, from) || g.has_edge(u, to) || to == u || to >= g.num_nodes() {
+                    return DeltaScore::Inapplicable;
+                }
+                self.deltas.push(EdgeDelta::Remove { u, v: from });
+                self.deltas.push(EdgeDelta::Insert { u, v: to });
+            }
+            Move::Buy { to } => {
+                if to == u || to >= g.num_nodes() || g.has_edge(u, to) {
+                    return DeltaScore::Inapplicable;
+                }
+                self.deltas.push(EdgeDelta::Insert { u, v: to });
+            }
+            Move::Delete { to } => {
+                if !g.owns_edge(u, to) {
+                    return DeltaScore::Inapplicable;
+                }
+                self.deltas.push(EdgeDelta::Remove { u, v: to });
+            }
+            Move::SetOwned { .. } | Move::SetNeighbors { .. } => {
+                return DeltaScore::Unsupported;
+            }
+        }
+        let deltas = std::mem::take(&mut self.deltas);
+        let summary = self.oracle.evaluate(&deltas);
+        self.deltas = deltas;
+        DeltaScore::Summary(summary)
+    }
+}
+
+impl std::fmt::Debug for CostEvaluator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CostEvaluator")
+            .field("kind", &self.kind)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Edge-cost of agent `u` *after* performing the single-edge move `mv`,
+/// reconstructed without mutating the graph.
+///
+/// Only meaningful for the move kinds [`CostEvaluator::try_score`] supports;
+/// whole-strategy moves take the fallback path which measures the real state.
+pub fn edge_cost_after(
+    g: &OwnedGraph,
+    u: NodeId,
+    mv: &Move,
+    mode: EdgeCostMode,
+    alpha: f64,
+) -> f64 {
+    match mode {
+        EdgeCostMode::Free => 0.0,
+        EdgeCostMode::OwnerPays => {
+            let owned = g.owned_degree(u) as isize
+                + match *mv {
+                    Move::Buy { .. } => 1,
+                    Move::Delete { .. } => -1,
+                    // Swapping an owned edge keeps the owned degree; swapping a
+                    // foreign-owned edge (symmetric Swap Game) transfers the
+                    // replacement edge to the mover.
+                    Move::Swap { from, .. } => {
+                        if g.owns_edge(u, from) {
+                            0
+                        } else {
+                            1
+                        }
+                    }
+                    Move::SetOwned { .. } | Move::SetNeighbors { .. } => 0,
+                };
+            alpha * owned.max(0) as f64
+        }
+        EdgeCostMode::EqualSplit => {
+            let degree = g.degree(u) as isize
+                + match *mv {
+                    Move::Buy { .. } => 1,
+                    Move::Delete { .. } => -1,
+                    _ => 0,
+                };
+            alpha / 2.0 * degree.max(0) as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::agent_cost_total;
+    use crate::cost::DistanceMetric;
+    use crate::moves::apply_move;
+    use ncg_graph::{generators, BfsBuffer};
+
+    /// Delta scoring must agree exactly with apply + BFS for every supported
+    /// move kind and both backends.
+    #[test]
+    fn delta_scores_match_apply_and_bfs() {
+        let g = {
+            let mut g = generators::path(9);
+            g.add_edge(0, 5);
+            g.add_edge(2, 7);
+            g
+        };
+        let moves = [
+            Move::Swap { from: 1, to: 4 },
+            Move::Buy { to: 8 },
+            Move::Delete { to: 1 },
+            Move::Delete { to: 5 },
+        ];
+        for kind in [OracleKind::FullBfs, OracleKind::Incremental] {
+            for u in 0..g.num_nodes() {
+                let mut evaluator = CostEvaluator::new(kind, g.num_nodes());
+                evaluator.begin_agent(&g, u);
+                for mv in &moves {
+                    let score = evaluator.try_score(&g, u, mv);
+                    let mut h = g.clone();
+                    match apply_move(&mut h, u, mv) {
+                        None => {
+                            assert_eq!(
+                                score,
+                                DeltaScore::Inapplicable,
+                                "{} agent {u} move {mv:?}",
+                                kind.label()
+                            );
+                        }
+                        Some(_) => {
+                            let mut buf = BfsBuffer::new(h.num_nodes());
+                            let expect = buf.summary(&h, u);
+                            assert_eq!(
+                                score,
+                                DeltaScore::Summary(expect),
+                                "{} agent {u} move {mv:?}",
+                                kind.label()
+                            );
+                            // Total cost agrees too (edge + distance).
+                            let metric = DistanceMetric::Sum;
+                            let mode = EdgeCostMode::OwnerPays;
+                            let alpha = 1.75;
+                            let measured = agent_cost_total(&h, u, metric, alpha, mode, &mut buf);
+                            let DeltaScore::Summary(s) = score else {
+                                unreachable!()
+                            };
+                            let scored =
+                                edge_cost_after(&g, u, mv, mode, alpha) + metric.distance_cost(&s);
+                            assert!(
+                                (measured - scored).abs() < 1e-12,
+                                "{} agent {u} move {mv:?}: {measured} vs {scored}",
+                                kind.label()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn whole_strategy_moves_are_unsupported() {
+        let g = generators::path(4);
+        let mut evaluator = CostEvaluator::new(OracleKind::Incremental, 4);
+        evaluator.begin_agent(&g, 0);
+        assert_eq!(
+            evaluator.try_score(&g, 0, &Move::SetOwned { new_owned: vec![2] }),
+            DeltaScore::Unsupported
+        );
+        assert_eq!(
+            evaluator.try_score(
+                &g,
+                0,
+                &Move::SetNeighbors {
+                    new_neighbors: vec![2]
+                }
+            ),
+            DeltaScore::Unsupported
+        );
+    }
+
+    #[test]
+    fn edge_cost_arithmetic() {
+        let g = generators::path(4); // 0 owns {0,1}; 1 owns {1,2}; 2 owns {2,3}
+        let alpha = 2.0;
+        // Buy adds an owned edge.
+        assert_eq!(
+            edge_cost_after(&g, 0, &Move::Buy { to: 2 }, EdgeCostMode::OwnerPays, alpha),
+            4.0
+        );
+        // Delete removes one.
+        assert_eq!(
+            edge_cost_after(
+                &g,
+                0,
+                &Move::Delete { to: 1 },
+                EdgeCostMode::OwnerPays,
+                alpha
+            ),
+            0.0
+        );
+        // Owned swap keeps the owned degree; foreign swap adopts the edge.
+        assert_eq!(
+            edge_cost_after(
+                &g,
+                0,
+                &Move::Swap { from: 1, to: 3 },
+                EdgeCostMode::OwnerPays,
+                alpha
+            ),
+            2.0
+        );
+        assert_eq!(
+            edge_cost_after(
+                &g,
+                1,
+                &Move::Swap { from: 0, to: 3 },
+                EdgeCostMode::OwnerPays,
+                alpha
+            ),
+            4.0,
+            "vertex 1 does not own {{0,1}} and adopts the replacement edge"
+        );
+        // Equal-split counts incident edges.
+        assert_eq!(
+            edge_cost_after(&g, 1, &Move::Buy { to: 3 }, EdgeCostMode::EqualSplit, alpha),
+            3.0
+        );
+        assert_eq!(
+            edge_cost_after(&g, 0, &Move::Buy { to: 2 }, EdgeCostMode::Free, alpha),
+            0.0
+        );
+    }
+}

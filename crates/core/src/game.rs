@@ -8,29 +8,60 @@
 //! used everywhere: improving moves, best responses and unhappiness tests.
 
 use crate::cost::{agent_cost_total, is_improvement, DistanceMetric, EdgeCostMode};
+use crate::evaluator::{edge_cost_after, CostEvaluator, DeltaScore};
 use crate::moves::{apply_move, undo_move, Move};
+use ncg_graph::oracle::{OracleKind, OracleStats};
 use ncg_graph::{BfsBuffer, HostGraph, NodeId, OwnedGraph};
 
 /// Reusable scratch space for best-response computations.
 ///
-/// Keeping the BFS buffer, the scratch graph and the candidate vector alive across
-/// calls removes all allocation from the inner loop of the dynamics engine.
-#[derive(Debug, Clone)]
+/// Keeping the BFS buffer, the distance-oracle evaluator, the scratch graph and
+/// the candidate vector alive across calls removes all allocation from the
+/// inner loop of the dynamics engine.
+#[derive(Debug)]
 pub struct Workspace {
-    /// Single-source BFS workspace.
+    /// Single-source BFS workspace (used by the fallback scoring path and by
+    /// the cost queries of policies and equilibrium checks).
     pub bfs: BfsBuffer,
+    /// Distance-oracle-backed candidate scorer.
+    pub evaluator: CostEvaluator,
     scratch: OwnedGraph,
     candidates: Vec<Move>,
 }
 
 impl Workspace {
-    /// Creates a workspace for graphs on `n` vertices.
+    /// Creates a workspace for graphs on `n` vertices with the default
+    /// (incremental) distance-oracle backend.
     pub fn new(n: usize) -> Self {
+        Workspace::with_oracle(n, OracleKind::default())
+    }
+
+    /// Creates a workspace with an explicit distance-oracle backend.
+    pub fn with_oracle(n: usize, kind: OracleKind) -> Self {
         Workspace {
             bfs: BfsBuffer::new(n),
+            evaluator: CostEvaluator::new(kind, n),
             scratch: OwnedGraph::new(n),
             candidates: Vec::new(),
         }
+    }
+
+    /// The configured distance-oracle backend.
+    pub fn oracle_kind(&self) -> OracleKind {
+        self.evaluator.kind()
+    }
+
+    /// Work counters of the distance oracle (for ablation measurements).
+    pub fn oracle_stats(&self) -> OracleStats {
+        self.evaluator.stats()
+    }
+}
+
+impl Clone for Workspace {
+    /// Clones the workspace configuration; the oracle state is scratch and is
+    /// recreated fresh.
+    fn clone(&self) -> Self {
+        Workspace::with_oracle(self.scratch.num_nodes(), self.evaluator.kind())
     }
 }
 
@@ -73,8 +104,22 @@ pub trait Game {
     fn host(&self) -> &HostGraph;
 
     /// Cost of agent `u` in state `g`.
+    ///
+    /// **Override contract:** the delta-based fast path of the candidate scan
+    /// recomputes costs as `edge_cost + distance_cost` from the game's
+    /// `metric` / `alpha` / `edge_cost_mode` and never calls this method. A
+    /// game whose cost deviates from that decomposition must also override
+    /// [`Game::needs_consent`] to return `true`, which forces every candidate
+    /// through the apply → BFS → undo path where this method is honoured.
     fn cost(&self, g: &OwnedGraph, u: NodeId, buf: &mut BfsBuffer) -> f64 {
-        agent_cost_total(g, u, self.metric(), self.alpha(), self.edge_cost_mode(), buf)
+        agent_cost_total(
+            g,
+            u,
+            self.metric(),
+            self.alpha(),
+            self.edge_cost_mode(),
+            buf,
+        )
     }
 
     /// Enumerates the admissible strategy changes of agent `u` in state `g`
@@ -87,6 +132,11 @@ pub trait Game {
     /// if some newly connected agent would see her cost strictly increase
     /// (paper §5). `g_before` is the current state, `g_after` the state after the
     /// move has been applied.
+    ///
+    /// **Override contract:** the delta-based fast path never materialises
+    /// `g_after` and therefore never calls this method. Any game overriding it
+    /// must also override [`Game::needs_consent`] to return `true`, otherwise
+    /// blocked single-edge moves would silently be accepted.
     fn move_is_blocked(
         &self,
         _g_before: &OwnedGraph,
@@ -95,6 +145,14 @@ pub trait Game {
         _g_after: &OwnedGraph,
         _buf: &mut BfsBuffer,
     ) -> bool {
+        false
+    }
+
+    /// Returns `true` if the game's moves require inspecting the post-move
+    /// state of *other* agents (a consent check). Such games cannot use the
+    /// delta-based scoring fast path, which never materialises the post-move
+    /// graph.
+    fn needs_consent(&self) -> bool {
         false
     }
 
@@ -144,9 +202,14 @@ enum ScanMode {
     FirstImproving,
 }
 
-/// Shared candidate-evaluation loop: enumerate candidates, apply each to a scratch
-/// copy of the state, score it from the moving agent's point of view, filter to
-/// feasible strict improvements.
+/// Shared candidate-evaluation loop: enumerate candidates, score each from the
+/// moving agent's point of view, filter to feasible strict improvements.
+///
+/// Single-edge candidates (swap / buy / delete) are scored through the
+/// workspace's [`CostEvaluator`] as edge deltas against the agent's pinned
+/// base distance vector — no graph mutation, no full BFS per candidate (with
+/// the incremental backend). Whole-strategy candidates and consent-checked
+/// games fall back to the classic apply → BFS → undo cycle on a scratch copy.
 fn scan_moves<G: Game + ?Sized>(
     game: &G,
     g: &OwnedGraph,
@@ -155,23 +218,47 @@ fn scan_moves<G: Game + ?Sized>(
     mode: ScanMode,
 ) -> Vec<ScoredMove> {
     ws.bfs.resize(g.num_nodes());
-    let old_cost = game.cost(g, u, &mut ws.bfs);
+    let metric = game.metric();
+    let alpha = game.alpha();
+    let edge_mode = game.edge_cost_mode();
+    let delta_path = !game.needs_consent();
+    // On the delta path the base cost must use exactly the same decomposition
+    // as the candidate scores; consent games never take the delta path and
+    // instead go through the (potentially overridden) `Game::cost`, so they
+    // also skip pinning an oracle base they would never query.
+    let old_cost = if delta_path {
+        let base_summary = ws.evaluator.begin_agent(g, u);
+        edge_mode.edge_cost(g, u, alpha) + metric.distance_cost(&base_summary)
+    } else {
+        game.cost(g, u, &mut ws.bfs)
+    };
     let mut candidates = std::mem::take(&mut ws.candidates);
     candidates.clear();
     game.candidate_moves(g, u, &mut candidates);
 
-    ws.scratch.clone_from(g);
+    let mut scratch_synced = false;
     let mut out = Vec::new();
     for mv in &candidates {
-        let Some(undo) = apply_move(&mut ws.scratch, u, mv) else {
-            continue;
+        let new_cost = if delta_path {
+            match ws.evaluator.try_score(g, u, mv) {
+                DeltaScore::Summary(summary) => {
+                    edge_cost_after(g, u, mv, edge_mode, alpha) + metric.distance_cost(&summary)
+                }
+                DeltaScore::Inapplicable => continue,
+                DeltaScore::Unsupported => {
+                    match score_on_scratch(game, g, u, mv, ws, &mut scratch_synced, old_cost) {
+                        Some(cost) => cost,
+                        None => continue,
+                    }
+                }
+            }
+        } else {
+            match score_on_scratch(game, g, u, mv, ws, &mut scratch_synced, old_cost) {
+                Some(cost) => cost,
+                None => continue,
+            }
         };
-        let new_cost = game.cost(&ws.scratch, u, &mut ws.bfs);
-        let improving = is_improvement(old_cost, new_cost);
-        let accepted = improving
-            && !game.move_is_blocked(g, u, mv, &ws.scratch, &mut ws.bfs);
-        undo_move(&mut ws.scratch, u, &undo);
-        if accepted {
+        if is_improvement(old_cost, new_cost) {
             out.push(ScoredMove {
                 mv: mv.clone(),
                 old_cost,
@@ -182,9 +269,44 @@ fn scan_moves<G: Game + ?Sized>(
             }
         }
     }
-    debug_assert_eq!(&ws.scratch, g, "scratch graph must be restored after scanning");
     ws.candidates = candidates;
     out
+}
+
+/// Fallback scoring: apply `mv` to a scratch copy, measure the real post-move
+/// cost (and, for improving moves of consent-checked games, the blocked test),
+/// undo.
+///
+/// Returns `None` if the move does not apply or is blocked.
+fn score_on_scratch<G: Game + ?Sized>(
+    game: &G,
+    g: &OwnedGraph,
+    u: NodeId,
+    mv: &Move,
+    ws: &mut Workspace,
+    scratch_synced: &mut bool,
+    old_cost: f64,
+) -> Option<f64> {
+    if !*scratch_synced {
+        ws.scratch.clone_from(g);
+        *scratch_synced = true;
+    }
+    let undo = apply_move(&mut ws.scratch, u, mv)?;
+    let new_cost = game.cost(&ws.scratch, u, &mut ws.bfs);
+    // The consent check is only consulted for improving moves (everything else
+    // is discarded anyway), exactly like the historical scan loop.
+    let blocked = is_improvement(old_cost, new_cost)
+        && game.move_is_blocked(g, u, mv, &ws.scratch, &mut ws.bfs);
+    undo_move(&mut ws.scratch, u, &undo);
+    debug_assert_eq!(
+        &ws.scratch, g,
+        "scratch graph must be restored after scoring"
+    );
+    if blocked {
+        None
+    } else {
+        Some(new_cost)
+    }
 }
 
 /// Pushes a `Swap` candidate for every non-neighbour target allowed by the host.

@@ -80,6 +80,10 @@ impl Game for BilateralBuyGame {
         &self.host
     }
 
+    fn needs_consent(&self) -> bool {
+        true
+    }
+
     fn candidate_moves(&self, g: &OwnedGraph, u: NodeId, out: &mut Vec<Move>) {
         let pool = self.strategy_pool(g, u);
         assert!(
@@ -163,10 +167,16 @@ mod tests {
         let mut ws = Workspace::new(4);
         let cheap = BilateralBuyGame::sum(1.0);
         let br = cheap.best_response(&g, 1, &mut ws);
-        assert!(br.is_some(), "with a cheap α a leaf-leaf edge is mutually beneficial");
+        assert!(
+            br.is_some(),
+            "with a cheap α a leaf-leaf edge is mutually beneficial"
+        );
         let pricey = BilateralBuyGame::sum(4.0);
         let br = pricey.best_response(&g, 1, &mut ws);
-        assert!(br.is_none(), "with an expensive α every proposal is blocked or not improving");
+        assert!(
+            br.is_none(),
+            "with an expensive α every proposal is blocked or not improving"
+        );
     }
 
     #[test]
@@ -176,7 +186,9 @@ mod tests {
         g.add_edge(2, 0);
         let game = BilateralBuyGame::sum(4.0);
         let mut ws = Workspace::new(3);
-        let br = game.best_response(&g, 0, &mut ws).expect("deletion is improving");
+        let br = game
+            .best_response(&g, 0, &mut ws)
+            .expect("deletion is improving");
         match &br.mv {
             Move::SetNeighbors { new_neighbors } => assert_eq!(new_neighbors.len(), 1),
             other => panic!("unexpected move {other:?}"),
@@ -199,7 +211,9 @@ mod tests {
         let game = BilateralBuyGame::sum(10.0);
         let mut buf = BfsBuffer::new(4);
         // Keeping the existing neighbour set minus one is never blocked.
-        let mv = Move::SetNeighbors { new_neighbors: vec![1] };
+        let mv = Move::SetNeighbors {
+            new_neighbors: vec![1],
+        };
         let mut after = g.clone();
         crate::moves::apply_move(&mut after, 2, &mv).unwrap();
         assert!(!game.move_is_blocked(&g, 2, &mv, &after, &mut buf));

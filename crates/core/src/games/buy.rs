@@ -153,7 +153,12 @@ mod tests {
         let br = game.best_response(&g, 0, &mut ws).unwrap();
         // Cheapest α: connect to everybody, distance-cost 3, edge cost 2.7 => 5.7
         // versus keeping {1} (cost 0.9 + 6 = 6.9) or {2} (0.9 + 1+2+1? ...).
-        assert_eq!(br.mv, Move::SetOwned { new_owned: vec![1, 2, 3] });
+        assert_eq!(
+            br.mv,
+            Move::SetOwned {
+                new_owned: vec![1, 2, 3]
+            }
+        );
         assert!((br.new_cost - (3.0 * 0.9 + 3.0)).abs() < 1e-9);
     }
 

@@ -130,13 +130,21 @@ mod tests {
         // With a very cheap edge price, the far endpoint buys a shortcut.
         let cheap = GreedyBuyGame::sum(0.5);
         let br = cheap.best_response(&g, 4, &mut ws).unwrap();
-        assert!(matches!(br.mv, Move::Buy { .. }), "expected a purchase, got {:?}", br.mv);
+        assert!(
+            matches!(br.mv, Move::Buy { .. }),
+            "expected a purchase, got {:?}",
+            br.mv
+        );
         // With a very expensive edge price, an agent owning a non-bridge edge deletes it.
         let mut h = generators::path(4);
         h.add_edge(0, 3); // cycle; every edge is now deletable
         let pricey = GreedyBuyGame::sum(100.0);
         let br = pricey.best_response(&h, 0, &mut ws).unwrap();
-        assert!(matches!(br.mv, Move::Delete { .. }), "expected a deletion, got {:?}", br.mv);
+        assert!(
+            matches!(br.mv, Move::Delete { .. }),
+            "expected a deletion, got {:?}",
+            br.mv
+        );
     }
 
     #[test]
@@ -146,7 +154,9 @@ mod tests {
         let mut ws = Workspace::new(4);
         let improving = game.improving_moves(&g, 0, &mut ws);
         assert!(
-            improving.iter().all(|s| !matches!(s.mv, Move::Delete { .. })),
+            improving
+                .iter()
+                .all(|s| !matches!(s.mv, Move::Delete { .. })),
             "deleting the only incident edge disconnects the agent (cost ∞)"
         );
     }
@@ -159,7 +169,10 @@ mod tests {
         let game = GreedyBuyGame::max(1.5);
         let mut ws = Workspace::new(6);
         for u in 0..6 {
-            assert!(!game.has_improving_move(&g, u, &mut ws), "agent {u} should be happy");
+            assert!(
+                !game.has_improving_move(&g, u, &mut ws),
+                "agent {u} should be happy"
+            );
         }
     }
 }

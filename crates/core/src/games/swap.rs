@@ -95,7 +95,9 @@ mod tests {
         let g = generators::path(5);
         let game = SwapGame::sum();
         let mut ws = Workspace::new(5);
-        let br = game.best_response(&g, 0, &mut ws).expect("endpoint is unhappy");
+        let br = game
+            .best_response(&g, 0, &mut ws)
+            .expect("endpoint is unhappy");
         // Best swap for the endpoint connects to a median of the remaining path
         // (vertex 2 or 3); the deterministic tie-break picks the smaller index.
         assert_eq!(br.mv, Move::Swap { from: 1, to: 2 });

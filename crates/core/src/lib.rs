@@ -44,6 +44,7 @@ pub mod classify;
 pub mod cost;
 pub mod dynamics;
 pub mod equilibrium;
+pub mod evaluator;
 pub mod game;
 pub mod games;
 pub mod moves;
@@ -54,8 +55,12 @@ pub use cost::{agent_cost, agent_cost_total, AgentCost, DistanceMetric, EdgeCost
 pub use dynamics::{
     run_dynamics, Dynamics, DynamicsConfig, DynamicsOutcome, MoveRecord, ResponseMode, Termination,
 };
-pub use equilibrium::{cost_vector, is_stable, social_cost, unhappy_agents};
+pub use equilibrium::{
+    cost_vector, is_stable, social_cost, unhappy_agents, unhappy_agents_parallel,
+};
+pub use evaluator::{edge_cost_after, CostEvaluator, DeltaScore};
 pub use game::{Game, ScoredMove, Workspace};
 pub use games::{AsymSwapGame, BilateralBuyGame, BuyGame, GreedyBuyGame, SwapGame};
 pub use moves::{apply_move, undo_move, Move, UndoMove};
+pub use ncg_graph::oracle::{OracleKind, OracleStats};
 pub use policy::{Policy, TieBreak};

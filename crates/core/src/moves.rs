@@ -159,7 +159,10 @@ pub fn apply_move(g: &mut OwnedGraph, agent: NodeId, mv: &Move) -> Option<UndoMo
             Some(UndoMove::SetOwned { old_owned, added })
         }
         Move::SetNeighbors { new_neighbors } => {
-            if new_neighbors.iter().any(|&v| v == agent || v >= g.num_nodes()) {
+            if new_neighbors
+                .iter()
+                .any(|&v| v == agent || v >= g.num_nodes())
+            {
                 return None;
             }
             let current: Vec<NodeId> = g.neighbors(agent).to_vec();
@@ -236,7 +239,10 @@ mod tests {
         let undo = apply_move(&mut g, agent, mv).expect("move applies");
         assert_ne!(&g, g0, "move must change the state");
         undo_move(&mut g, agent, &undo);
-        assert_eq!(&g, g0, "undo must restore the exact state (incl. ownership)");
+        assert_eq!(
+            &g, g0,
+            "undo must restore the exact state (incl. ownership)"
+        );
         g.check_invariants().unwrap();
     }
 
@@ -259,10 +265,22 @@ mod tests {
     #[test]
     fn inapplicable_moves_return_none() {
         let mut g = generators::path(4);
-        assert!(apply_move(&mut g, 0, &Move::Buy { to: 1 }).is_none(), "edge exists");
-        assert!(apply_move(&mut g, 3, &Move::Delete { to: 2 }).is_none(), "3 does not own it");
-        assert!(apply_move(&mut g, 0, &Move::Swap { from: 2, to: 3 }).is_none(), "no edge 0-2");
-        assert!(apply_move(&mut g, 0, &Move::Buy { to: 0 }).is_none(), "self loop");
+        assert!(
+            apply_move(&mut g, 0, &Move::Buy { to: 1 }).is_none(),
+            "edge exists"
+        );
+        assert!(
+            apply_move(&mut g, 3, &Move::Delete { to: 2 }).is_none(),
+            "3 does not own it"
+        );
+        assert!(
+            apply_move(&mut g, 0, &Move::Swap { from: 2, to: 3 }).is_none(),
+            "no edge 0-2"
+        );
+        assert!(
+            apply_move(&mut g, 0, &Move::Buy { to: 0 }).is_none(),
+            "self loop"
+        );
         let snapshot = g.clone();
         assert_eq!(g, snapshot, "failed applications leave the graph untouched");
     }
@@ -272,15 +290,33 @@ mod tests {
         let g = OwnedGraph::from_owned_edges(5, &[(0, 1), (0, 2), (3, 0), (3, 4)]);
         roundtrip(&g, 0, &Move::SetOwned { new_owned: vec![4] });
         roundtrip(&g, 0, &Move::SetOwned { new_owned: vec![] });
-        roundtrip(&g, 3, &Move::SetOwned { new_owned: vec![1, 2] });
+        roundtrip(
+            &g,
+            3,
+            &Move::SetOwned {
+                new_owned: vec![1, 2],
+            },
+        );
     }
 
     #[test]
     fn set_neighbors_roundtrip_preserves_foreign_ownership() {
         // Edge {3,0} is owned by 3. If agent 0 drops and we undo, ownership must return to 3.
         let g = OwnedGraph::from_owned_edges(5, &[(0, 1), (3, 0), (3, 4)]);
-        roundtrip(&g, 0, &Move::SetNeighbors { new_neighbors: vec![4] });
-        roundtrip(&g, 0, &Move::SetNeighbors { new_neighbors: vec![1, 2, 3] });
+        roundtrip(
+            &g,
+            0,
+            &Move::SetNeighbors {
+                new_neighbors: vec![4],
+            },
+        );
+        roundtrip(
+            &g,
+            0,
+            &Move::SetNeighbors {
+                new_neighbors: vec![1, 2, 3],
+            },
+        );
     }
 
     #[test]

@@ -72,7 +72,9 @@ impl Policy {
                 let costs: Vec<f64> = (0..n).map(|u| game.cost(g, u, &mut ws.bfs)).collect();
                 // Stable sort: the shuffled order implements random tie-breaking.
                 order.sort_by(|&a, &b| {
-                    costs[b].partial_cmp(&costs[a]).expect("costs are never NaN")
+                    costs[b]
+                        .partial_cmp(&costs[a])
+                        .expect("costs are never NaN")
                 });
             }
             Policy::Random => {
@@ -114,7 +116,10 @@ mod tests {
         let mover = Policy::MaxCost
             .select_mover(&game, &g, &mut ws, TieBreak::Deterministic, None, &mut rng)
             .expect("path is not stable");
-        assert!(g.degree(mover) == 1, "max-cost mover must be a leaf, got {mover}");
+        assert!(
+            g.degree(mover) == 1,
+            "max-cost mover must be a leaf, got {mover}"
+        );
         // Deterministic tie-break picks the lowest-index endpoint.
         assert_eq!(mover, 0);
     }
@@ -125,7 +130,12 @@ mod tests {
         let g = generators::star(6);
         let mut ws = Workspace::new(6);
         let mut rng = StdRng::seed_from_u64(0);
-        for p in [Policy::MaxCost, Policy::Random, Policy::MinIndex, Policy::RoundRobin] {
+        for p in [
+            Policy::MaxCost,
+            Policy::Random,
+            Policy::MinIndex,
+            Policy::RoundRobin,
+        ] {
             assert_eq!(
                 p.select_mover(&game, &g, &mut ws, TieBreak::Random, None, &mut rng),
                 None
@@ -144,7 +154,14 @@ mod tests {
             .unwrap();
         assert_eq!(first, 0, "vertex 0 owns an edge and can improve");
         let rr = Policy::RoundRobin
-            .select_mover(&game, &g, &mut ws, TieBreak::Deterministic, Some(0), &mut rng)
+            .select_mover(
+                &game,
+                &g,
+                &mut ws,
+                TieBreak::Deterministic,
+                Some(0),
+                &mut rng,
+            )
             .unwrap();
         assert!(rr != 0 || !game.has_improving_move(&g, 1, &mut ws));
     }

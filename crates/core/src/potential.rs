@@ -106,7 +106,11 @@ mod tests {
     fn observation_2_9_on_trees() {
         let game = SwapGame::max();
         let mut ws = Workspace::new(9);
-        for g in [generators::path(9), generators::star(9), generators::double_star(3, 4)] {
+        for g in [
+            generators::path(9),
+            generators::star(9),
+            generators::double_star(3, 4),
+        ] {
             let v = sorted_cost_vector(&game, &g, &mut ws);
             assert!(max_cost_vector_observation_holds(&v), "failed on {g:?}");
         }

@@ -77,7 +77,10 @@ mod tests {
         let g1 = OwnedGraph::from_owned_edges(4, &[(0, 1), (2, 3)]);
         let g2 = OwnedGraph::from_owned_edges(4, &[(2, 3), (0, 1)]);
         assert_eq!(canonical_state_key(&g1), canonical_state_key(&g2));
-        assert_eq!(canonical_state_key(&g1).digest(), canonical_state_key(&g2).digest());
+        assert_eq!(
+            canonical_state_key(&g1).digest(),
+            canonical_state_key(&g2).digest()
+        );
     }
 
     #[test]

@@ -1,0 +1,119 @@
+//! Flat CSR (compressed sparse row) adjacency snapshots.
+//!
+//! [`OwnedGraph`] stores one `Vec` per vertex, which is convenient for mutation
+//! but scatters the adjacency lists across the heap. The distance oracles of
+//! [`crate::oracle`] traverse the whole graph thousands of times per dynamics
+//! step, so they operate on a [`CsrAdjacency`] snapshot instead: all neighbour
+//! lists live in one contiguous `u32` buffer, indexed by a flat offsets array.
+//! Rebuilding the snapshot is `O(n + m)` — the cost of a single BFS — and the
+//! buffers are reused across rebuilds, so the snapshot never allocates in
+//! steady state.
+
+use crate::graph::{NodeId, OwnedGraph};
+
+/// A cache-friendly, read-only adjacency snapshot of an [`OwnedGraph`].
+///
+/// Vertex ids are stored as `u32` (network creation instances are far below
+/// `u32::MAX` agents); `neighbors(u)` is a contiguous, sorted slice.
+#[derive(Debug, Clone, Default)]
+pub struct CsrAdjacency {
+    n: usize,
+    /// `offsets[u]..offsets[u + 1]` indexes `targets` for vertex `u`.
+    offsets: Vec<u32>,
+    /// Concatenated sorted neighbour lists.
+    targets: Vec<u32>,
+}
+
+impl CsrAdjacency {
+    /// An empty snapshot; call [`CsrAdjacency::rebuild_from`] before use.
+    pub fn new() -> Self {
+        CsrAdjacency::default()
+    }
+
+    /// Builds a snapshot of `g`.
+    pub fn build(g: &OwnedGraph) -> Self {
+        let mut csr = CsrAdjacency::new();
+        csr.rebuild_from(g);
+        csr
+    }
+
+    /// Re-populates the snapshot from `g`, reusing the existing buffers.
+    pub fn rebuild_from(&mut self, g: &OwnedGraph) {
+        let n = g.num_nodes();
+        self.n = n;
+        self.offsets.clear();
+        self.targets.clear();
+        self.offsets.reserve(n + 1);
+        self.targets.reserve(g.endpoint_count());
+        self.offsets.push(0);
+        for u in 0..n {
+            for &v in g.neighbors(u) {
+                self.targets.push(v as u32);
+            }
+            self.offsets.push(self.targets.len() as u32);
+        }
+    }
+
+    /// Number of vertices in the snapshot.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Total number of stored edge endpoints (`2 m`).
+    #[inline]
+    pub fn endpoint_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// The sorted neighbours of `u` as a contiguous slice.
+    #[inline]
+    pub fn neighbors(&self, u: NodeId) -> &[u32] {
+        let lo = self.offsets[u] as usize;
+        let hi = self.offsets[u + 1] as usize;
+        &self.targets[lo..hi]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn snapshot_matches_graph() {
+        let g = generators::double_star(3, 4);
+        let csr = CsrAdjacency::build(&g);
+        assert_eq!(csr.num_nodes(), g.num_nodes());
+        assert_eq!(csr.endpoint_count(), g.endpoint_count());
+        for u in 0..g.num_nodes() {
+            let expected: Vec<u32> = g.neighbors(u).iter().map(|&v| v as u32).collect();
+            assert_eq!(csr.neighbors(u), expected.as_slice(), "vertex {u}");
+        }
+    }
+
+    #[test]
+    fn rebuild_reuses_buffers_and_tracks_mutations() {
+        let mut g = generators::path(6);
+        let mut csr = CsrAdjacency::build(&g);
+        assert_eq!(csr.neighbors(0), &[1]);
+        g.add_edge(0, 5);
+        csr.rebuild_from(&g);
+        assert_eq!(csr.neighbors(0), &[1, 5]);
+        assert_eq!(csr.neighbors(5), &[0, 4]);
+        // Shrinking graphs are handled too.
+        let small = generators::path(2);
+        csr.rebuild_from(&small);
+        assert_eq!(csr.num_nodes(), 2);
+        assert_eq!(csr.neighbors(1), &[0]);
+    }
+
+    #[test]
+    fn empty_graph_snapshot() {
+        let g = OwnedGraph::new(3);
+        let csr = CsrAdjacency::build(&g);
+        for u in 0..3 {
+            assert!(csr.neighbors(u).is_empty());
+        }
+    }
+}

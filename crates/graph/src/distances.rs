@@ -24,7 +24,10 @@ pub struct DistanceSummary {
 
 impl DistanceSummary {
     /// Summary for a completely disconnected source.
-    pub const DISCONNECTED: DistanceSummary = DistanceSummary { sum: None, max: None };
+    pub const DISCONNECTED: DistanceSummary = DistanceSummary {
+        sum: None,
+        max: None,
+    };
 
     /// True if every other agent is reachable.
     #[inline]
@@ -56,7 +59,11 @@ impl BfsBuffer {
     pub fn resize(&mut self, n: usize) {
         self.dist.resize(n, UNREACHABLE);
         if self.queue.capacity() < n {
-            self.queue.reserve(n - self.queue.capacity());
+            // `reserve` takes the *additional* head-room relative to `len`;
+            // reserving relative to the capacity would leave the queue free to
+            // reallocate mid-BFS once it fills up.
+            let len = self.queue.len();
+            self.queue.reserve(n - len);
         }
     }
 

@@ -92,11 +92,7 @@ pub fn complete(n: usize) -> OwnedGraph {
 /// `max_owned` (an endpoint that already owns `max_owned` edges never becomes the
 /// owner; at least one endpoint always has capacity because the newly attached
 /// vertex owns nothing yet).
-pub fn random_spanning_tree<R: Rng>(
-    n: usize,
-    max_owned: Option<usize>,
-    rng: &mut R,
-) -> OwnedGraph {
+pub fn random_spanning_tree<R: Rng>(n: usize, max_owned: Option<usize>, rng: &mut R) -> OwnedGraph {
     let mut g = OwnedGraph::new(n);
     if n <= 1 {
         return g;

@@ -128,9 +128,10 @@ impl OwnedGraph {
 
     /// Iterator over all edges as [`EdgeRef`]s, grouped by owner, ascending.
     pub fn edges(&self) -> impl Iterator<Item = EdgeRef> + '_ {
-        self.owned.iter().enumerate().flat_map(|(owner, list)| {
-            list.iter().map(move |&other| EdgeRef { owner, other })
-        })
+        self.owned
+            .iter()
+            .enumerate()
+            .flat_map(|(owner, list)| list.iter().map(move |&other| EdgeRef { owner, other }))
     }
 
     /// Iterator over all vertices.

@@ -34,7 +34,11 @@ fn isomorphic_impl(a: &OwnedGraph, b: &OwnedGraph, respect_ownership: bool) -> b
     let sig = |g: &OwnedGraph, v: NodeId| -> (usize, usize, Vec<usize>) {
         let mut nd: Vec<usize> = g.neighbors(v).iter().map(|&w| g.degree(w)).collect();
         nd.sort_unstable();
-        let od = if respect_ownership { g.owned_degree(v) } else { 0 };
+        let od = if respect_ownership {
+            g.owned_degree(v)
+        } else {
+            0
+        };
         (g.degree(v), od, nd)
     };
     let sig_a: Vec<_> = (0..n).map(|v| sig(a, v)).collect();
@@ -52,12 +56,7 @@ fn isomorphic_impl(a: &OwnedGraph, b: &OwnedGraph, respect_ownership: bool) -> b
     // Order the vertices of `a` by rarity of their signature so the backtracking
     // fails fast.
     let mut order: Vec<NodeId> = (0..n).collect();
-    order.sort_by_key(|&v| {
-        sig_a
-            .iter()
-            .filter(|s| **s == sig_a[v])
-            .count()
-    });
+    order.sort_by_key(|&v| sig_a.iter().filter(|s| **s == sig_a[v]).count());
 
     let mut mapping: Vec<Option<NodeId>> = vec![None; n];
     let mut used: Vec<bool> = vec![false; n];
@@ -99,7 +98,17 @@ fn backtrack(
         }
         mapping[u] = Some(cand);
         used[cand] = true;
-        if backtrack(a, b, order, idx + 1, mapping, used, sig_a, sig_b, respect_ownership) {
+        if backtrack(
+            a,
+            b,
+            order,
+            idx + 1,
+            mapping,
+            used,
+            sig_a,
+            sig_b,
+            respect_ownership,
+        ) {
             return true;
         }
         mapping[u] = None;
@@ -193,11 +202,31 @@ mod tests {
         // sequence but not isomorphic (prism contains triangles).
         let k33 = OwnedGraph::from_owned_edges(
             6,
-            &[(0, 3), (0, 4), (0, 5), (1, 3), (1, 4), (1, 5), (2, 3), (2, 4), (2, 5)],
+            &[
+                (0, 3),
+                (0, 4),
+                (0, 5),
+                (1, 3),
+                (1, 4),
+                (1, 5),
+                (2, 3),
+                (2, 4),
+                (2, 5),
+            ],
         );
         let prism = OwnedGraph::from_owned_edges(
             6,
-            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (0, 3), (1, 4), (2, 5)],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (3, 4),
+                (4, 5),
+                (5, 3),
+                (0, 3),
+                (1, 4),
+                (2, 5),
+            ],
         );
         assert!(!are_isomorphic(&k33, &prism));
         assert!(are_isomorphic(&k33, &k33.clone()));

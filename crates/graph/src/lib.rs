@@ -11,6 +11,10 @@
 //! * shortest-path machinery with reusable buffers ([`BfsBuffer`],
 //!   [`DistanceMatrix`], [`DistanceSummary`]) tuned for the inner loop of
 //!   best-response computations,
+//! * pluggable what-if distance oracles ([`oracle`]): a full-BFS baseline and
+//!   an incremental backend that repairs a source's distance vector under
+//!   single edge insert/delete deltas, both operating on a flat CSR adjacency
+//!   snapshot ([`csr`]) for cache locality,
 //! * structural predicates and descriptors ([`properties`]): connectivity, tree
 //!   tests, diameter, eccentricities, centers and medians,
 //! * the workload generators used by the paper's empirical study
@@ -28,19 +32,26 @@
 #![warn(missing_docs)]
 
 pub mod canonical;
+pub mod csr;
 pub mod distances;
 pub mod generators;
 pub mod graph;
 pub mod host;
 pub mod isomorphism;
+pub mod oracle;
 pub mod properties;
 
 pub use canonical::{canonical_state_key, canonical_unlabeled_key, StateKey};
+pub use csr::CsrAdjacency;
 pub use distances::{BfsBuffer, DistanceMatrix, DistanceSummary, UNREACHABLE};
 pub use graph::{EdgeRef, NodeId, OwnedGraph};
 pub use host::HostGraph;
 pub use isomorphism::{are_isomorphic, are_isomorphic_owned};
+pub use oracle::{
+    make_oracle, DistanceOracle, EdgeDelta, FullBfsOracle, IncrementalOracle, OracleKind,
+    OracleStats,
+};
 pub use properties::{
-    center_vertices, components, diameter, eccentricities, is_connected, is_tree,
-    median_vertices, radius, sum_distance_vector,
+    center_vertices, components, diameter, eccentricities, is_connected, is_tree, median_vertices,
+    radius, sum_distance_vector,
 };

@@ -62,7 +62,9 @@ pub fn diameter(g: &OwnedGraph) -> Option<u32> {
     if eccs.is_empty() {
         return None;
     }
-    eccs.into_iter().collect::<Option<Vec<_>>>().map(|v| v.into_iter().max().unwrap())
+    eccs.into_iter()
+        .collect::<Option<Vec<_>>>()
+        .map(|v| v.into_iter().max().unwrap())
 }
 
 /// Radius (min eccentricity), `None` if the graph is disconnected or empty.
@@ -71,7 +73,9 @@ pub fn radius(g: &OwnedGraph) -> Option<u32> {
     if eccs.is_empty() {
         return None;
     }
-    eccs.into_iter().collect::<Option<Vec<_>>>().map(|v| v.into_iter().min().unwrap())
+    eccs.into_iter()
+        .collect::<Option<Vec<_>>>()
+        .map(|v| v.into_iter().min().unwrap())
 }
 
 /// Center vertices: vertices of minimum eccentricity (the paper's "center-vertex",

@@ -148,7 +148,11 @@ mod tests {
     fn every_agent_owns_exactly_one_edge() {
         let g = initial();
         assert_eq!(g.num_nodes(), N);
-        assert_eq!(g.num_edges(), N, "n vertices, n edges: exactly one non-tree edge");
+        assert_eq!(
+            g.num_edges(),
+            N,
+            "n vertices, n edges: exactly one non-tree edge"
+        );
         for u in 0..N {
             assert_eq!(g.owned_degree(u), 1, "agent {u} must own exactly one edge");
         }

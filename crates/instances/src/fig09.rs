@@ -196,6 +196,8 @@ mod tests {
 
     #[test]
     fn host_restricted_cycle_verifies() {
-        host_restricted_cycle().verify().expect("host cycle must verify");
+        host_restricted_cycle()
+            .verify()
+            .expect("host cycle must verify");
     }
 }

@@ -53,18 +53,7 @@ pub fn names() -> Vec<&'static str> {
 /// own no edges; all other edges are owned by the lower-lettered endpoint.
 pub fn initial() -> OwnedGraph {
     use v::*;
-    OwnedGraph::from_owned_edges(
-        8,
-        &[
-            (A, B),
-            (B, C),
-            (C, D),
-            (D, F),
-            (D, E),
-            (D, H),
-            (F, G),
-        ],
-    )
+    OwnedGraph::from_owned_edges(8, &[(A, B), (B, C), (C, D), (D, F), (D, E), (D, H), (F, G)])
 }
 
 /// The four moves of one round of the cycle.
@@ -197,6 +186,8 @@ mod tests {
 
     #[test]
     fn host_restricted_cycle_verifies() {
-        host_restricted_cycle().verify().expect("host cycle must verify");
+        host_restricted_cycle()
+            .verify()
+            .expect("host cycle must verify");
     }
 }

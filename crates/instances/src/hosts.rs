@@ -76,15 +76,24 @@ mod tests {
     fn sum_host_state_space_is_finite_and_contains_the_cycle() {
         let result = explore_sum_host(20_000);
         assert!(result.complete, "state space must be fully explored");
-        assert!(result.has_cycle(), "the Fig. 9 better-response cycle must be reachable");
-        assert!(result.num_states >= 6, "at least the six cycle states are reachable");
+        assert!(
+            result.has_cycle(),
+            "the Fig. 9 better-response cycle must be reachable"
+        );
+        assert!(
+            result.num_states >= 6,
+            "at least the six cycle states are reachable"
+        );
     }
 
     #[test]
     fn max_host_state_space_is_finite_and_contains_the_cycle() {
         let result = explore_max_host(20_000);
         assert!(result.complete);
-        assert!(result.has_cycle(), "the Fig. 10 better-response cycle must be reachable");
+        assert!(
+            result.has_cycle(),
+            "the Fig. 10 better-response cycle must be reachable"
+        );
         assert!(result.num_states >= 4);
     }
 

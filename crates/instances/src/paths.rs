@@ -24,7 +24,10 @@ pub fn figure1_p9() -> OwnedGraph {
 /// Lower bound on the number of moves of the MAX-SG on `P_n` under the max cost
 /// policy (Lemma 2.14): `Σ_{c=4}^{n-1} log2(c / 3)`, which is `Ω(n log n)`.
 pub fn lemma_2_14_lower_bound(n: usize) -> f64 {
-    (4..n).map(|c| (c as f64 / 3.0).log2()).sum::<f64>().max(0.0)
+    (4..n)
+        .map(|c| (c as f64 / 3.0).log2())
+        .sum::<f64>()
+        .max(0.0)
 }
 
 #[cfg(test)]

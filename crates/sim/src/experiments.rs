@@ -9,7 +9,7 @@
 //! command line and default to a CI-friendly scale.
 
 use crate::runner::{run_point, PointSummary};
-use crate::spec::{AlphaSpec, ExperimentPoint, GameFamily, InitialTopology};
+use crate::spec::{AlphaSpec, EngineSpec, ExperimentPoint, GameFamily, InitialTopology};
 use ncg_core::policy::Policy;
 
 /// One curve of a figure: a label plus the experiment points of its `n`-sweep.
@@ -20,6 +20,9 @@ pub struct SeriesDef {
     /// The sweep points, one per value of `n`.
     pub points: Vec<ExperimentPoint>,
 }
+
+/// A reference envelope plotted next to the data: a label and its `f(n)`.
+pub type Envelope = (&'static str, fn(f64) -> f64);
 
 /// A full figure: its name, its series and the reference envelopes the paper plots
 /// next to the data (e.g. `f(n) = 5n`).
@@ -32,7 +35,7 @@ pub struct FigureDef {
     /// The curves.
     pub series: Vec<SeriesDef>,
     /// Reference envelopes as `(label, f(n))` pairs.
-    pub envelopes: Vec<(&'static str, fn(f64) -> f64)>,
+    pub envelopes: Vec<Envelope>,
 }
 
 impl FigureDef {
@@ -80,12 +83,7 @@ const PAPER_GBG_TRIALS: usize = 5_000;
 /// within 5n–8n steps.
 const STEP_FACTOR: usize = 400;
 
-fn asg_series(
-    family: GameFamily,
-    k: usize,
-    policy: Policy,
-    base_seed: u64,
-) -> SeriesDef {
+fn asg_series(family: GameFamily, k: usize, policy: Policy, base_seed: u64) -> SeriesDef {
     let points = paper_n_values()
         .into_iter()
         .map(|n| ExperimentPoint {
@@ -97,6 +95,7 @@ fn asg_series(
             trials: PAPER_ASG_TRIALS,
             base_seed: base_seed ^ (n as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
             max_steps_factor: STEP_FACTOR,
+            engine: EngineSpec::default(),
         })
         .collect();
     SeriesDef {
@@ -123,17 +122,27 @@ fn gbg_series(
             trials: PAPER_GBG_TRIALS,
             base_seed: base_seed ^ (n as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
             max_steps_factor: STEP_FACTOR,
+            engine: EngineSpec::default(),
         })
         .collect();
     SeriesDef {
-        label: format!("{}, a={}, {}", topology.label(), alpha.label(), policy.label()),
+        label: format!(
+            "{}, a={}, {}",
+            topology.label(),
+            alpha.label(),
+            policy.label()
+        ),
         points,
     }
 }
 
 /// Fig. 7: SUM-ASG with budget `k`, both policies, envelope `5n`.
 pub fn fig07() -> FigureDef {
-    budgeted_figure("fig07", "Steps until convergence, SUM-ASG, budget = k", GameFamily::AsgSum)
+    budgeted_figure(
+        "fig07",
+        "Steps until convergence, SUM-ASG, budget = k",
+        GameFamily::AsgSum,
+    )
 }
 
 /// Fig. 8: MAX-ASG with budget `k`, both policies, envelopes `5n` and `n log n`.
@@ -166,12 +175,22 @@ fn budgeted_figure(id: &'static str, title: &'static str, family: GameFamily) ->
 /// Fig. 11: SUM-GBG, `m ∈ {n, 2n, 4n}`, `α ∈ {n/10, n/4, n}`, both policies,
 /// envelope `7n`.
 pub fn fig11() -> FigureDef {
-    gbg_density_figure("fig11", "Steps until convergence, SUM-GBG", GameFamily::GbgSum, 7.0)
+    gbg_density_figure(
+        "fig11",
+        "Steps until convergence, SUM-GBG",
+        GameFamily::GbgSum,
+        7.0,
+    )
 }
 
 /// Fig. 13: MAX-GBG, as Fig. 11, envelope `8n`.
 pub fn fig13() -> FigureDef {
-    gbg_density_figure("fig13", "Steps until convergence, MAX-GBG", GameFamily::GbgMax, 8.0)
+    gbg_density_figure(
+        "fig13",
+        "Steps until convergence, MAX-GBG",
+        GameFamily::GbgMax,
+        8.0,
+    )
 }
 
 fn gbg_density_figure(
@@ -202,7 +221,7 @@ fn gbg_density_figure(
             }
         }
     }
-    let envelopes: Vec<(&'static str, fn(f64) -> f64)> = if envelope_factor == 7.0 {
+    let envelopes: Vec<Envelope> = if envelope_factor == 7.0 {
         vec![("7n", |n| 7.0 * n)]
     } else {
         vec![("8n", |n| 8.0 * n)]
@@ -263,7 +282,7 @@ fn topology_comparison_figure(
             }
         }
     }
-    let envelopes: Vec<(&'static str, fn(f64) -> f64)> = if envelope_factor == 3.0 {
+    let envelopes: Vec<Envelope> = if envelope_factor == 3.0 {
         vec![("3n", |n| 3.0 * n)]
     } else {
         vec![("6n", |n| 6.0 * n)]

@@ -11,7 +11,7 @@
 //!
 //! * [`spec`] — declarative experiment descriptions (game family, α-rule, initial
 //!   topology, move policy, number of agents and trials),
-//! * [`runner`] — a deterministic, seedable, crossbeam-parallel trial runner with
+//! * [`runner`] — a deterministic, seedable, thread-parallel trial runner with
 //!   move-kind accounting (deletions / swaps / purchases per trajectory phase),
 //! * [`experiments`] — the exact parameter sweeps behind every empirical figure of
 //!   the paper,
@@ -28,5 +28,7 @@ pub mod spec;
 
 pub use experiments::{all_figures, figure, FigureDef, SeriesDef};
 pub use report::{render_csv, render_table, FigureData, SeriesData};
-pub use runner::{run_point, run_trial, MoveKindCounts, PointSummary, TrialResult};
-pub use spec::{AlphaSpec, ExperimentPoint, GameFamily, InitialTopology};
+pub use runner::{
+    run_point, run_trial, run_trial_with_game, MoveKindCounts, PointSummary, TrialResult,
+};
+pub use spec::{AlphaSpec, EngineSpec, ExperimentPoint, GameFamily, InitialTopology};

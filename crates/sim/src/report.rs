@@ -2,11 +2,10 @@
 
 use crate::experiments::FigureDef;
 use crate::runner::PointSummary;
-use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
 /// Measured data of one series (curve) of a figure.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SeriesData {
     /// Legend label.
     pub label: String,
@@ -15,7 +14,7 @@ pub struct SeriesData {
 }
 
 /// Measured data of one figure.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FigureData {
     /// Figure identifier (`"fig07"`, …).
     pub id: String,
@@ -67,7 +66,11 @@ pub fn render_table(def: &FigureDef, data: &FigureData) -> String {
     let _ = writeln!(out, "{}", "=".repeat(data.title.len() + data.id.len() + 3));
     for series in &data.series {
         let _ = writeln!(out, "\nseries: {}", series.label);
-        let _ = write!(out, "{:>6} {:>12} {:>10} {:>10}", "n", "avg steps", "max", "trials");
+        let _ = write!(
+            out,
+            "{:>6} {:>12} {:>10} {:>10}",
+            "n", "avg steps", "max", "trials"
+        );
         for (label, _) in &def.envelopes {
             let _ = write!(out, " {:>10}", label);
         }

@@ -4,7 +4,7 @@
 //! under the configured move policy until a stable network is reached (or the step
 //! limit fires) and records the number of steps and the kinds of moves performed.
 //! A *point* aggregates many independent trials; trials are distributed over worker
-//! threads with `crossbeam::scope`, each trial seeded as `base_seed + trial_index`
+//! threads with `std::thread::scope`, each trial seeded as `base_seed + trial_index`
 //! so that results are reproducible independent of the number of threads.
 
 use crate::spec::ExperimentPoint;
@@ -12,13 +12,12 @@ use ncg_core::dynamics::{Dynamics, DynamicsConfig, ResponseMode};
 use ncg_core::moves::Move;
 use ncg_core::policy::TieBreak;
 use ncg_core::Game;
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
 
 /// How many moves of each kind a trajectory contained.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MoveKindCounts {
     /// Edge deletions.
     pub deletions: usize,
@@ -45,7 +44,7 @@ impl MoveKindCounts {
 }
 
 /// Result of a single trial.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct TrialResult {
     /// Number of improving moves until convergence (or until the step limit).
     pub steps: usize,
@@ -56,7 +55,7 @@ pub struct TrialResult {
 }
 
 /// Aggregated results of all trials of an experiment point.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PointSummary {
     /// Number of agents.
     pub n: usize,
@@ -106,6 +105,10 @@ pub fn run_trial_with_game(
         detect_cycles: false,
         record_trajectory: false,
         ownership_in_state: true,
+        oracle: point.engine.oracle,
+        // The parallel scan is a full rescan; maintaining the dirty set next
+        // to it would only burn endpoint BFS runs nobody reads.
+        dirty_agents: point.engine.dirty_agents && point.engine.parallel_scan.is_none(),
     };
     let mut dynamics = Dynamics::new(game, initial, config);
     let mut kinds = MoveKindCounts::default();
@@ -114,7 +117,11 @@ pub fn run_trial_with_game(
         if steps >= point.max_steps() {
             break false;
         }
-        match dynamics.step(&mut rng) {
+        let record = match point.engine.parallel_scan {
+            Some(threads) => dynamics.step_parallel(&mut rng, threads),
+            None => dynamics.step(&mut rng),
+        };
+        match record {
             Some(record) => {
                 kinds.record(&record.mv);
                 steps += 1;
@@ -143,9 +150,9 @@ pub fn run_point(point: &ExperimentPoint, threads: Option<usize>) -> PointSummar
     let next = std::sync::atomic::AtomicUsize::new(0);
     let results: Mutex<Vec<TrialResult>> = Mutex::new(Vec::with_capacity(point.trials));
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| {
+            scope.spawn(|| {
                 let game = point.make_game();
                 loop {
                     let t = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -153,14 +160,13 @@ pub fn run_point(point: &ExperimentPoint, threads: Option<usize>) -> PointSummar
                         break;
                     }
                     let result = run_trial_with_game(point, game.as_ref(), t);
-                    results.lock().push(result);
+                    results.lock().expect("runner mutex poisoned").push(result);
                 }
             });
         }
-    })
-    .expect("worker threads must not panic");
+    });
 
-    let results = results.into_inner();
+    let results = results.into_inner().expect("runner mutex poisoned");
     summarize(point, &results)
 }
 
@@ -201,10 +207,14 @@ fn summarize(point: &ExperimentPoint, results: &[TrialResult]) -> PointSummary {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spec::{AlphaSpec, GameFamily, InitialTopology};
+    use crate::spec::{AlphaSpec, EngineSpec, GameFamily, InitialTopology};
     use ncg_core::policy::Policy;
 
-    fn small_point(family: GameFamily, topology: InitialTopology, policy: Policy) -> ExperimentPoint {
+    fn small_point(
+        family: GameFamily,
+        topology: InitialTopology,
+        policy: Policy,
+    ) -> ExperimentPoint {
         ExperimentPoint {
             n: 14,
             family,
@@ -214,6 +224,7 @@ mod tests {
             trials: 6,
             base_seed: 99,
             max_steps_factor: 200,
+            engine: EngineSpec::default(),
         }
     }
 

@@ -1,15 +1,81 @@
 //! Declarative experiment descriptions.
 
 use ncg_core::policy::Policy;
-use ncg_core::{AsymSwapGame, DistanceMetric, Game, GreedyBuyGame};
+use ncg_core::{AsymSwapGame, DistanceMetric, Game, GreedyBuyGame, OracleKind};
 use ncg_graph::{generators, OwnedGraph};
 use rand::Rng;
-use serde::{Deserialize, Serialize};
+
+/// Execution-engine options of a trial: which distance-oracle backend scores
+/// candidate moves, whether the dynamics keeps a dirty-agent set, and whether
+/// the per-step unhappiness scan is distributed over worker threads.
+///
+/// The default is the incremental oracle with an eager (exact-policy) scan;
+/// dirty-agent tracking is opt-in via [`EngineSpec::fast`] because its lazy
+/// re-examination can occasionally pick a different (non-maximal-cost) mover
+/// than the strict max-cost policy the paper's experiments specify. The
+/// ablation benchmarks pin explicit engines to measure each choice in
+/// isolation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineSpec {
+    /// Distance-oracle backend scoring candidate moves.
+    pub oracle: OracleKind,
+    /// Keep a dirty-agent set instead of re-scanning all agents per step.
+    /// Ignored while `parallel_scan` is active (the parallel scan is a full
+    /// rescan and never consults the dirty set).
+    pub dirty_agents: bool,
+    /// `Some(threads)` scans agents for unhappiness across worker threads
+    /// (useful for large `n`); `None` scans sequentially.
+    pub parallel_scan: Option<usize>,
+}
+
+impl Default for EngineSpec {
+    fn default() -> Self {
+        EngineSpec {
+            oracle: OracleKind::Incremental,
+            dirty_agents: false,
+            parallel_scan: None,
+        }
+    }
+}
+
+impl EngineSpec {
+    /// The historical engine: full BFS per candidate, eager full rescans.
+    pub fn baseline() -> Self {
+        EngineSpec {
+            oracle: OracleKind::FullBfs,
+            dirty_agents: false,
+            parallel_scan: None,
+        }
+    }
+
+    /// The fastest sequential engine: incremental oracle plus dirty-agent
+    /// tracking. Termination is exact, but mover selection may deviate from
+    /// the strict policy order when the dirty heuristic under-approximates.
+    pub fn fast() -> Self {
+        EngineSpec {
+            oracle: OracleKind::Incremental,
+            dirty_agents: true,
+            parallel_scan: None,
+        }
+    }
+
+    /// Short label such as `"incremental+dirty"` used in ablation reports.
+    pub fn label(&self) -> String {
+        let mut parts = vec![self.oracle.label().to_string()];
+        if self.dirty_agents {
+            parts.push("dirty".to_string());
+        }
+        if let Some(t) = self.parallel_scan {
+            parts.push(format!("par{t}"));
+        }
+        parts.join("+")
+    }
+}
 
 /// Which game family a simulation runs (the empirical study only uses the ASG and
 /// the GBG; best responses of the full Buy Game are NP-hard, exactly as the paper
 /// notes in §4.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GameFamily {
     /// Asymmetric Swap Game, SUM distance-cost (Fig. 7).
     AsgSum,
@@ -48,7 +114,7 @@ impl GameFamily {
 
 /// How the edge price α is derived from the number of agents. The paper uses
 /// α ∈ {n/10, n/4, n/2, n} (§4.2.1, following Demaine et al.).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AlphaSpec {
     /// A fixed price independent of `n`.
     Fixed(f64),
@@ -81,7 +147,7 @@ impl AlphaSpec {
 }
 
 /// How the random initial network is generated (§3.4.1 and §4.2.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InitialTopology {
     /// Every agent owns exactly `k` edges (bounded-budget ASG workload).
     Budgeted {
@@ -125,7 +191,7 @@ impl InitialTopology {
 }
 
 /// One point of a parameter sweep: everything needed to run its trials.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ExperimentPoint {
     /// Number of agents.
     pub n: usize,
@@ -136,7 +202,6 @@ pub struct ExperimentPoint {
     /// Initial-network generator.
     pub topology: InitialTopology,
     /// Move policy.
-    #[serde(skip, default = "default_policy")]
     pub policy: Policy,
     /// Number of independent trials.
     pub trials: usize,
@@ -146,10 +211,8 @@ pub struct ExperimentPoint {
     /// within a small constant times `n`; the limit only guards against the —
     /// never observed — non-convergent case).
     pub max_steps_factor: usize,
-}
-
-fn default_policy() -> Policy {
-    Policy::MaxCost
+    /// Execution-engine options (oracle backend, dirty-agent set, parallel scan).
+    pub engine: EngineSpec,
 }
 
 impl ExperimentPoint {
@@ -226,6 +289,7 @@ mod tests {
             trials: 3,
             base_seed: 7,
             max_steps_factor: 100,
+            engine: EngineSpec::default(),
         };
         assert_eq!(point.max_steps(), 3000);
         let game = point.make_game();

@@ -13,11 +13,11 @@
 //!
 //! Run with: `cargo run --release --example best_response_cycles`
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use selfish_ncg::core::dynamics::{Dynamics, DynamicsConfig, Termination};
 use selfish_ncg::core::Game;
 use selfish_ncg::instances::{fig05, fig09, fig10, CycleInstance};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn show<G: Game>(title: &str, instance: &CycleInstance<G>) {
     println!("== {title} ==  [{}]", instance.game.name());

@@ -9,10 +9,10 @@
 //!
 //! Run with: `cargo run --release --example overlay_formation`
 
-use selfish_ncg::core::{equilibrium, DynamicsConfig};
-use selfish_ncg::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use selfish_ncg::core::{equilibrium, DynamicsConfig};
+use selfish_ncg::prelude::*;
 
 fn social_optimum_cost(n: usize, alpha: f64) -> f64 {
     // For α in the paper's regime a star minimises social cost: n-1 edges plus

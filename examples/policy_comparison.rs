@@ -9,11 +9,11 @@
 //!
 //! Run with: `cargo run --release --example policy_comparison`
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use selfish_ncg::core::DynamicsConfig;
 use selfish_ncg::instances::paths;
 use selfish_ncg::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn measure(policy: Policy, n: usize, seed: u64) -> usize {
     let game = SwapGame::max();
@@ -21,7 +21,10 @@ fn measure(policy: Policy, n: usize, seed: u64) -> usize {
     let config = DynamicsConfig::simulation(10 * n * n * n).with_policy(policy);
     let mut rng = StdRng::seed_from_u64(seed);
     let outcome = run_dynamics(&game, &initial, &config, &mut rng);
-    assert!(outcome.converged(), "MAX-SG on trees is a poly-FIPG (Thm 2.1)");
+    assert!(
+        outcome.converged(),
+        "MAX-SG on trees is a poly-FIPG (Thm 2.1)"
+    );
     outcome.steps
 }
 

@@ -7,10 +7,10 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use selfish_ncg::core::{equilibrium, DynamicsConfig};
-use selfish_ncg::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use selfish_ncg::core::{equilibrium, DynamicsConfig};
+use selfish_ncg::prelude::*;
 
 fn main() {
     let n = 20;

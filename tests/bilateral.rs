@@ -64,13 +64,21 @@ fn pairwise_stable_networks_resist_single_edge_changes() {
     let game = BilateralBuyGame::max(alpha);
     let mut rng = StdRng::seed_from_u64(9);
     let initial = generators::random_with_m_edges(8, 12, &mut rng);
-    let out = run_dynamics(&game, &initial, &DynamicsConfig::simulation(2_000), &mut rng);
+    let out = run_dynamics(
+        &game,
+        &initial,
+        &DynamicsConfig::simulation(2_000),
+        &mut rng,
+    );
     assert!(out.converged());
     let stable = out.final_graph;
     let mut ws = Workspace::new(8);
     for u in 0..8 {
         let improving = game.improving_moves(&stable, u, &mut ws);
-        assert!(improving.is_empty(), "agent {u} must have no feasible improvement");
+        assert!(
+            improving.is_empty(),
+            "agent {u} must have no feasible improvement"
+        );
     }
     // Spot check: re-adding any single missing edge cannot strictly help both endpoints.
     for u in 0..8 {
@@ -121,7 +129,9 @@ fn equal_split_cost_accounting() {
     // End vertex: degree 1 -> α/2, distances 1+2+3 = 6.
     assert_eq!(game.cost(&g, 0, &mut ws.bfs), alpha / 2.0 + 6.0);
     // A SetNeighbors move that only deletes is never blocked.
-    let mv = Move::SetNeighbors { new_neighbors: vec![0] };
+    let mv = Move::SetNeighbors {
+        new_neighbors: vec![0],
+    };
     let improving = game.improving_moves(&g, 1, &mut ws);
     // With α = 5 the middle vertex would love to drop an edge but that would
     // disconnect the path — infinite distance cost — so it is not improving.

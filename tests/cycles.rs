@@ -23,7 +23,9 @@ fn fig5_uniform_budget_cycle_verifies_and_is_minimal() {
 
 #[test]
 fn fig9_cycle_verifies_for_buy_and_greedy_buy_game() {
-    fig09::greedy_buy_game_cycle().verify().expect("SUM-GBG cycle");
+    fig09::greedy_buy_game_cycle()
+        .verify()
+        .expect("SUM-GBG cycle");
     fig09::buy_game_cycle().verify().expect("SUM-BG cycle");
     // The cycle also survives the move restriction to the Cor. 4.2 host graph.
     fig09::host_restricted_cycle().verify().expect("host cycle");
@@ -31,7 +33,9 @@ fn fig9_cycle_verifies_for_buy_and_greedy_buy_game() {
 
 #[test]
 fn fig10_cycle_verifies_for_buy_and_greedy_buy_game() {
-    fig10::greedy_buy_game_cycle().verify().expect("MAX-GBG cycle");
+    fig10::greedy_buy_game_cycle()
+        .verify()
+        .expect("MAX-GBG cycle");
     fig10::buy_game_cycle().verify().expect("MAX-BG cycle");
     fig10::host_restricted_cycle().verify().expect("host cycle");
 }
@@ -48,7 +52,10 @@ fn buy_game_cycles_imply_not_fip_via_state_exploration() {
         &ExploreConfig::default().with_max_states(20_000),
     );
     assert!(result.complete);
-    assert!(result.has_cycle(), "a best-response cycle must be reachable");
+    assert!(
+        result.has_cycle(),
+        "a best-response cycle must be reachable"
+    );
 
     let (game, initial) = hosts::max_gbg_on_host();
     let result = explore(
@@ -67,7 +74,14 @@ fn cycle_movers_strictly_improve_and_nobody_loses_the_prescribed_amounts() {
     let inst = fig09::greedy_buy_game_cycle();
     let states = inst.verify().unwrap();
     let mut ws = Workspace::new(inst.initial.num_nodes());
-    let expected_gains = [6.0, 8.0 - fig09::ALPHA, fig09::ALPHA - 7.0, 6.0, 8.0 - fig09::ALPHA, fig09::ALPHA - 7.0];
+    let expected_gains = [
+        6.0,
+        8.0 - fig09::ALPHA,
+        fig09::ALPHA - 7.0,
+        6.0,
+        8.0 - fig09::ALPHA,
+        fig09::ALPHA - 7.0,
+    ];
     for (i, step) in inst.steps.iter().enumerate() {
         let before = inst.game.cost(&states[i], step.agent, &mut ws.bfs);
         let after = inst.game.cost(&states[i + 1], step.agent, &mut ws.bfs);
@@ -87,7 +101,11 @@ fn swap_game_cycles_do_not_exist_on_trees() {
     use selfish_ncg::prelude::*;
     let game = AsymSwapGame::sum();
     let tree = generators::path(6);
-    let result = explore(&game, &tree, &ExploreConfig::default().with_max_states(50_000));
+    let result = explore(
+        &game,
+        &tree,
+        &ExploreConfig::default().with_max_states(50_000),
+    );
     assert!(result.complete);
     assert!(!result.has_cycle());
     assert!(result.every_state_reaches_stable());

@@ -1,0 +1,175 @@
+//! Randomized equivalence of the incremental distance oracle against
+//! from-scratch BFS: on random graphs, under random edge-delta candidates and
+//! random applied move sequences, the incremental backend must report exactly
+//! the same distance vector, SUM and MAX as a fresh BFS — and the full-BFS
+//! backend must agree with both.
+//!
+//! Driven by seeded loops over the deterministic [`StdRng`] shim; every
+//! failure is reproducible from the printed case/seed.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use selfish_ncg::core::{Game, OracleKind, Workspace};
+use selfish_ncg::graph::oracle::{DistanceOracle, EdgeDelta, FullBfsOracle, IncrementalOracle};
+use selfish_ncg::graph::{generators, BfsBuffer, DistanceSummary, OwnedGraph};
+use selfish_ncg::prelude::*;
+
+fn random_graph<R: Rng>(rng: &mut R) -> OwnedGraph {
+    let n = rng.gen_range(4usize..40);
+    match rng.gen_range(0u32..4) {
+        0 => generators::budgeted_random(n, rng.gen_range(1usize..3).min((n - 2) / 2), rng),
+        1 => generators::random_with_m_edges(n, rng.gen_range(n..3 * n), rng),
+        2 => generators::random_spanning_tree(n, None, rng),
+        _ => {
+            // A possibly disconnected graph: a random one with a few edges cut.
+            let mut g = generators::random_with_m_edges(n, rng.gen_range(n..2 * n), rng);
+            let edges: Vec<_> = g.edges().map(|e| (e.owner, e.other)).collect();
+            for &(a, b) in edges.iter().take(rng.gen_range(0usize..3)) {
+                g.remove_edge(a, b);
+            }
+            g
+        }
+    }
+}
+
+/// A random valid delta sequence against `g` (validity tracked on a scratch
+/// clone so composed insert/remove sequences stay legal).
+fn random_deltas<R: Rng>(g: &OwnedGraph, rng: &mut R) -> Vec<EdgeDelta> {
+    let n = g.num_nodes();
+    let mut scratch = g.clone();
+    let mut deltas = Vec::new();
+    for _ in 0..rng.gen_range(1usize..4) {
+        let remove = rng.gen_bool(0.5);
+        if remove {
+            let edges: Vec<_> = scratch.edges().map(|e| (e.owner, e.other)).collect();
+            if let Some(&(u, v)) = edges.choose(rng) {
+                scratch.remove_edge(u, v);
+                deltas.push(EdgeDelta::Remove { u, v });
+                continue;
+            }
+        }
+        // Insert a uniformly chosen absent edge, if any exists.
+        for _ in 0..20 {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u != v && !scratch.has_edge(u, v) {
+                scratch.add_edge(u, v);
+                deltas.push(EdgeDelta::Insert { u, v });
+                break;
+            }
+        }
+    }
+    deltas
+}
+
+/// Ground truth: apply the deltas to a clone, run a fresh BFS.
+fn truth(g: &OwnedGraph, src: usize, deltas: &[EdgeDelta]) -> (Vec<u32>, DistanceSummary) {
+    let mut h = g.clone();
+    for delta in deltas {
+        match *delta {
+            EdgeDelta::Insert { u, v } => assert!(h.add_edge(u, v)),
+            EdgeDelta::Remove { u, v } => assert!(h.remove_edge(u, v)),
+        }
+    }
+    let mut buf = BfsBuffer::new(h.num_nodes());
+    let summary = buf.summary(&h, src);
+    (buf.last_distances()[..h.num_nodes()].to_vec(), summary)
+}
+
+/// Core satellite property: random graphs × random delta candidates, both
+/// backends equal to from-scratch BFS on the full vector, SUM and MAX.
+#[test]
+fn oracle_matches_bfs_on_random_delta_candidates() {
+    let mut rng = StdRng::seed_from_u64(0x0eac1e);
+    for case in 0..60 {
+        let g = random_graph(&mut rng);
+        let n = g.num_nodes();
+        let src = rng.gen_range(0..n);
+        let mut inc = IncrementalOracle::new(n);
+        let mut full = FullBfsOracle::new(n);
+        inc.begin(&g, src);
+        full.begin(&g, src);
+        // Several evaluations against the same base state: consecutive
+        // candidates often share delta prefixes, stressing the incremental
+        // backend's prefix reuse.
+        for round in 0..12 {
+            let deltas = random_deltas(&g, &mut rng);
+            let (expect_dist, expect_summary) = truth(&g, src, &deltas);
+            let mut got = Vec::new();
+            let si = inc.evaluate_into(&deltas, &mut got);
+            assert_eq!(si, expect_summary, "case {case} round {round}: {deltas:?}");
+            assert_eq!(got, expect_dist, "case {case} round {round}: {deltas:?}");
+            let sf = full.evaluate_into(&deltas, &mut got);
+            assert_eq!(sf, expect_summary, "case {case} round {round} (full)");
+            assert_eq!(got, expect_dist, "case {case} round {round} (full)");
+        }
+        // The pinned base vector survives all evaluations untouched.
+        let mut buf = BfsBuffer::new(n);
+        let base = buf.run(&g, src).to_vec();
+        assert_eq!(inc.base_distances(), base.as_slice(), "case {case}");
+        assert_eq!(full.base_distances(), base.as_slice(), "case {case}");
+    }
+}
+
+/// Applying random *move sequences* to the graph itself: after every applied
+/// move the re-pinned oracle must again agree exactly with a fresh BFS.
+#[test]
+fn oracle_stays_exact_along_random_move_sequences() {
+    let mut rng = StdRng::seed_from_u64(0x5e9_u64 ^ 0x51);
+    for case in 0..25 {
+        let mut g = random_graph(&mut rng);
+        let n = g.num_nodes();
+        let mut inc = IncrementalOracle::new(n);
+        let mut buf = BfsBuffer::new(n);
+        for step in 0..10 {
+            // Mutate the graph by one random valid single-edge move.
+            let deltas = random_deltas(&g, &mut rng);
+            if let Some(delta) = deltas.first() {
+                match *delta {
+                    EdgeDelta::Insert { u, v } => assert!(g.add_edge(u, v)),
+                    EdgeDelta::Remove { u, v } => assert!(g.remove_edge(u, v)),
+                }
+            }
+            let src = rng.gen_range(0..n);
+            let summary = inc.begin(&g, src);
+            assert_eq!(summary, buf.summary(&g, src), "case {case} step {step}");
+            assert_eq!(
+                inc.base_distances(),
+                &buf.run(&g, src)[..n],
+                "case {case} step {step}"
+            );
+        }
+    }
+}
+
+/// End-to-end equivalence at the game layer: for every scanned agent, the
+/// full-BFS and incremental workspaces must produce the *identical* list of
+/// improving moves and the identical best response.
+#[test]
+fn best_responses_identical_across_backends() {
+    let mut rng = StdRng::seed_from_u64(0xbe57);
+    for case in 0..15 {
+        let g = random_graph(&mut rng);
+        let n = g.num_nodes();
+        let games: Vec<Box<dyn Game>> = vec![
+            Box::new(SwapGame::sum()),
+            Box::new(SwapGame::max()),
+            Box::new(AsymSwapGame::sum()),
+            Box::new(GreedyBuyGame::sum(n as f64 / 4.0)),
+            Box::new(GreedyBuyGame::max(2.5)),
+        ];
+        let mut ws_full = Workspace::with_oracle(n, OracleKind::FullBfs);
+        let mut ws_inc = Workspace::with_oracle(n, OracleKind::Incremental);
+        for game in &games {
+            for u in 0..n {
+                let full = game.improving_moves(&g, u, &mut ws_full);
+                let inc = game.improving_moves(&g, u, &mut ws_inc);
+                assert_eq!(full, inc, "case {case}: {} agent {u}", game.name());
+                let bf = game.best_response(&g, u, &mut ws_full);
+                let bi = game.best_response(&g, u, &mut ws_inc);
+                assert_eq!(bf, bi, "case {case}: {} agent {u}", game.name());
+            }
+        }
+    }
+}

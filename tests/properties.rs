@@ -1,10 +1,13 @@
-//! Property-based tests (proptest) for the core invariants of the library:
+//! Randomized property tests for the core invariants of the library:
 //! graph substrate consistency, strict improvement of moves, potential functions
 //! on trees, and convergence of the simulated game families.
+//!
+//! The cases are driven by seeded loops over our deterministic [`StdRng`] shim
+//! (the offline build has no proptest), so every failure is reproducible from
+//! the printed seed.
 
-use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use selfish_ncg::core::potential::{lex_decreased, sorted_cost_vector};
 use selfish_ncg::core::{apply_move, undo_move, DynamicsConfig, Game};
 use selfish_ncg::graph::{
@@ -17,49 +20,62 @@ fn seeded_graph(n: usize, m_per_n: usize, seed: u64) -> OwnedGraph {
     generators::random_with_m_edges(n, m_per_n * n, &mut rng)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// The budgeted generator always produces connected simple graphs where every
-    /// agent owns exactly k edges, and the invariants of the ownership structure hold.
-    #[test]
-    fn budgeted_generator_invariants(n in 6usize..40, k in 1usize..4, seed in 0u64..1000) {
-        prop_assume!(k * 2 + 1 < n);
+/// The budgeted generator always produces connected simple graphs where every
+/// agent owns exactly k edges, and the invariants of the ownership structure hold.
+#[test]
+fn budgeted_generator_invariants() {
+    let mut pick = StdRng::seed_from_u64(0xb1);
+    for case in 0..24 {
+        let n = pick.gen_range(6usize..40);
+        let k = pick.gen_range(1usize..4);
+        if k * 2 + 1 >= n {
+            continue;
+        }
+        let seed = pick.gen_range(0u64..1000);
         let mut rng = StdRng::seed_from_u64(seed);
         let g = generators::budgeted_random(n, k, &mut rng);
-        prop_assert!(is_connected(&g));
-        prop_assert_eq!(g.num_edges(), n * k);
+        assert!(is_connected(&g), "case {case}: n={n} k={k} seed={seed}");
+        assert_eq!(g.num_edges(), n * k, "case {case}");
         for v in 0..n {
-            prop_assert_eq!(g.owned_degree(v), k);
+            assert_eq!(g.owned_degree(v), k, "case {case}: vertex {v}");
         }
-        prop_assert!(g.check_invariants().is_ok());
+        g.check_invariants().unwrap();
     }
+}
 
-    /// Random spanning trees are trees; BFS distances agree with the all-pairs matrix.
-    #[test]
-    fn distances_are_consistent(n in 2usize..30, seed in 0u64..1000) {
+/// Random spanning trees are trees; BFS distances agree with the all-pairs matrix.
+#[test]
+fn distances_are_consistent() {
+    let mut pick = StdRng::seed_from_u64(0xd1);
+    for case in 0..24 {
+        let n = pick.gen_range(2usize..30);
+        let seed = pick.gen_range(0u64..1000);
         let mut rng = StdRng::seed_from_u64(seed);
         let g = generators::random_spanning_tree(n, None, &mut rng);
-        prop_assert!(is_tree(&g));
+        assert!(is_tree(&g), "case {case}: n={n} seed={seed}");
         let matrix = DistanceMatrix::compute(&g);
         let mut buf = BfsBuffer::new(n);
         for s in 0..n {
-            prop_assert_eq!(matrix.row(s), buf.run(&g, s));
+            assert_eq!(matrix.row(s), buf.run(&g, s), "case {case}: source {s}");
         }
-        // Distances are symmetric and satisfy the tree identity sum(ecc) >= diameter.
         for u in 0..n {
             for v in 0..n {
-                prop_assert_eq!(matrix.dist(u, v), matrix.dist(v, u));
+                assert_eq!(matrix.dist(u, v), matrix.dist(v, u), "case {case}");
             }
         }
         let diameter = properties::diameter(&g).unwrap();
-        prop_assert!(matrix.eccentricity(0).unwrap() <= diameter);
+        assert!(matrix.eccentricity(0).unwrap() <= diameter, "case {case}");
     }
+}
 
-    /// Applying any improving move strictly decreases the mover's cost, and undoing
-    /// it restores the exact state (including ownership).
-    #[test]
-    fn improving_moves_improve_and_undo_restores(seed in 0u64..500, agent in 0usize..15) {
+/// Applying any improving move strictly decreases the mover's cost, and undoing
+/// it restores the exact state (including ownership).
+#[test]
+fn improving_moves_improve_and_undo_restores() {
+    let mut pick = StdRng::seed_from_u64(0x1e);
+    for case in 0..30 {
+        let seed = pick.gen_range(0u64..500);
+        let agent = pick.gen_range(0usize..15);
         let g = seeded_graph(15, 2, seed);
         let game = GreedyBuyGame::sum(4.0);
         let mut ws = Workspace::new(15);
@@ -68,18 +84,27 @@ proptest! {
         let old_cost = game.cost(&g, agent, &mut ws.bfs);
         let mut h = g.clone();
         for scored in improving {
-            prop_assert!(scored.new_cost < old_cost);
+            assert!(scored.new_cost < old_cost, "case {case}: seed={seed}");
             let undo = apply_move(&mut h, agent, &scored.mv).expect("applies");
             let measured = game.cost(&h, agent, &mut ws.bfs);
-            prop_assert!((measured - scored.new_cost).abs() < 1e-9);
+            assert!(
+                (measured - scored.new_cost).abs() < 1e-9,
+                "case {case}: scored {} vs measured {measured}",
+                scored.new_cost
+            );
             undo_move(&mut h, agent, &undo);
-            prop_assert_eq!(canonical_state_key(&h), before_key.clone());
+            assert_eq!(canonical_state_key(&h), before_key, "case {case}");
         }
     }
+}
 
-    /// Best responses are at least as good as every improving move.
-    #[test]
-    fn best_responses_dominate_improving_moves(seed in 0u64..300, agent in 0usize..12) {
+/// Best responses are at least as good as every improving move.
+#[test]
+fn best_responses_dominate_improving_moves() {
+    let mut pick = StdRng::seed_from_u64(0xbd);
+    for case in 0..20 {
+        let seed = pick.gen_range(0u64..300);
+        let agent = pick.gen_range(0usize..12);
         let g = seeded_graph(12, 2, seed);
         for metric_max in [false, true] {
             let game: Box<dyn Game> = if metric_max {
@@ -92,20 +117,25 @@ proptest! {
             let best = game.best_responses(&g, agent, &mut ws);
             if let Some(best_cost) = best.first().map(|s| s.new_cost) {
                 for s in &improving {
-                    prop_assert!(s.new_cost + 1e-9 >= best_cost);
+                    assert!(s.new_cost + 1e-9 >= best_cost, "case {case}: seed={seed}");
                 }
-                prop_assert!(!improving.is_empty());
+                assert!(!improving.is_empty(), "case {case}");
             } else {
-                prop_assert!(improving.is_empty());
+                assert!(improving.is_empty(), "case {case}");
             }
         }
     }
+}
 
-    /// Lemma 2.6 as a property: along MAX-SG trajectories on random trees the
-    /// sorted cost vector strictly lexicographically decreases, and the process
-    /// converges to a tree of diameter at most 3.
-    #[test]
-    fn max_sg_tree_potential(n in 4usize..20, seed in 0u64..200) {
+/// Lemma 2.6 as a property: along MAX-SG trajectories on random trees the
+/// sorted cost vector strictly lexicographically decreases, and the process
+/// converges to a tree of diameter at most 3.
+#[test]
+fn max_sg_tree_potential() {
+    let mut pick = StdRng::seed_from_u64(0x26);
+    for case in 0..15 {
+        let n = pick.gen_range(4usize..20);
+        let seed = pick.gen_range(0u64..200);
         let mut rng = StdRng::seed_from_u64(seed);
         let tree = generators::random_spanning_tree(n, None, &mut rng);
         let game = SwapGame::max();
@@ -118,16 +148,27 @@ proptest! {
         let mut prev = sorted_cost_vector(&game, dynamics.graph(), &mut ws);
         while dynamics.step(&mut rng).is_some() {
             let next = sorted_cost_vector(&game, dynamics.graph(), &mut ws);
-            prop_assert!(lex_decreased(&prev, &next));
+            assert!(
+                lex_decreased(&prev, &next),
+                "case {case}: n={n} seed={seed}"
+            );
             prev = next;
         }
-        prop_assert!(properties::is_star_or_double_star(dynamics.graph()));
+        assert!(
+            properties::is_star_or_double_star(dynamics.graph()),
+            "case {case}: n={n} seed={seed}"
+        );
     }
+}
 
-    /// The SUM-ASG on trees converges under any policy and stays a tree; the
-    /// social cost never increases along the trajectory (ordinal potential).
-    #[test]
-    fn sum_asg_tree_social_cost_potential(n in 4usize..18, seed in 0u64..200) {
+/// The SUM-ASG on trees converges under any policy and stays a tree; the
+/// social cost never increases along the trajectory (ordinal potential).
+#[test]
+fn sum_asg_tree_social_cost_potential() {
+    let mut pick = StdRng::seed_from_u64(0xa5);
+    for case in 0..15 {
+        let n = pick.gen_range(4usize..18);
+        let seed = pick.gen_range(0u64..200);
         let mut rng = StdRng::seed_from_u64(seed);
         let tree = generators::random_spanning_tree(n, Some(2), &mut rng);
         let game = AsymSwapGame::sum();
@@ -140,20 +181,27 @@ proptest! {
         let mut prev = selfish_ncg::core::social_cost(&game, dynamics.graph(), &mut ws);
         let mut steps = 0usize;
         while dynamics.step(&mut rng).is_some() {
-            prop_assert!(is_tree(dynamics.graph()));
+            assert!(is_tree(dynamics.graph()), "case {case}");
             let next = selfish_ncg::core::social_cost(&game, dynamics.graph(), &mut ws);
-            prop_assert!(next < prev, "social cost must strictly decrease on trees");
+            assert!(
+                next < prev,
+                "case {case}: social cost must strictly decrease on trees"
+            );
             prev = next;
             steps += 1;
         }
-        prop_assert!(steps <= n * n * n);
+        assert!(steps <= n * n * n, "case {case}");
     }
+}
 
-    /// Greedy Buy Game dynamics on random connected networks converge to a stable,
-    /// connected network for both metrics and both policies (the paper's headline
-    /// empirical observation), and every trajectory move strictly improves its mover.
-    #[test]
-    fn gbg_random_instances_converge(seed in 0u64..60) {
+/// Greedy Buy Game dynamics on random connected networks converge to a stable,
+/// connected network for both metrics and both policies (the paper's headline
+/// empirical observation), and every trajectory move strictly improves its mover.
+#[test]
+fn gbg_random_instances_converge() {
+    let mut pick = StdRng::seed_from_u64(0x6b);
+    for case in 0..10 {
+        let seed = pick.gen_range(0u64..60);
         let n = 16;
         let g = seeded_graph(n, 2, seed);
         for metric_max in [false, true] {
@@ -167,29 +215,41 @@ proptest! {
             cfg.record_trajectory = true;
             let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd);
             let out = selfish_ncg::core::run_dynamics(game.as_ref(), &g, &cfg, &mut rng);
-            prop_assert!(out.converged());
-            prop_assert!(is_connected(&out.final_graph));
+            assert!(out.converged(), "case {case}: seed={seed}");
+            assert!(is_connected(&out.final_graph), "case {case}");
             for rec in &out.trajectory {
-                prop_assert!(rec.new_cost < rec.old_cost);
+                assert!(rec.new_cost < rec.old_cost, "case {case}");
             }
         }
     }
+}
 
-    /// Canonical state keys are invariant under edge-insertion order and change
-    /// whenever the edge set or its ownership changes.
-    #[test]
-    fn canonical_keys_identify_states(seed in 0u64..500) {
+/// Canonical state keys are invariant under edge-insertion order and change
+/// whenever the edge set or its ownership changes.
+#[test]
+fn canonical_keys_identify_states() {
+    let mut pick = StdRng::seed_from_u64(0xca);
+    for case in 0..30 {
+        let seed = pick.gen_range(0u64..500);
         let g = seeded_graph(10, 1, seed);
         let edges: Vec<_> = g.edges().map(|e| (e.owner, e.other)).collect();
         let mut reversed = edges.clone();
         reversed.reverse();
         let h = OwnedGraph::from_owned_edges(10, &reversed);
-        prop_assert_eq!(canonical_state_key(&g), canonical_state_key(&h));
+        assert_eq!(
+            canonical_state_key(&g),
+            canonical_state_key(&h),
+            "case {case}: seed={seed}"
+        );
         // Flipping the ownership of one edge changes the labelled key.
         let (owner, other) = edges[0];
         let mut flipped_edges = edges.clone();
         flipped_edges[0] = (other, owner);
         let f = OwnedGraph::from_owned_edges(10, &flipped_edges);
-        prop_assert_ne!(canonical_state_key(&g), canonical_state_key(&f));
+        assert_ne!(
+            canonical_state_key(&g),
+            canonical_state_key(&f),
+            "case {case}: seed={seed}"
+        );
     }
 }

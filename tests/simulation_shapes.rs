@@ -10,7 +10,7 @@
 //!   start in the SUM version (Fig. 12's counter-intuitive finding).
 
 use ncg_sim::{
-    run_point, AlphaSpec, ExperimentPoint, FigureData, GameFamily, InitialTopology,
+    run_point, AlphaSpec, EngineSpec, ExperimentPoint, FigureData, GameFamily, InitialTopology,
 };
 use selfish_ncg::prelude::Policy;
 
@@ -32,6 +32,7 @@ fn point(
         trials,
         base_seed: seed,
         max_steps_factor: 400,
+        engine: EngineSpec::default(),
     }
 }
 
@@ -173,7 +174,10 @@ fn figure_harness_runs_end_to_end_at_tiny_scale() {
     // Smoke test of the full Fig. 7 pipeline (definition -> runner -> report).
     let def = ncg_sim::experiments::fig07().scaled(20, 4, 3);
     let data = FigureData::measure(&def, None);
-    assert!(data.all_converged(), "no better-response cycle may be encountered");
+    assert!(
+        data.all_converged(),
+        "no better-response cycle may be encountered"
+    );
     assert!(data.worst_steps_per_agent() <= 5.0);
     let table = ncg_sim::render_table(&def, &data);
     assert!(table.contains("all trials converged: true"));

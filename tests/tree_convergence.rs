@@ -32,7 +32,10 @@ fn max_swap_game_on_random_trees_is_a_potential_game() {
                 "swaps keep trees trees"
             );
             let next = sorted_cost_vector(&game, dynamics.graph(), &mut ws);
-            assert!(lex_decreased(&prev, &next), "Lemma 2.6 potential must decrease");
+            assert!(
+                lex_decreased(&prev, &next),
+                "Lemma 2.6 potential must decrease"
+            );
             prev = next;
             steps += 1;
             assert!(steps <= n * n * n, "Theorem 2.1: at most O(n^3) moves");
