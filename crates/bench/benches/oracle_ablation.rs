@@ -1,12 +1,15 @@
 //! Ablation of the pluggable cost-evaluation engine: full-BFS re-evaluation
-//! vs. the incremental distance oracle, with and without dirty-agent tracking,
-//! on the swap-game dynamics hot path (plus the GBG for the buy-move mix).
+//! vs. the incremental distance oracle vs. the cross-step persistent oracle,
+//! with and without dirty-agent tracking, on the swap-game dynamics hot path
+//! (plus the GBG for the buy-move mix and the Buy-Game `SetOwned`
+//! enumeration for the whole-strategy delta path).
 //!
 //! The `oracle_ablation` *binary* prints the same comparison as a speedup
 //! table over an `n` sweep; this bench integrates it into `cargo bench`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ncg_core::{AsymSwapGame, Game, GreedyBuyGame, OracleKind, Workspace};
+use ncg_bench::ConsentForced;
+use ncg_core::{AsymSwapGame, BuyGame, Game, GreedyBuyGame, OracleKind, Workspace};
 use ncg_graph::generators;
 use ncg_sim::{
     run_trial_with_game, AlphaSpec, EngineSpec, ExperimentPoint, GameFamily, InitialTopology,
@@ -15,6 +18,12 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
 
+const BACKENDS: [OracleKind; 3] = [
+    OracleKind::FullBfs,
+    OracleKind::Incremental,
+    OracleKind::Persistent,
+];
+
 /// One best-response scan of a single agent — the innermost hot operation.
 fn bench_best_response_backends(c: &mut Criterion) {
     let mut group = c.benchmark_group("oracle_best_response");
@@ -22,7 +31,7 @@ fn bench_best_response_backends(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(5);
         let g = generators::budgeted_random(n, 2, &mut rng);
         let asg = AsymSwapGame::sum();
-        for kind in [OracleKind::FullBfs, OracleKind::Incremental] {
+        for kind in BACKENDS {
             let mut ws = Workspace::with_oracle(n, kind);
             group.bench_with_input(
                 BenchmarkId::new(format!("ASG_{}", kind.label()), n),
@@ -32,7 +41,7 @@ fn bench_best_response_backends(c: &mut Criterion) {
         }
         let h = generators::random_with_m_edges(n, 2 * n, &mut rng);
         let gbg = GreedyBuyGame::sum(n as f64 / 4.0);
-        for kind in [OracleKind::FullBfs, OracleKind::Incremental] {
+        for kind in BACKENDS {
             let mut ws = Workspace::with_oracle(n, kind);
             group.bench_with_input(
                 BenchmarkId::new(format!("GBG_{}", kind.label()), n),
@@ -40,6 +49,40 @@ fn bench_best_response_backends(c: &mut Criterion) {
                 |b, h| b.iter(|| black_box(gbg.best_response(h, 0, &mut ws))),
             );
         }
+    }
+    group.finish();
+}
+
+/// Buy-Game `SetOwned` enumeration: Gray-code delta scoring vs. the
+/// historical apply → BFS → undo cycle.
+fn bench_buy_game_set_owned(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oracle_setowned");
+    group.sample_size(10);
+    for &n in &[10usize, 13] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = generators::random_with_m_edges(n, n + n / 2, &mut rng);
+        let alpha = n as f64 / 4.0;
+        let delta_game = BuyGame::sum(alpha);
+        let fallback_game = ConsentForced(BuyGame::sum(alpha));
+        let mut ws = Workspace::with_oracle(n, OracleKind::Incremental);
+        group.bench_with_input(BenchmarkId::new("delta", n), &g, |b, g| {
+            b.iter(|| {
+                let mut found = 0usize;
+                for u in 0..n {
+                    found += usize::from(delta_game.best_response(g, u, &mut ws).is_some());
+                }
+                black_box(found)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("apply_undo", n), &g, |b, g| {
+            b.iter(|| {
+                let mut found = 0usize;
+                for u in 0..n {
+                    found += usize::from(fallback_game.best_response(g, u, &mut ws).is_some());
+                }
+                black_box(found)
+            })
+        });
     }
     group.finish();
 }
@@ -66,7 +109,9 @@ fn bench_swap_dynamics_engines(c: &mut Criterion) {
         for engine in [
             EngineSpec::baseline(),
             EngineSpec::default(),
+            EngineSpec::persistent(),
             EngineSpec::fast(),
+            EngineSpec::fastest(),
         ] {
             let point = engine_point(n, engine);
             let game = point.make_game();
@@ -86,6 +131,7 @@ fn bench_swap_dynamics_engines(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_best_response_backends,
+    bench_buy_game_set_owned,
     bench_swap_dynamics_engines
 );
 criterion_main!(benches);

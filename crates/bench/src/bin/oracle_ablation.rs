@@ -1,30 +1,46 @@
 //! Ablation report: full-BFS re-evaluation vs. the incremental distance
-//! oracle (with and without dirty-agent tracking) on the swap-game and
-//! greedy-buy-game dynamics hot paths, over an `n` sweep.
+//! oracle vs. the cross-step **persistent** oracle (each with and without
+//! dirty-agent tracking) on the swap-game and greedy-buy-game dynamics hot
+//! paths, plus a Buy-Game `SetOwned` series comparing whole-strategy delta
+//! scoring against the historical apply → BFS → undo cycle.
 //!
 //! ```text
 //! cargo run -p ncg-bench --release --bin oracle_ablation -- max_n=512 trials=5
+//! cargo run -p ncg-bench --release --bin oracle_ablation -- smoke=1
+//! cargo run -p ncg-bench --release --bin oracle_ablation -- json=BENCH_oracle.json
 //! ```
 //!
-//! Prints, per `(family, n)`, the wall-clock per engine and the speedup of the
-//! fast engine (incremental oracle + dirty-agent tracking) over the historical
-//! full-BFS baseline.
+//! Prints, per `(family, n)`, the wall-clock per engine together with the
+//! speedup of the persistent engine over the per-scan re-pinning incremental
+//! engine and of the fastest engine (persistent + dirty) over the full-BFS
+//! baseline. `smoke=1` shrinks everything for CI; `json=PATH` additionally
+//! writes the measurements as a JSON snapshot.
 
+use ncg_bench::ConsentForced;
 use ncg_core::policy::Policy;
+use ncg_core::{BuyGame, Game, OracleKind, Workspace};
+use ncg_graph::generators;
 use ncg_sim::{
     run_trial_with_game, AlphaSpec, EngineSpec, ExperimentPoint, GameFamily, InitialTopology,
 };
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
 use std::time::Instant;
 
 struct Scale {
     max_n: usize,
     trials: usize,
+    smoke: bool,
+    json: Option<String>,
 }
 
 fn parse_scale() -> Scale {
     let mut scale = Scale {
         max_n: 256,
         trials: 3,
+        smoke: false,
+        json: None,
     };
     for arg in std::env::args().skip(1) {
         let Some((key, value)) = arg.split_once('=') else {
@@ -33,8 +49,14 @@ fn parse_scale() -> Scale {
         match key {
             "max_n" => scale.max_n = value.parse().unwrap_or(scale.max_n),
             "trials" => scale.trials = value.parse().unwrap_or(scale.trials),
+            "smoke" => scale.smoke = value == "1" || value == "true",
+            "json" => scale.json = Some(value.to_string()),
             _ => eprintln!("ignoring unknown argument {key}={value}"),
         }
+    }
+    if scale.smoke {
+        scale.max_n = scale.max_n.min(64);
+        scale.trials = 1;
     }
     scale
 }
@@ -70,12 +92,64 @@ fn measure(point: &ExperimentPoint) -> (f64, usize) {
     (start.elapsed().as_secs_f64(), steps)
 }
 
+struct SetOwnedRow {
+    n: usize,
+    reps: usize,
+    delta_s: f64,
+    apply_undo_s: f64,
+}
+
+/// Buy-Game `SetOwned` series: time the exponential strategy enumeration with
+/// delta scoring (Gray-code prefix reuse on the incremental oracle) vs. the
+/// apply → BFS → undo fallback, all agents of a random connected network.
+fn measure_set_owned(n: usize, reps: usize) -> SetOwnedRow {
+    let mut rng = StdRng::seed_from_u64(7 + n as u64);
+    let g = generators::random_with_m_edges(n, n + n / 2, &mut rng);
+    let alpha = n as f64 / 4.0;
+    let delta_game = BuyGame::sum(alpha);
+    let fallback_game = ConsentForced(BuyGame::sum(alpha));
+    let mut ws = Workspace::with_oracle(n, OracleKind::Incremental);
+    let run = |game: &dyn Game, ws: &mut Workspace| {
+        let start = Instant::now();
+        let mut found = 0usize;
+        for _ in 0..reps {
+            for u in 0..n {
+                if game.best_response(&g, u, ws).is_some() {
+                    found += 1;
+                }
+            }
+        }
+        (start.elapsed().as_secs_f64(), found)
+    };
+    let (delta_s, found_delta) = run(&delta_game, &mut ws);
+    let (apply_undo_s, found_fallback) = run(&fallback_game, &mut ws);
+    assert_eq!(
+        found_delta, found_fallback,
+        "n={n}: both paths must agree on who has a best response"
+    );
+    SetOwnedRow {
+        n,
+        reps,
+        delta_s,
+        apply_undo_s,
+    }
+}
+
+struct SweepRow {
+    family: &'static str,
+    n: usize,
+    times: Vec<f64>,
+    steps: usize,
+}
+
 fn main() {
     let scale = parse_scale();
     let engines = [
         EngineSpec::baseline(),
         EngineSpec::default(),
+        EngineSpec::persistent(),
         EngineSpec::fast(),
+        EngineSpec::fastest(),
     ];
     let mut ns = Vec::new();
     let mut n = 64usize;
@@ -92,11 +166,20 @@ fn main() {
             .collect::<Vec<_>>()
             .join(", ")
     );
+    let mut sweep_rows = Vec::new();
     for family in [GameFamily::AsgSum, GameFamily::GbgSum] {
         println!("\nfamily {}", family.label());
         println!(
-            "{:>6} {:>16} {:>16} {:>16} {:>9} {:>9}",
-            "n", "full-bfs [s]", "incremental [s]", "inc+dirty [s]", "speedup", "steps"
+            "{:>6} {:>13} {:>13} {:>13} {:>13} {:>13} {:>9} {:>9} {:>9}",
+            "n",
+            "full-bfs [s]",
+            "increm [s]",
+            "persist [s]",
+            "inc+dirty [s]",
+            "pers+dirty[s]",
+            "p/inc",
+            "pd/full",
+            "steps"
         );
         for &n in &ns {
             let mut times = Vec::new();
@@ -108,14 +191,95 @@ fn main() {
                 steps = s;
             }
             println!(
-                "{:>6} {:>16.4} {:>16.4} {:>16.4} {:>8.1}x {:>9}",
+                "{:>6} {:>13.4} {:>13.4} {:>13.4} {:>13.4} {:>13.4} {:>8.2}x {:>8.2}x {:>9}",
                 n,
                 times[0],
                 times[1],
                 times[2],
-                times[0] / times[2].max(1e-9),
+                times[3],
+                times[4],
+                times[1] / times[2].max(1e-9),
+                times[0] / times[4].max(1e-9),
                 steps
             );
+            sweep_rows.push(SweepRow {
+                family: family.label(),
+                n,
+                times,
+                steps,
+            });
         }
+    }
+
+    // Buy-Game SetOwned series: delta scoring vs apply → BFS → undo.
+    let bg_ns: &[usize] = if scale.smoke { &[10] } else { &[10, 12, 14] };
+    let reps = if scale.smoke { 2 } else { 6 };
+    println!("\nBuy-Game SetOwned enumeration (delta path vs apply->BFS->undo)");
+    println!(
+        "{:>6} {:>6} {:>13} {:>15} {:>9}",
+        "n", "reps", "delta [s]", "apply-undo [s]", "speedup"
+    );
+    let mut set_owned_rows = Vec::new();
+    for &n in bg_ns {
+        let row = measure_set_owned(n, reps);
+        println!(
+            "{:>6} {:>6} {:>13.4} {:>15.4} {:>8.2}x",
+            row.n,
+            row.reps,
+            row.delta_s,
+            row.apply_undo_s,
+            row.apply_undo_s / row.delta_s.max(1e-9)
+        );
+        set_owned_rows.push(row);
+    }
+
+    if let Some(path) = &scale.json {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"smoke\": {},", scale.smoke);
+        let _ = writeln!(out, "  \"trials\": {},", scale.trials);
+        let labels: Vec<String> = engines.iter().map(|e| e.label()).collect();
+        out.push_str("  \"sweep\": [\n");
+        for (i, row) in sweep_rows.iter().enumerate() {
+            let engines_json: Vec<String> = labels
+                .iter()
+                .zip(&row.times)
+                .map(|(l, t)| format!("\"{l}\": {t:.6}"))
+                .collect();
+            let _ = write!(
+                out,
+                "    {{\"family\": \"{}\", \"n\": {}, \"steps\": {}, \"seconds\": {{{}}}}}",
+                row.family,
+                row.n,
+                row.steps,
+                engines_json.join(", ")
+            );
+            out.push_str(if i + 1 < sweep_rows.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"set_owned\": [\n");
+        for (i, row) in set_owned_rows.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"n\": {}, \"reps\": {}, \"delta_s\": {:.6}, \"apply_undo_s\": {:.6}, \"speedup\": {:.3}}}",
+                row.n,
+                row.reps,
+                row.delta_s,
+                row.apply_undo_s,
+                row.apply_undo_s / row.delta_s.max(1e-9)
+            );
+            out.push_str(if i + 1 < set_owned_rows.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        std::fs::write(path, out).expect("write json snapshot");
+        println!("\nwrote {path}");
     }
 }

@@ -12,7 +12,44 @@
 
 #![forbid(unsafe_code)]
 
+use ncg_core::cost::{DistanceMetric, EdgeCostMode};
+use ncg_core::moves::Move;
+use ncg_core::Game;
+use ncg_graph::{BfsBuffer, HostGraph, NodeId, OwnedGraph};
 use ncg_sim::{render_csv, render_table, FigureData, FigureDef};
+
+/// Forces the apply → BFS → undo fallback for every candidate by claiming a
+/// consent requirement — the historical whole-strategy scoring path. Used by
+/// the `oracle_ablation` bench and binary as the baseline of the Buy-Game
+/// `SetOwned` delta-scoring series.
+pub struct ConsentForced<G>(pub G);
+
+impl<G: Game> Game for ConsentForced<G> {
+    fn name(&self) -> String {
+        format!("{}+apply-undo", self.0.name())
+    }
+    fn metric(&self) -> DistanceMetric {
+        self.0.metric()
+    }
+    fn alpha(&self) -> f64 {
+        self.0.alpha()
+    }
+    fn edge_cost_mode(&self) -> EdgeCostMode {
+        self.0.edge_cost_mode()
+    }
+    fn host(&self) -> &HostGraph {
+        self.0.host()
+    }
+    fn cost(&self, g: &OwnedGraph, u: NodeId, buf: &mut BfsBuffer) -> f64 {
+        self.0.cost(g, u, buf)
+    }
+    fn candidate_moves(&self, g: &OwnedGraph, u: NodeId, out: &mut Vec<Move>) {
+        self.0.candidate_moves(g, u, out)
+    }
+    fn needs_consent(&self) -> bool {
+        true
+    }
+}
 
 /// Scale parameters of a regeneration run.
 #[derive(Debug, Clone, Copy)]

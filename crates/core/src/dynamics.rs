@@ -198,8 +198,11 @@ pub struct Dynamics<'a, G: Game + ?Sized> {
     /// re-verification sweep runs so termination is exact even if the dirty
     /// heuristic under-approximated.
     confirm_pending: bool,
-    /// Scratch distance vectors of the move endpoints (pre-move state).
+    /// Scratch distance vectors of the move endpoints (pre-move state; only
+    /// used with non-persistent oracles, which cannot export a diff).
     pre_dists: Vec<Vec<u32>>,
+    /// Scratch for the persistent oracle's exact changed-vertex export.
+    changed_scratch: Vec<NodeId>,
     /// Reusable per-thread workspaces of the parallel scan (empty until the
     /// first [`Dynamics::step_parallel`] call).
     par_pool: Vec<Workspace>,
@@ -224,6 +227,7 @@ impl<'a, G: Game + ?Sized> Dynamics<'a, G> {
             cost_fresh: vec![false; n],
             confirm_pending: false,
             pre_dists: Vec::new(),
+            changed_scratch: Vec::new(),
             par_pool: Vec::new(),
         };
         if dyn_.config.detect_cycles {
@@ -316,20 +320,39 @@ impl<'a, G: Game + ?Sized> Dynamics<'a, G> {
         self.ws.oracle_stats()
     }
 
+    /// True iff the workspace's oracle carries distance vectors across steps
+    /// and can export exact change sets.
+    fn persistent_oracle(&self) -> bool {
+        self.ws.oracle_kind() == OracleKind::Persistent
+    }
+
     /// The vertices whose distance vectors a single-edge move by `agent` can
-    /// touch, together with their pre-move distance vectors. `None` means the
-    /// move is a whole-strategy change and everything must be invalidated.
+    /// touch. `None` means the move is a whole-strategy change and everything
+    /// must be invalidated.
+    ///
+    /// With a non-persistent oracle the endpoints' pre-move distance vectors
+    /// are snapshotted (one BFS each) so the post-move diff can be computed.
+    /// With the persistent oracle the endpoints are instead pinned into the
+    /// oracle's per-source cache at the pre-move version: the post-move re-pin
+    /// then replays exactly this move's deltas and exports the exact
+    /// changed-vertex set for free — no endpoint BFS at all.
     fn snapshot_endpoints(&mut self, agent: NodeId, mv: &Move) -> Option<Vec<NodeId>> {
         let endpoints: Vec<NodeId> = match *mv {
             Move::Swap { from, to } => vec![agent, from, to],
             Move::Buy { to } | Move::Delete { to } => vec![agent, to],
             Move::SetOwned { .. } | Move::SetNeighbors { .. } => return None,
         };
-        self.pre_dists.resize(endpoints.len(), Vec::new());
-        for (i, &e) in endpoints.iter().enumerate() {
-            let dist = self.ws.bfs.run(&self.graph, e);
-            self.pre_dists[i].clear();
-            self.pre_dists[i].extend_from_slice(dist);
+        if self.persistent_oracle() {
+            for &e in &endpoints {
+                let _ = self.ws.evaluator.begin_agent(&self.graph, e);
+            }
+        } else {
+            self.pre_dists.resize(endpoints.len(), Vec::new());
+            for (i, &e) in endpoints.iter().enumerate() {
+                let dist = self.ws.bfs.run(&self.graph, e);
+                self.pre_dists[i].clear();
+                self.pre_dists[i].extend_from_slice(dist);
+            }
         }
         Some(endpoints)
     }
@@ -341,9 +364,30 @@ impl<'a, G: Game + ?Sized> Dynamics<'a, G> {
     fn invalidate_after_move(&mut self, agent: NodeId, endpoints: Option<Vec<NodeId>>) {
         let n = self.graph.num_nodes();
         match endpoints {
-            None => {
-                self.verified_happy.iter_mut().for_each(|f| *f = false);
-                self.cost_fresh.iter_mut().for_each(|f| *f = false);
+            None => self.invalidate_all(),
+            Some(endpoints) if self.persistent_oracle() => {
+                let mut changed = std::mem::take(&mut self.changed_scratch);
+                for &e in &endpoints {
+                    let (_, exact) =
+                        self.ws
+                            .evaluator
+                            .begin_agent_diff(&self.graph, e, &mut changed);
+                    if !exact {
+                        // The oracle had to re-pin from scratch (cold cache or
+                        // staleness); no diff available — be conservative.
+                        self.invalidate_all();
+                        break;
+                    }
+                    for &x in &changed {
+                        self.verified_happy[x] = false;
+                        self.cost_fresh[x] = false;
+                    }
+                    self.verified_happy[e] = false;
+                    self.cost_fresh[e] = false;
+                }
+                self.verified_happy[agent] = false;
+                self.cost_fresh[agent] = false;
+                self.changed_scratch = changed;
             }
             Some(endpoints) => {
                 for (i, &e) in endpoints.iter().enumerate() {
@@ -366,6 +410,11 @@ impl<'a, G: Game + ?Sized> Dynamics<'a, G> {
         self.confirm_pending = true;
     }
 
+    fn invalidate_all(&mut self) {
+        self.verified_happy.iter_mut().for_each(|f| *f = false);
+        self.cost_fresh.iter_mut().for_each(|f| *f = false);
+    }
+
     /// Lazy mover selection: agents verified happy since their last
     /// invalidation are skipped; before concluding that the state is stable,
     /// one full re-verification sweep runs against the final graph.
@@ -375,9 +424,17 @@ impl<'a, G: Game + ?Sized> Dynamics<'a, G> {
             let mut order: Vec<NodeId> = (0..n).collect();
             match self.config.policy {
                 Policy::MaxCost => {
+                    // `workspace_cost` refreshes an invalidated cost through
+                    // the persistent oracle's cross-step cache when available
+                    // (a cheap journal replay instead of a BFS).
                     for u in 0..n {
                         if !self.cost_fresh[u] && !self.verified_happy[u] {
-                            self.cached_cost[u] = self.game.cost(&self.graph, u, &mut self.ws.bfs);
+                            self.cached_cost[u] = crate::game::workspace_cost(
+                                self.game,
+                                &self.graph,
+                                u,
+                                &mut self.ws,
+                            );
                             self.cost_fresh[u] = true;
                         }
                     }
@@ -517,7 +574,7 @@ impl<'a, G: Game + Sync + ?Sized> Dynamics<'a, G> {
             |game, g, u, ws| {
                 let unhappy = game.has_improving_move(g, u, ws);
                 let cost = if need_cost {
-                    game.cost(g, u, &mut ws.bfs)
+                    crate::game::workspace_cost(game, g, u, ws)
                 } else {
                     0.0
                 };
@@ -663,7 +720,11 @@ mod tests {
         // scan, but every run must still end in a genuinely stable network
         // (the final confirmation sweep makes termination exact).
         use crate::equilibrium::is_stable;
-        for kind in [OracleKind::FullBfs, OracleKind::Incremental] {
+        for kind in [
+            OracleKind::FullBfs,
+            OracleKind::Incremental,
+            OracleKind::Persistent,
+        ] {
             let mut rng = StdRng::seed_from_u64(17);
             let n = 18;
             let g = generators::random_with_m_edges(n, 2 * n, &mut rng);
@@ -698,6 +759,52 @@ mod tests {
             assert!(out.converged(), "n={n}");
             assert!(is_tree(&out.final_graph));
             assert!(out.steps <= 2 * n, "n={n}: {} steps", out.steps);
+        }
+    }
+
+    #[test]
+    fn persistent_engine_matches_incremental_trajectories() {
+        // Same seed, same config, different oracle backend: the scoring is
+        // exact in both, so the recorded move sequences must be identical.
+        let mut seed_rng = StdRng::seed_from_u64(40);
+        let n = 14;
+        let g = generators::random_with_m_edges(n, 2 * n, &mut seed_rng);
+        let game = GreedyBuyGame::sum(n as f64 / 4.0);
+        let run = |kind: OracleKind| {
+            let mut rng = StdRng::seed_from_u64(99);
+            let mut cfg = DynamicsConfig::simulation(400 * n).with_oracle(kind);
+            cfg.record_trajectory = true;
+            run_dynamics(&game, &g, &cfg, &mut rng)
+        };
+        let reference = run(OracleKind::FullBfs);
+        for kind in [OracleKind::Incremental, OracleKind::Persistent] {
+            let out = run(kind);
+            assert_eq!(out.termination, reference.termination, "{}", kind.label());
+            assert_eq!(out.trajectory, reference.trajectory, "{}", kind.label());
+            assert_eq!(out.final_graph, reference.final_graph, "{}", kind.label());
+        }
+    }
+
+    #[test]
+    fn persistent_dirty_engine_certifies_exact_equilibria() {
+        // The oracle-exported changed-vertex invalidation plus the final
+        // confirmation sweep must still end in a genuine pure Nash
+        // equilibrium, with every recorded move strictly improving.
+        use crate::equilibrium::is_stable;
+        let mut rng = StdRng::seed_from_u64(53);
+        let n = 20;
+        let g = generators::random_with_m_edges(n, 2 * n, &mut rng);
+        let game = GreedyBuyGame::sum(n as f64 / 4.0);
+        let mut cfg = DynamicsConfig::simulation(400 * n)
+            .with_oracle(OracleKind::Persistent)
+            .with_dirty_agents(true);
+        cfg.record_trajectory = true;
+        let out = run_dynamics(&game, &g, &cfg, &mut rng);
+        assert!(out.converged());
+        let mut ws = Workspace::new(n);
+        assert!(is_stable(&game, &out.final_graph, &mut ws));
+        for rec in &out.trajectory {
+            assert!(rec.new_cost < rec.old_cost, "step {}", rec.step);
         }
     }
 

@@ -2,15 +2,23 @@
 //!
 //! [`CostEvaluator`] is the bridge between the game layer and
 //! [`ncg_graph::oracle`]: it pins the moving agent's base distance vector once
-//! per best-response scan and then scores every single-edge candidate move
-//! ([`Move::Swap`], [`Move::Buy`], [`Move::Delete`]) as a pair of
-//! [`EdgeDelta`]s — no graph mutation, no full BFS per candidate. The edge-cost
-//! component of the agent's cost is reconstructed arithmetically from the move
-//! kind, so a candidate evaluation never needs the mutated graph at all.
+//! per best-response scan and then scores every candidate move as an ordered
+//! [`EdgeDelta`] sequence — no graph mutation, no full BFS per candidate. The
+//! edge-cost component of the agent's cost is reconstructed arithmetically
+//! from the move kind, so a candidate evaluation never needs the mutated
+//! graph at all.
 //!
-//! Whole-strategy moves ([`Move::SetOwned`], [`Move::SetNeighbors`]) and games
-//! that need a consent check on the post-move state fall back to the classic
-//! apply → BFS → undo cycle in [`crate::game`].
+//! Single-edge moves ([`Move::Swap`], [`Move::Buy`], [`Move::Delete`]) map to
+//! one or two deltas. Whole-strategy moves ([`Move::SetOwned`],
+//! [`Move::SetNeighbors`]) map to their full remove/insert sequence, emitted
+//! in **descending vertex order**: the Buy-Game enumeration walks strategy
+//! subsets in Gray-code order (consecutive masks toggle one low pool element),
+//! so consecutive candidates share a long delta-sequence prefix and the
+//! incremental oracle's delta-stack prefix reuse pays the shared repairs only
+//! once across the exponential enumeration.
+//!
+//! Games that need a consent check on the post-move state fall back to the
+//! classic apply → BFS → undo cycle in [`crate::game`].
 
 use crate::cost::EdgeCostMode;
 use crate::moves::Move;
@@ -25,7 +33,9 @@ pub enum DeltaScore {
     /// The move does not apply in the current state (mirrors the moves
     /// rejected by [`crate::moves::apply_move`]); skip it.
     Inapplicable,
-    /// The move is not expressible as edge deltas; use the fallback path.
+    /// The move is not expressible as edge deltas (e.g. a whole-strategy
+    /// change whose vertex list violates the sorted/no-duplicates contract);
+    /// use the fallback path.
     Unsupported,
 }
 
@@ -94,14 +104,95 @@ impl CostEvaluator {
                 }
                 self.deltas.push(EdgeDelta::Remove { u, v: to });
             }
-            Move::SetOwned { .. } | Move::SetNeighbors { .. } => {
-                return DeltaScore::Unsupported;
+            Move::SetOwned { ref new_owned } => {
+                if !strictly_sorted(new_owned) {
+                    return DeltaScore::Unsupported;
+                }
+                if new_owned.iter().any(|&v| v == u || v >= g.num_nodes()) {
+                    return DeltaScore::Inapplicable;
+                }
+                push_set_deltas(g.owned_neighbors(u), new_owned, g, u, &mut self.deltas);
+            }
+            Move::SetNeighbors { ref new_neighbors } => {
+                if !strictly_sorted(new_neighbors) {
+                    return DeltaScore::Unsupported;
+                }
+                if new_neighbors.iter().any(|&v| v == u || v >= g.num_nodes()) {
+                    return DeltaScore::Inapplicable;
+                }
+                push_set_deltas(g.neighbors(u), new_neighbors, g, u, &mut self.deltas);
             }
         }
         let deltas = std::mem::take(&mut self.deltas);
         let summary = self.oracle.evaluate(&deltas);
         self.deltas = deltas;
         DeltaScore::Summary(summary)
+    }
+
+    /// Pins `(g, src)` like [`CostEvaluator::begin_agent`] and additionally
+    /// reports the exact vertices whose base distance changed since the last
+    /// pin of the same source, when the backend can tell (persistent oracle
+    /// served by journal replay). `None` means the caller must treat every
+    /// vertex as potentially changed.
+    pub fn begin_agent_diff(
+        &mut self,
+        g: &OwnedGraph,
+        src: NodeId,
+        changed: &mut Vec<NodeId>,
+    ) -> (DistanceSummary, bool) {
+        let summary = self.oracle.begin(g, src);
+        match self.oracle.changed_since_begin() {
+            Some(diff) => {
+                changed.clear();
+                changed.extend(diff.iter().map(|&x| x as NodeId));
+                (summary, true)
+            }
+            None => (summary, false),
+        }
+    }
+}
+
+/// `true` iff the slice is strictly ascending (the documented contract of the
+/// whole-strategy moves; unsorted inputs take the scratch fallback instead).
+fn strictly_sorted(v: &[NodeId]) -> bool {
+    v.windows(2).all(|w| w[0] < w[1])
+}
+
+/// Emits the delta sequence turning agent `u`'s incident edge set from `old`
+/// into `new` (both strictly ascending), in **descending vertex order**.
+///
+/// The descending order is what makes Gray-code strategy enumeration fast:
+/// each pool element contributes at most one delta whose presence depends
+/// only on that element's membership bit, so consecutive masks that toggle a
+/// low element share the entire high-element delta prefix on the oracle's
+/// delta stack.
+///
+/// Inserts of edges that already exist (foreign-owned edges in a `SetOwned`
+/// strategy) are skipped — buying them transfers no structure, exactly as
+/// [`crate::moves::apply_move`] treats them.
+fn push_set_deltas(
+    old: &[NodeId],
+    new: &[NodeId],
+    g: &OwnedGraph,
+    u: NodeId,
+    out: &mut Vec<EdgeDelta>,
+) {
+    let (mut i, mut j) = (old.len(), new.len());
+    while i > 0 || j > 0 {
+        if j == 0 || (i > 0 && old[i - 1] > new[j - 1]) {
+            i -= 1;
+            out.push(EdgeDelta::Remove { u, v: old[i] });
+        } else if i == 0 || new[j - 1] > old[i - 1] {
+            j -= 1;
+            let v = new[j];
+            if !g.has_edge(u, v) {
+                out.push(EdgeDelta::Insert { u, v });
+            }
+        } else {
+            // Present on both sides: the edge is kept.
+            i -= 1;
+            j -= 1;
+        }
     }
 }
 
@@ -113,11 +204,14 @@ impl std::fmt::Debug for CostEvaluator {
     }
 }
 
-/// Edge-cost of agent `u` *after* performing the single-edge move `mv`,
-/// reconstructed without mutating the graph.
+/// Edge-cost of agent `u` *after* performing the move `mv`, reconstructed
+/// without mutating the graph.
 ///
-/// Only meaningful for the move kinds [`CostEvaluator::try_score`] supports;
-/// whole-strategy moves take the fallback path which measures the real state.
+/// Covers every move kind [`CostEvaluator::try_score`] supports, including
+/// the whole-strategy changes: an edge named in a `SetOwned` / `SetNeighbors`
+/// strategy that already exists as a *foreign-owned* edge stays with its
+/// owner, so the mover is not charged for it (mirroring
+/// [`crate::moves::apply_move`]).
 pub fn edge_cost_after(
     g: &OwnedGraph,
     u: NodeId,
@@ -125,34 +219,50 @@ pub fn edge_cost_after(
     mode: EdgeCostMode,
     alpha: f64,
 ) -> f64 {
+    // Edges of `new` that agent `u` pays for afterwards: kept own edges plus
+    // genuinely new ones (foreign-owned existing edges stay foreign).
+    let owned_after = |new: &[NodeId]| {
+        new.iter()
+            .filter(|&&v| g.owns_edge(u, v) || !g.has_edge(u, v))
+            .count() as isize
+    };
     match mode {
         EdgeCostMode::Free => 0.0,
         EdgeCostMode::OwnerPays => {
-            let owned = g.owned_degree(u) as isize
-                + match *mv {
-                    Move::Buy { .. } => 1,
-                    Move::Delete { .. } => -1,
-                    // Swapping an owned edge keeps the owned degree; swapping a
-                    // foreign-owned edge (symmetric Swap Game) transfers the
-                    // replacement edge to the mover.
-                    Move::Swap { from, .. } => {
-                        if g.owns_edge(u, from) {
-                            0
-                        } else {
-                            1
-                        }
-                    }
-                    Move::SetOwned { .. } | Move::SetNeighbors { .. } => 0,
-                };
+            let owned = match *mv {
+                Move::Buy { .. } => g.owned_degree(u) as isize + 1,
+                Move::Delete { .. } => g.owned_degree(u) as isize - 1,
+                // Swapping an owned edge keeps the owned degree; swapping a
+                // foreign-owned edge (symmetric Swap Game) transfers the
+                // replacement edge to the mover.
+                Move::Swap { from, .. } => {
+                    g.owned_degree(u) as isize + isize::from(!g.owns_edge(u, from))
+                }
+                Move::SetOwned { ref new_owned } => owned_after(new_owned),
+                Move::SetNeighbors { ref new_neighbors } => owned_after(new_neighbors),
+            };
             alpha * owned.max(0) as f64
         }
         EdgeCostMode::EqualSplit => {
-            let degree = g.degree(u) as isize
-                + match *mv {
-                    Move::Buy { .. } => 1,
-                    Move::Delete { .. } => -1,
-                    _ => 0,
-                };
+            let degree = match *mv {
+                Move::Buy { .. } => g.degree(u) as isize + 1,
+                Move::Delete { .. } => g.degree(u) as isize - 1,
+                Move::Swap { .. } => g.degree(u) as isize,
+                // The neighbour set is replaced wholesale.
+                Move::SetNeighbors { ref new_neighbors } => new_neighbors.len() as isize,
+                // Own edges not kept disappear, absent strategy edges appear;
+                // foreign edges are untouched either way.
+                Move::SetOwned { ref new_owned } => {
+                    let inserted =
+                        new_owned.iter().filter(|&&v| !g.has_edge(u, v)).count() as isize;
+                    let removed = g
+                        .owned_neighbors(u)
+                        .iter()
+                        .filter(|&v| new_owned.binary_search(v).is_err())
+                        .count() as isize;
+                    g.degree(u) as isize + inserted - removed
+                }
+            };
             alpha / 2.0 * degree.max(0) as f64
         }
     }
@@ -164,7 +274,7 @@ mod tests {
     use crate::cost::agent_cost_total;
     use crate::cost::DistanceMetric;
     use crate::moves::apply_move;
-    use ncg_graph::{generators, BfsBuffer};
+    use ncg_graph::{generators, BfsBuffer, OwnedGraph};
 
     /// Delta scoring must agree exactly with apply + BFS for every supported
     /// move kind and both backends.
@@ -181,8 +291,25 @@ mod tests {
             Move::Buy { to: 8 },
             Move::Delete { to: 1 },
             Move::Delete { to: 5 },
+            Move::SetOwned { new_owned: vec![] },
+            Move::SetOwned {
+                new_owned: vec![3, 6],
+            },
+            Move::SetOwned {
+                new_owned: vec![1, 2, 8],
+            },
+            Move::SetNeighbors {
+                new_neighbors: vec![4],
+            },
+            Move::SetNeighbors {
+                new_neighbors: vec![1, 5, 7],
+            },
         ];
-        for kind in [OracleKind::FullBfs, OracleKind::Incremental] {
+        for kind in [
+            OracleKind::FullBfs,
+            OracleKind::Incremental,
+            OracleKind::Persistent,
+        ] {
             for u in 0..g.num_nodes() {
                 let mut evaluator = CostEvaluator::new(kind, g.num_nodes());
                 evaluator.begin_agent(&g, u);
@@ -217,8 +344,10 @@ mod tests {
                             };
                             let scored =
                                 edge_cost_after(&g, u, mv, mode, alpha) + metric.distance_cost(&s);
+                            // Exact equality for infinite costs (disconnecting
+                            // strategies), tolerance for the finite ones.
                             assert!(
-                                (measured - scored).abs() < 1e-12,
+                                measured == scored || (measured - scored).abs() < 1e-12,
                                 "{} agent {u} move {mv:?}: {measured} vs {scored}",
                                 kind.label()
                             );
@@ -230,12 +359,43 @@ mod tests {
     }
 
     #[test]
-    fn whole_strategy_moves_are_unsupported() {
+    fn whole_strategy_moves_score_through_deltas() {
+        // A SetOwned strategy naming a foreign-owned edge must neither insert
+        // nor charge for it; the distance summary matches the applied state.
+        let g = OwnedGraph::from_owned_edges(5, &[(0, 1), (0, 2), (3, 0), (3, 4)]);
+        let mut evaluator = CostEvaluator::new(OracleKind::Incremental, 5);
+        evaluator.begin_agent(&g, 0);
+        let mv = Move::SetOwned {
+            new_owned: vec![3, 4],
+        };
+        let mut h = g.clone();
+        apply_move(&mut h, 0, &mv).expect("strategy applies");
+        let mut buf = BfsBuffer::new(5);
+        assert_eq!(
+            evaluator.try_score(&g, 0, &mv),
+            DeltaScore::Summary(buf.summary(&h, 0))
+        );
+        // {0,3} stays owned (and paid) by 3: agent 0 only pays for {0,4}.
+        assert_eq!(
+            edge_cost_after(&g, 0, &mv, EdgeCostMode::OwnerPays, 2.0),
+            2.0
+        );
+        assert_eq!(h.owned_degree(0), 1);
+    }
+
+    #[test]
+    fn unsorted_strategy_lists_take_the_fallback() {
         let g = generators::path(4);
         let mut evaluator = CostEvaluator::new(OracleKind::Incremental, 4);
         evaluator.begin_agent(&g, 0);
         assert_eq!(
-            evaluator.try_score(&g, 0, &Move::SetOwned { new_owned: vec![2] }),
+            evaluator.try_score(
+                &g,
+                0,
+                &Move::SetOwned {
+                    new_owned: vec![3, 2]
+                }
+            ),
             DeltaScore::Unsupported
         );
         assert_eq!(
@@ -243,11 +403,33 @@ mod tests {
                 &g,
                 0,
                 &Move::SetNeighbors {
-                    new_neighbors: vec![2]
+                    new_neighbors: vec![2, 2]
                 }
             ),
             DeltaScore::Unsupported
         );
+    }
+
+    #[test]
+    fn set_deltas_are_emitted_in_descending_vertex_order() {
+        // Descending order is the contract that makes Gray-code enumeration
+        // share delta-stack prefixes: the toggled (low) pool element's delta
+        // sits at the end of the sequence.
+        let g = OwnedGraph::from_owned_edges(6, &[(0, 1), (0, 4), (2, 0)]);
+        let mut out = Vec::new();
+        push_set_deltas(g.owned_neighbors(0), &[3, 4, 5], &g, 0, &mut out);
+        assert_eq!(
+            out,
+            vec![
+                EdgeDelta::Insert { u: 0, v: 5 },
+                EdgeDelta::Insert { u: 0, v: 3 },
+                EdgeDelta::Remove { u: 0, v: 1 },
+            ]
+        );
+        // Foreign-owned edge {0,2} named in the strategy: no delta.
+        out.clear();
+        push_set_deltas(g.owned_neighbors(0), &[1, 2, 4], &g, 0, &mut out);
+        assert!(out.is_empty(), "keeping everything is a structural no-op");
     }
 
     #[test]

@@ -195,6 +195,31 @@ pub trait Game {
     }
 }
 
+/// Cost of agent `u` measured through the workspace.
+///
+/// With a persistent oracle and a game following the standard
+/// `edge + distance` decomposition (every non-consent game, per the
+/// [`Game::cost`] override contract), the oracle's cross-step journal replay
+/// answers in time proportional to the region the last moves actually changed
+/// instead of one BFS per agent — this is what makes the per-step max-cost
+/// policy scan cheap. The value is *identical* to [`Game::cost`]: both
+/// compute `edge_cost(g, u) + metric(distance summary of u)` on the exact
+/// distance vector. Consent games (which may override `Game::cost`) always
+/// take the honest measurement.
+pub fn workspace_cost<G: Game + ?Sized>(
+    game: &G,
+    g: &OwnedGraph,
+    u: NodeId,
+    ws: &mut Workspace,
+) -> f64 {
+    if ws.oracle_kind() == OracleKind::Persistent && !game.needs_consent() {
+        let summary = ws.evaluator.begin_agent(g, u);
+        game.edge_cost_mode().edge_cost(g, u, game.alpha()) + game.metric().distance_cost(&summary)
+    } else {
+        game.cost(g, u, &mut ws.bfs)
+    }
+}
+
 /// How [`scan_moves`] terminates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum ScanMode {

@@ -94,10 +94,14 @@ impl Game for BilateralBuyGame {
         );
         let current: Vec<NodeId> = g.neighbors(u).to_vec();
         let k = pool.len();
-        for mask in 0u64..(1u64 << k) {
+        // Gray-code order, mirroring BuyGame::candidate_moves (the bilateral
+        // game scores through the consent fallback, but the shared order keeps
+        // candidate enumeration conventions — and future delta paths — aligned).
+        for i in 0u64..(1u64 << k) {
+            let mask = i ^ (i >> 1);
             let new_neighbors: Vec<NodeId> = (0..k)
-                .filter(|&i| mask & (1 << i) != 0)
-                .map(|i| pool[i])
+                .filter(|&b| mask & (1 << b) != 0)
+                .map(|b| pool[b])
                 .collect();
             if new_neighbors == current {
                 continue;

@@ -101,10 +101,17 @@ impl Game for BuyGame {
         );
         let current: Vec<NodeId> = g.owned_neighbors(u).to_vec();
         let k = pool.len();
-        for mask in 0u64..(1u64 << k) {
+        // Reflected-Gray-code order: consecutive masks toggle exactly one
+        // (usually low) pool element. Combined with the evaluator's
+        // descending-vertex delta sequences this lets the incremental oracle
+        // reuse the shared high-element delta prefix between consecutive
+        // candidates, so the exponential enumeration pays each prefix repair
+        // once instead of once per subset.
+        for i in 0u64..(1u64 << k) {
+            let mask = i ^ (i >> 1);
             let new_owned: Vec<NodeId> = (0..k)
-                .filter(|&i| mask & (1 << i) != 0)
-                .map(|i| pool[i])
+                .filter(|&b| mask & (1 << b) != 0)
+                .map(|b| pool[b])
                 .collect();
             if new_owned == current {
                 continue; // the unchanged strategy is never an improving move

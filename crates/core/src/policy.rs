@@ -69,7 +69,13 @@ impl Policy {
                 if tie_break == TieBreak::Random {
                     order.shuffle(rng);
                 }
-                let costs: Vec<f64> = (0..n).map(|u| game.cost(g, u, &mut ws.bfs)).collect();
+                // `workspace_cost` serves the per-agent costs from the
+                // persistent oracle's cross-step cache when available — the
+                // value is identical to `Game::cost`, so mover selection (and
+                // hence the trajectory) does not depend on the backend.
+                let costs: Vec<f64> = (0..n)
+                    .map(|u| crate::game::workspace_cost(game, g, u, ws))
+                    .collect();
                 // Stable sort: the shuffled order implements random tie-breaking.
                 order.sort_by(|&a, &b| {
                     costs[b]

@@ -7,9 +7,57 @@
 //! set of neighbours it owns an edge to.
 
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Index of an agent / vertex. Agents are densely numbered `0..n`.
 pub type NodeId = usize;
+
+/// Source of unique lineage ids; every graph (and every clone of one) gets its
+/// own lineage so a [`GraphVersion`] can never be replayed against a history it
+/// was not taken from.
+static NEXT_LINEAGE: AtomicU64 = AtomicU64::new(1);
+
+/// Journal entries older than this are discarded; readers holding a version
+/// from before the retained window fall back to a full recomputation.
+const JOURNAL_RETAIN: usize = 2048;
+
+/// One structural change recorded in a graph's change journal.
+///
+/// Only the undirected edge set is journaled — ownership transfers without a
+/// structural change do not affect distances and are invisible to the journal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeChange {
+    /// The undirected edge `{u, v}` was added.
+    Added {
+        /// One endpoint.
+        u: NodeId,
+        /// The other endpoint.
+        v: NodeId,
+    },
+    /// The undirected edge `{u, v}` was removed.
+    Removed {
+        /// One endpoint.
+        u: NodeId,
+        /// The other endpoint.
+        v: NodeId,
+    },
+}
+
+/// An opaque stamp of a graph's mutation history: the lineage the graph
+/// belongs to plus the number of structural changes applied so far.
+///
+/// Obtained from [`OwnedGraph::version`]; pass it back to
+/// [`OwnedGraph::changes_since`] to receive the exact edge deltas applied in
+/// between (or `None` when the histories are unrelated or the window has been
+/// discarded). Persistent distance oracles use this to carry distance vectors
+/// across dynamics steps and repair them by replaying the deltas instead of
+/// re-running a full BFS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GraphVersion {
+    lineage: u64,
+    pos: u64,
+}
 
 /// A reference to an edge together with its owner.
 ///
@@ -32,13 +80,62 @@ pub struct EdgeRef {
 ///   owned-neighbour list,
 /// * adjacency lists and owned lists are kept sorted so that iteration order is
 ///   deterministic and state encodings are canonical.
-#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct OwnedGraph {
     n: usize,
     /// `adj[u]` = sorted neighbours of `u` (both owned and non-owned edges).
     adj: Vec<Vec<NodeId>>,
     /// `owned[u]` = sorted neighbours `v` such that `u` owns the edge `{u, v}`.
     owned: Vec<Vec<NodeId>>,
+    /// Unique id of this graph's mutation history (fresh per clone).
+    lineage: u64,
+    /// Absolute journal position of `journal[0]` (entries before it were
+    /// discarded to bound memory).
+    journal_base: u64,
+    /// Structural changes applied since `journal_base`, newest last.
+    journal: Vec<EdgeChange>,
+}
+
+impl Clone for OwnedGraph {
+    /// Clones the structure; the clone starts a **fresh lineage** with an
+    /// empty journal, so versions taken on the original never replay against
+    /// the clone's (potentially diverging) history.
+    fn clone(&self) -> Self {
+        OwnedGraph {
+            n: self.n,
+            adj: self.adj.clone(),
+            owned: self.owned.clone(),
+            lineage: NEXT_LINEAGE.fetch_add(1, Ordering::Relaxed),
+            journal_base: 0,
+            journal: Vec::new(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.n = source.n;
+        self.adj.clone_from(&source.adj);
+        self.owned.clone_from(&source.owned);
+        self.lineage = NEXT_LINEAGE.fetch_add(1, Ordering::Relaxed);
+        self.journal_base = 0;
+        self.journal.clear();
+    }
+}
+
+/// Equality is structural (vertex count, edges, ownership); the mutation
+/// history is book-keeping and does not participate.
+impl PartialEq for OwnedGraph {
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n && self.adj == other.adj && self.owned == other.owned
+    }
+}
+
+impl Eq for OwnedGraph {}
+
+impl Hash for OwnedGraph {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.n.hash(state);
+        self.adj.hash(state);
+        self.owned.hash(state);
+    }
 }
 
 impl OwnedGraph {
@@ -48,7 +145,50 @@ impl OwnedGraph {
             n,
             adj: vec![Vec::new(); n],
             owned: vec![Vec::new(); n],
+            lineage: NEXT_LINEAGE.fetch_add(1, Ordering::Relaxed),
+            journal_base: 0,
+            journal: Vec::new(),
         }
+    }
+
+    /// The current version stamp: lineage id plus number of structural
+    /// changes ever applied to this graph instance.
+    #[inline]
+    pub fn version(&self) -> GraphVersion {
+        GraphVersion {
+            lineage: self.lineage,
+            pos: self.journal_base + self.journal.len() as u64,
+        }
+    }
+
+    /// The exact structural changes applied since `since` was taken, oldest
+    /// first.
+    ///
+    /// Returns `None` if `since` belongs to a different lineage (another graph
+    /// instance or a clone), lies in the discarded part of the journal, or is
+    /// ahead of the current version — in all of which cases the caller must
+    /// recompute from scratch.
+    pub fn changes_since(&self, since: GraphVersion) -> Option<&[EdgeChange]> {
+        if since.lineage != self.lineage
+            || since.pos < self.journal_base
+            || since.pos > self.journal_base + self.journal.len() as u64
+        {
+            return None;
+        }
+        let start = (since.pos - self.journal_base) as usize;
+        Some(&self.journal[start..])
+    }
+
+    /// Appends one change to the journal, discarding the oldest half once the
+    /// retained window overflows (readers holding versions from before the
+    /// window simply fall back to a full recomputation).
+    fn record(&mut self, change: EdgeChange) {
+        if self.journal.len() >= JOURNAL_RETAIN {
+            let drop = JOURNAL_RETAIN / 2;
+            self.journal.drain(..drop);
+            self.journal_base += drop as u64;
+        }
+        self.journal.push(change);
     }
 
     /// Builds a graph from a list of owned edges `(owner, other)`.
@@ -150,6 +290,7 @@ impl OwnedGraph {
         insert_sorted(&mut self.adj[owner], other);
         insert_sorted(&mut self.adj[other], owner);
         insert_sorted(&mut self.owned[owner], other);
+        self.record(EdgeChange::Added { u: owner, v: other });
         true
     }
 
@@ -165,6 +306,7 @@ impl OwnedGraph {
         if !remove_sorted(&mut self.owned[u], v) {
             remove_sorted(&mut self.owned[v], u);
         }
+        self.record(EdgeChange::Removed { u, v });
         true
     }
 
@@ -409,5 +551,109 @@ mod tests {
     fn debug_format_lists_edges() {
         let g = OwnedGraph::from_owned_edges(3, &[(0, 1)]);
         assert_eq!(format!("{g:?}"), "OwnedGraph(n=3, edges=[0->1])");
+    }
+
+    #[test]
+    fn journal_records_structural_changes_in_order() {
+        let mut g = OwnedGraph::new(5);
+        let v0 = g.version();
+        assert_eq!(g.changes_since(v0), Some(&[][..]));
+        assert!(g.add_edge(0, 1));
+        assert!(g.add_edge(1, 2));
+        assert!(g.remove_edge(0, 1));
+        assert_eq!(
+            g.changes_since(v0),
+            Some(
+                &[
+                    EdgeChange::Added { u: 0, v: 1 },
+                    EdgeChange::Added { u: 1, v: 2 },
+                    EdgeChange::Removed { u: 0, v: 1 },
+                ][..]
+            )
+        );
+        let mid = g.version();
+        assert!(g.swap_owned_edge(1, 2, 4));
+        assert_eq!(
+            g.changes_since(mid),
+            Some(
+                &[
+                    EdgeChange::Removed { u: 1, v: 2 },
+                    EdgeChange::Added { u: 1, v: 4 },
+                ][..]
+            )
+        );
+        // Failed mutations leave the version untouched.
+        let v = g.version();
+        assert!(!g.add_edge(1, 4));
+        assert!(!g.remove_edge(0, 3));
+        assert_eq!(g.version(), v);
+    }
+
+    #[test]
+    fn ownership_only_changes_are_not_journaled() {
+        // set_owned_neighbors towards an existing foreign-owned edge leaves
+        // the structure (and hence the journal) unchanged.
+        let mut g = OwnedGraph::from_owned_edges(3, &[(1, 0)]);
+        let v = g.version();
+        assert!(g.set_owned_neighbors(0, &[]));
+        assert_eq!(g.version(), v);
+    }
+
+    #[test]
+    fn clones_start_a_fresh_lineage() {
+        let mut g = OwnedGraph::new(4);
+        g.add_edge(0, 1);
+        let v = g.version();
+        let mut c = g.clone();
+        assert_eq!(g, c, "clone is structurally identical");
+        assert!(
+            c.changes_since(v).is_none(),
+            "versions never cross lineages"
+        );
+        // Diverge the clone; the original's journal is unaffected.
+        c.add_edge(2, 3);
+        assert_eq!(g.changes_since(v), Some(&[][..]));
+        let mut d = OwnedGraph::new(4);
+        d.clone_from(&g);
+        assert!(d.changes_since(g.version()).is_none());
+        assert_eq!(d, g);
+    }
+
+    #[test]
+    fn journal_window_is_bounded() {
+        let mut g = OwnedGraph::new(3);
+        let ancient = g.version();
+        for _ in 0..3000 {
+            assert!(g.add_edge(0, 1));
+            assert!(g.remove_edge(0, 1));
+        }
+        assert!(
+            g.changes_since(ancient).is_none(),
+            "positions before the retained window are rejected"
+        );
+        let recent = g.version();
+        g.add_edge(1, 2);
+        assert_eq!(
+            g.changes_since(recent),
+            Some(&[EdgeChange::Added { u: 1, v: 2 }][..])
+        );
+    }
+
+    #[test]
+    fn equality_and_hash_ignore_history() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut a = OwnedGraph::new(3);
+        a.add_edge(0, 1);
+        a.add_edge(1, 2);
+        a.remove_edge(1, 2);
+        let b = OwnedGraph::from_owned_edges(3, &[(0, 1)]);
+        assert_eq!(a, b, "same structure, different histories");
+        let digest = |g: &OwnedGraph| {
+            let mut h = DefaultHasher::new();
+            g.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(digest(&a), digest(&b));
     }
 }

@@ -44,7 +44,7 @@ pub mod properties;
 pub use canonical::{canonical_state_key, canonical_unlabeled_key, StateKey};
 pub use csr::CsrAdjacency;
 pub use distances::{BfsBuffer, DistanceMatrix, DistanceSummary, UNREACHABLE};
-pub use graph::{EdgeRef, NodeId, OwnedGraph};
+pub use graph::{EdgeChange, EdgeRef, GraphVersion, NodeId, OwnedGraph};
 pub use host::HostGraph;
 pub use isomorphism::{are_isomorphic, are_isomorphic_owned};
 pub use oracle::{

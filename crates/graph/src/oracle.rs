@@ -31,7 +31,7 @@
 
 use crate::csr::CsrAdjacency;
 use crate::distances::{DistanceSummary, UNREACHABLE};
-use crate::graph::{NodeId, OwnedGraph};
+use crate::graph::{EdgeChange, GraphVersion, NodeId, OwnedGraph};
 
 /// A single undirected edge change relative to the base graph.
 ///
@@ -61,9 +61,17 @@ pub enum EdgeDelta {
 pub enum OracleKind {
     /// Full BFS per candidate evaluation (the historical behaviour).
     FullBfs,
-    /// Journaled truncated-BFS repair per candidate evaluation.
+    /// Journaled truncated-BFS repair per candidate evaluation; every
+    /// [`DistanceOracle::begin`] re-pins with a fresh full BFS.
     #[default]
     Incremental,
+    /// Like [`OracleKind::Incremental`], but distance vectors are additionally
+    /// carried **across** `begin` calls: each source's vector is cached
+    /// together with the graph's [`GraphVersion`], and the next `begin` for
+    /// that source replays the applied [`EdgeChange`]s from the graph's change
+    /// journal instead of re-running the full BFS (with a staleness fallback
+    /// when too many changes accumulated).
+    Persistent,
 }
 
 impl OracleKind {
@@ -72,6 +80,7 @@ impl OracleKind {
         match self {
             OracleKind::FullBfs => "full-bfs",
             OracleKind::Incremental => "incremental",
+            OracleKind::Persistent => "persistent",
         }
     }
 }
@@ -87,6 +96,9 @@ pub struct OracleStats {
     /// Vertices expanded across all traversals and repairs — the
     /// backend-comparable measure of work done.
     pub nodes_expanded: u64,
+    /// `begin` calls served by replaying the graph's change journal onto a
+    /// cached distance vector instead of a full BFS (persistent backend only).
+    pub replayed_begins: u64,
 }
 
 /// A single-source distance engine answering what-if queries about edge deltas.
@@ -105,6 +117,16 @@ pub trait DistanceOracle: Send {
     /// base state (backends may defer the rollback and reuse the longest
     /// common delta prefix between consecutive evaluations).
     fn evaluate(&mut self, deltas: &[EdgeDelta]) -> DistanceSummary;
+
+    /// After a [`DistanceOracle::begin`] served by cross-step journal replay,
+    /// the **exact** set of vertices whose base distance from the source
+    /// differs from the previously pinned base vector of the same source
+    /// (order unspecified). Returns `None` whenever the last `begin` fell
+    /// back to a full BFS or the backend does not persist state — callers
+    /// must then invalidate conservatively.
+    fn changed_since_begin(&self) -> Option<&[u32]> {
+        None
+    }
 
     /// Like [`DistanceOracle::evaluate`], additionally copying the full
     /// modified distance vector into `out` (used by equivalence tests).
@@ -125,6 +147,7 @@ pub fn make_oracle(kind: OracleKind, n: usize) -> Box<dyn DistanceOracle> {
     match kind {
         OracleKind::FullBfs => Box::new(FullBfsOracle::new(n)),
         OracleKind::Incremental => Box::new(IncrementalOracle::new(n)),
+        OracleKind::Persistent => Box::new(IncrementalOracle::persistent(n)),
     }
 }
 
@@ -176,6 +199,19 @@ impl DeltaOverlay {
     #[inline]
     fn is_removed(&self, x: u32, y: u32) -> bool {
         self.removed.contains(&Self::key(x, y))
+    }
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+}
+
+/// The [`EdgeDelta`] that undoes a journal entry.
+fn invert(change: &EdgeChange) -> EdgeDelta {
+    match *change {
+        EdgeChange::Added { u, v } => EdgeDelta::Remove { u, v },
+        EdgeChange::Removed { u, v } => EdgeDelta::Insert { u, v },
     }
 }
 
@@ -342,6 +378,16 @@ struct DistState {
     max_hint: u32,
     /// `(vertex, previous distance)` pairs for rollback.
     journal: Vec<(u32, u32)>,
+    /// When `true`, assignments are applied *permanently*: the undo journal is
+    /// bypassed even when the caller requests journaling. Used while replaying
+    /// applied graph changes in persistent mode.
+    replaying: bool,
+    /// While `replaying`, every touched vertex is recorded once together with
+    /// its pre-replay distance, for the exact changed-vertex export.
+    touched: Vec<u32>,
+    touch_stamp: Vec<u32>,
+    touch_old: Vec<u32>,
+    touch_epoch: u32,
 }
 
 impl DistState {
@@ -356,17 +402,54 @@ impl DistState {
         self.journal.clear();
     }
 
+    /// Enters replay mode: journaling off, change tracking on.
+    fn begin_replay(&mut self, n: usize) {
+        debug_assert!(self.journal.is_empty(), "replay on top of candidate deltas");
+        self.replaying = true;
+        self.touched.clear();
+        if self.touch_stamp.len() < n {
+            self.touch_stamp.resize(n, 0);
+            self.touch_old.resize(n, 0);
+        }
+        self.touch_epoch = self.touch_epoch.wrapping_add(1);
+        if self.touch_epoch == 0 {
+            self.touch_stamp.fill(0);
+            self.touch_epoch = 1;
+        }
+    }
+
+    /// Leaves replay mode, retaining only the vertices whose distance really
+    /// differs from its pre-replay value (touch-and-restore cancels out).
+    fn end_replay(&mut self) {
+        self.replaying = false;
+        let DistState {
+            touched,
+            dist,
+            touch_old,
+            ..
+        } = self;
+        touched.retain(|&x| dist[x as usize] != touch_old[x as usize]);
+    }
+
     #[inline]
     fn get(&self, x: u32) -> u32 {
         self.dist[x as usize]
     }
 
     /// Sets `dist[x] = new`, keeping the aggregates in sync; `journal = true`
-    /// records the old value for rollback.
+    /// records the old value for rollback (unless a replay is in progress, in
+    /// which case the assignment is permanent and the vertex is tracked as
+    /// touched instead).
     #[inline]
     fn assign(&mut self, x: u32, new: u32, journal: bool) {
         let old = self.dist[x as usize];
-        if journal {
+        if self.replaying {
+            if self.touch_stamp[x as usize] != self.touch_epoch {
+                self.touch_stamp[x as usize] = self.touch_epoch;
+                self.touch_old[x as usize] = old;
+                self.touched.push(x);
+            }
+        } else if journal {
             self.journal.push((x, old));
         }
         if old != UNREACHABLE {
@@ -418,6 +501,20 @@ struct Checkpoint {
     max_hint: u32,
 }
 
+/// A cached per-source distance vector of the persistent backend, valid at
+/// `version` of the pinned graph's change journal. The level counters are
+/// cached alongside the vector so activating a source is a pair of `O(1)`
+/// buffer swaps rather than an `O(n)` rebuild.
+#[derive(Debug, Clone, Default)]
+struct SourceCache {
+    dist: Vec<u32>,
+    level_counts: Vec<u32>,
+    sum: u64,
+    reached: usize,
+    max_hint: u32,
+    version: Option<GraphVersion>,
+}
+
 /// Incremental backend: journaled truncated-BFS repair of the base vector.
 ///
 /// Consecutive evaluations share work through the *delta stack*: the deltas of
@@ -426,6 +523,16 @@ struct Checkpoint {
 /// best-response scan enumerating swaps as `(from, to₁), (from, to₂), …` thus
 /// pays the expensive `Remove {u, from}` repair once per `from`, not once per
 /// candidate.
+///
+/// In *persistent* mode ([`IncrementalOracle::persistent`], the
+/// [`OracleKind::Persistent`] backend), `begin` additionally carries each
+/// source's distance vector **across** calls: the vector is cached together
+/// with the graph's [`GraphVersion`], and the next `begin` for that source
+/// replays the edge changes recorded in the graph's journal through the same
+/// repair machinery instead of re-running the full BFS. A staleness heuristic
+/// (too many accumulated changes, a foreign lineage, or a discarded journal
+/// window) falls back to the full BFS, so the backend is never slower than
+/// re-pinning asymptotically and is exact in all cases.
 pub struct IncrementalOracle {
     csr: CsrAdjacency,
     src: u32,
@@ -453,6 +560,18 @@ pub struct IncrementalOracle {
     epoch: u32,
     overlay: DeltaOverlay,
     stats: OracleStats,
+    /// Cross-`begin` persistence enabled ([`OracleKind::Persistent`]).
+    persistent: bool,
+    /// Per-source cached vectors (persistent mode; lazily populated).
+    cache: Vec<SourceCache>,
+    /// Version the working [`DistState`] reflects; `None` until the first
+    /// successful `begin` (persistent mode only).
+    pinned_version: Option<GraphVersion>,
+    /// Version the CSR snapshot was built at (persistent mode only).
+    csr_version: Option<GraphVersion>,
+    /// `true` iff the last `begin` was served by replay, making
+    /// [`DistanceOracle::changed_since_begin`] meaningful.
+    changed_valid: bool,
 }
 
 impl IncrementalOracle {
@@ -474,9 +593,31 @@ impl IncrementalOracle {
             epoch: 0,
             overlay: DeltaOverlay::default(),
             stats: OracleStats::default(),
+            persistent: false,
+            cache: Vec::new(),
+            pinned_version: None,
+            csr_version: None,
+            changed_valid: false,
         };
         oracle.resize_scratch(n);
         oracle
+    }
+
+    /// Creates a *persistent* incremental oracle for graphs on `n` vertices:
+    /// distance vectors are carried across [`DistanceOracle::begin`] calls by
+    /// replaying the pinned graph's change journal.
+    pub fn persistent(n: usize) -> Self {
+        let mut oracle = IncrementalOracle::new(n);
+        oracle.persistent = true;
+        oracle.cache.resize_with(n, SourceCache::default);
+        oracle
+    }
+
+    /// Maximum number of journal entries worth replaying before a full BFS is
+    /// cheaper: each replayed change costs a truncated repair, so past a small
+    /// fraction of `n` the fallback wins.
+    fn stale_limit(&self) -> usize {
+        (self.mark.len() / 8).max(8)
     }
 
     fn resize_scratch(&mut self, n: usize) {
@@ -702,15 +843,26 @@ impl IncrementalOracle {
             self.push_delta(delta);
         }
     }
-}
 
-impl DistanceOracle for IncrementalOracle {
-    fn kind(&self) -> OracleKind {
-        OracleKind::Incremental
+    /// Rebuilds the CSR snapshot only when the pinned graph's version moved
+    /// (persistent mode): within one dynamics step the graph is immutable, so
+    /// the `n` per-agent re-pins of a scan share a single rebuild.
+    fn sync_csr(&mut self, g: &OwnedGraph) {
+        let v = g.version();
+        if self.csr_version != Some(v) || self.csr.num_nodes() != g.num_nodes() {
+            self.csr.rebuild_from(g);
+            self.csr_version = Some(v);
+        }
     }
 
-    fn begin(&mut self, g: &OwnedGraph, src: NodeId) -> DistanceSummary {
-        self.csr.rebuild_from(g);
+    /// Re-pins `(g, src)` with one full BFS (and, in non-persistent mode, an
+    /// unconditional CSR rebuild — the historical per-scan behaviour).
+    fn full_repin(&mut self, g: &OwnedGraph, src: NodeId) {
+        if self.persistent {
+            self.sync_csr(g);
+        } else {
+            self.csr.rebuild_from(g);
+        }
         let n = g.num_nodes();
         self.src = src as u32;
         self.state.reset(n);
@@ -737,7 +889,143 @@ impl DistanceOracle for IncrementalOracle {
             }
         }
         self.stats.full_bfs_runs += 1;
+    }
+
+    /// Parks the working distance vector (valid for `self.src` at
+    /// `self.pinned_version`) in the per-source cache. The working vector must
+    /// already be rolled back to the base (no active candidate deltas).
+    fn save_working(&mut self) {
+        let Some(version) = self.pinned_version.take() else {
+            return;
+        };
+        let src = self.src as usize;
+        if src >= self.cache.len() {
+            return;
+        }
+        let slot = &mut self.cache[src];
+        std::mem::swap(&mut slot.dist, &mut self.state.dist);
+        std::mem::swap(&mut slot.level_counts, &mut self.state.level_counts);
+        slot.sum = self.state.sum;
+        slot.reached = self.state.reached;
+        slot.max_hint = self.state.max_hint;
+        slot.version = Some(version);
+    }
+
+    /// Activates the cached vector of `src` as the working state — two buffer
+    /// swaps and three scalar copies, no per-vertex work at all.
+    fn load_cached(&mut self, src: usize, n: usize) {
+        let slot = &mut self.cache[src];
+        debug_assert_eq!(slot.dist.len(), n, "cached vectors track the graph size");
+        debug_assert_eq!(slot.level_counts.len(), n + 2);
+        std::mem::swap(&mut slot.dist, &mut self.state.dist);
+        std::mem::swap(&mut slot.level_counts, &mut self.state.level_counts);
+        slot.version = None;
+        self.state.sum = slot.sum;
+        self.state.reached = slot.reached;
+        self.state.max_hint = slot.max_hint;
+        self.state.journal.clear();
+    }
+
+    /// Attempts to advance the working vector (valid at `from`) to the current
+    /// graph by replaying the journal's edge changes through the repair
+    /// machinery. Returns `false` — leaving the state untouched — when the
+    /// journal cannot serve the window (foreign lineage, discarded entries) or
+    /// replaying would be slower than a fresh BFS.
+    ///
+    /// The CSR reflects the *current* graph, so the overlay is first rewound
+    /// by the inverted pending changes; re-activating each change then
+    /// advances the overlaid graph one step right before its repair runs, and
+    /// the rewind cancels out entirely by the end.
+    fn try_replay(&mut self, g: &OwnedGraph, from: GraphVersion) -> bool {
+        let Some(changes) = g.changes_since(from) else {
+            return false;
+        };
+        if changes.len() > self.stale_limit() {
+            return false;
+        }
+        self.sync_csr(g);
+        debug_assert!(self.overlay.is_empty());
+        for change in changes.iter().rev() {
+            self.overlay.activate(&invert(change));
+        }
+        self.state.begin_replay(self.csr.num_nodes());
+        for change in changes {
+            match *change {
+                EdgeChange::Added { u, v } => {
+                    self.overlay.activate(&EdgeDelta::Insert { u, v });
+                    self.repair_insert(u as u32, v as u32);
+                }
+                EdgeChange::Removed { u, v } => {
+                    self.overlay.activate(&EdgeDelta::Remove { u, v });
+                    self.repair_delete(u as u32, v as u32);
+                }
+            }
+        }
+        self.state.end_replay();
+        debug_assert!(self.overlay.is_empty(), "replay must cancel the rewind");
+        true
+    }
+
+    /// The persistent `begin`: serve from the per-source cache + journal
+    /// replay when possible, fall back to [`IncrementalOracle::full_repin`].
+    fn begin_persistent(&mut self, g: &OwnedGraph, src: NodeId) -> DistanceSummary {
+        let n = g.num_nodes();
+        if n != self.mark.len() || self.cache.len() != n {
+            // The graph size changed: every cached vector is meaningless.
+            self.resize_scratch(n);
+            self.cache.clear();
+            self.cache.resize_with(n, SourceCache::default);
+            self.pinned_version = None;
+            self.csr_version = None;
+        }
+        self.rollback_to_prefix(0);
+        self.changed_valid = false;
+        let mut base_version = None;
+        if self.pinned_version.is_some() && self.src == src as u32 {
+            base_version = self.pinned_version;
+        } else {
+            self.save_working();
+            self.src = src as u32;
+            if let Some(v) = self.cache[src].version {
+                self.load_cached(src, n);
+                base_version = Some(v);
+            }
+        }
+        let replayed = base_version.is_some_and(|v| self.try_replay(g, v));
+        if replayed {
+            self.changed_valid = true;
+            self.stats.replayed_begins += 1;
+        } else {
+            self.full_repin(g, src);
+        }
+        self.pinned_version = Some(g.version());
         self.state.summary(n)
+    }
+}
+
+impl DistanceOracle for IncrementalOracle {
+    fn kind(&self) -> OracleKind {
+        if self.persistent {
+            OracleKind::Persistent
+        } else {
+            OracleKind::Incremental
+        }
+    }
+
+    fn begin(&mut self, g: &OwnedGraph, src: NodeId) -> DistanceSummary {
+        if self.persistent {
+            return self.begin_persistent(g, src);
+        }
+        self.full_repin(g, src);
+        self.state.summary(g.num_nodes())
+    }
+
+    fn changed_since_begin(&self) -> Option<&[u32]> {
+        if self.changed_valid {
+            Some(&self.state.touched)
+        } else {
+            None
+        }
     }
 
     fn evaluate(&mut self, deltas: &[EdgeDelta]) -> DistanceSummary {
@@ -788,7 +1076,11 @@ mod tests {
 
     fn check_both(g: &OwnedGraph, src: NodeId, deltas: &[EdgeDelta]) {
         let (expect_dist, expect_summary) = truth(g, src, deltas);
-        for kind in [OracleKind::FullBfs, OracleKind::Incremental] {
+        for kind in [
+            OracleKind::FullBfs,
+            OracleKind::Incremental,
+            OracleKind::Persistent,
+        ] {
             let mut oracle = make_oracle(kind, g.num_nodes());
             let base = oracle.begin(g, src);
             let mut buf = BfsBuffer::new(g.num_nodes());
@@ -917,6 +1209,153 @@ mod tests {
     fn oracle_kind_labels() {
         assert_eq!(OracleKind::FullBfs.label(), "full-bfs");
         assert_eq!(OracleKind::Incremental.label(), "incremental");
+        assert_eq!(OracleKind::Persistent.label(), "persistent");
         assert_eq!(OracleKind::default(), OracleKind::Incremental);
+    }
+
+    #[test]
+    fn persistent_begin_replays_instead_of_re_running_bfs() {
+        let mut g = generators::cycle(16);
+        let mut oracle = IncrementalOracle::persistent(16);
+        assert_eq!(oracle.kind(), OracleKind::Persistent);
+        let mut buf = BfsBuffer::new(16);
+        oracle.begin(&g, 3);
+        assert_eq!(oracle.stats().full_bfs_runs, 1);
+        // Mutate the graph a little and re-pin the same source: the distance
+        // vector must be repaired by journal replay, not recomputed.
+        for step in 0..12 {
+            let a = step % 16;
+            let b = (step + 5) % 16;
+            if g.has_edge(a, b) {
+                g.remove_edge(a, b);
+            } else {
+                g.add_edge(a, b);
+            }
+            let summary = oracle.begin(&g, 3);
+            assert_eq!(summary, buf.summary(&g, 3), "step {step}");
+            assert_eq!(
+                oracle.base_distances(),
+                &buf.run(&g, 3)[..16],
+                "step {step}"
+            );
+        }
+        let stats = oracle.stats();
+        assert_eq!(stats.full_bfs_runs, 1, "only the initial pin runs a BFS");
+        assert_eq!(stats.replayed_begins, 12);
+    }
+
+    #[test]
+    fn persistent_cache_survives_source_switches() {
+        let mut g = generators::path(20);
+        let mut oracle = IncrementalOracle::persistent(20);
+        let mut buf = BfsBuffer::new(20);
+        // Pin a handful of sources, then interleave mutations with re-pins of
+        // the same sources: every re-pin should be a replay.
+        for src in [0usize, 5, 19] {
+            oracle.begin(&g, src);
+        }
+        let baseline_bfs = oracle.stats().full_bfs_runs;
+        for round in 0..6 {
+            let (a, b) = (round, round + 7);
+            if g.has_edge(a, b) {
+                g.remove_edge(a, b);
+            } else {
+                g.add_edge(a, b);
+            }
+            for src in [0usize, 5, 19] {
+                let summary = oracle.begin(&g, src);
+                assert_eq!(summary, buf.summary(&g, src), "round {round} src {src}");
+                assert_eq!(
+                    oracle.base_distances(),
+                    &buf.run(&g, src)[..20],
+                    "round {round} src {src}"
+                );
+            }
+        }
+        let stats = oracle.stats();
+        assert_eq!(stats.full_bfs_runs, baseline_bfs, "all re-pins replayed");
+        assert_eq!(stats.replayed_begins, 18);
+    }
+
+    #[test]
+    fn persistent_exports_the_exact_changed_vertex_set() {
+        let mut g = generators::path(12);
+        let mut oracle = IncrementalOracle::persistent(12);
+        let mut buf = BfsBuffer::new(12);
+        oracle.begin(&g, 0);
+        assert_eq!(
+            oracle.changed_since_begin(),
+            None,
+            "a full BFS pin has no diff"
+        );
+        let before = buf.run(&g, 0).to_vec();
+        g.add_edge(0, 8);
+        oracle.begin(&g, 0);
+        let after = buf.run(&g, 0).to_vec();
+        let mut expect: Vec<u32> = (0..12u32)
+            .filter(|&x| before[x as usize] != after[x as usize])
+            .collect();
+        expect.sort_unstable();
+        let mut got = oracle
+            .changed_since_begin()
+            .expect("replayed begin exports a diff")
+            .to_vec();
+        got.sort_unstable();
+        assert_eq!(got, expect);
+        // A no-op window reports an empty diff.
+        oracle.begin(&g, 0);
+        assert_eq!(oracle.changed_since_begin(), Some(&[][..]));
+    }
+
+    #[test]
+    fn persistent_falls_back_on_stale_or_foreign_histories() {
+        let mut g = generators::path(32);
+        let mut oracle = IncrementalOracle::persistent(32);
+        oracle.begin(&g, 0);
+        let bfs_before = oracle.stats().full_bfs_runs;
+        // Far more changes than the staleness limit: replay would be slower
+        // than a fresh BFS, so the oracle must re-pin.
+        for i in 0..16 {
+            g.add_edge(i, i + 16);
+        }
+        let mut buf = BfsBuffer::new(32);
+        assert_eq!(oracle.begin(&g, 0), buf.summary(&g, 0));
+        assert!(
+            oracle.stats().full_bfs_runs > bfs_before,
+            "stale → full BFS"
+        );
+        assert_eq!(oracle.changed_since_begin(), None);
+        // A clone has a fresh lineage: its journal can never serve a version
+        // taken on the original, so the oracle re-pins rather than replaying
+        // against an unrelated history.
+        let mut clone = g.clone();
+        clone.swap_edge(0, 1, 20);
+        let bfs_mid = oracle.stats().full_bfs_runs;
+        assert_eq!(oracle.begin(&clone, 0), buf.summary(&clone, 0));
+        assert!(oracle.stats().full_bfs_runs > bfs_mid);
+        assert_eq!(oracle.changed_since_begin(), None);
+    }
+
+    #[test]
+    fn persistent_candidate_evaluations_match_after_replay() {
+        // Replay and candidate scoring compose: pin, mutate, re-pin (replay),
+        // then evaluate what-if deltas — everything must match fresh BFS.
+        let mut g = generators::cycle(10);
+        let mut oracle = IncrementalOracle::persistent(10);
+        oracle.begin(&g, 2);
+        g.add_edge(2, 7);
+        oracle.begin(&g, 2);
+        assert_eq!(oracle.stats().replayed_begins, 1);
+        let deltas = [
+            EdgeDelta::Remove { u: 2, v: 7 },
+            EdgeDelta::Insert { u: 2, v: 6 },
+        ];
+        let (expect_dist, expect_summary) = truth(&g, 2, &deltas);
+        let mut got = Vec::new();
+        assert_eq!(oracle.evaluate_into(&deltas, &mut got), expect_summary);
+        assert_eq!(got, expect_dist);
+        // The replayed base is restored after the what-if query.
+        let mut buf = BfsBuffer::new(10);
+        assert_eq!(oracle.evaluate(&[]), buf.summary(&g, 2));
     }
 }

@@ -59,6 +59,31 @@ impl EngineSpec {
         }
     }
 
+    /// The persistent engine: distance vectors are carried *across* dynamics
+    /// steps (per-source cache + graph change-journal replay) instead of
+    /// being re-pinned with a fresh BFS per `(agent, state)` scan. Scans stay
+    /// eager, so mover selection follows the exact policy order.
+    pub fn persistent() -> Self {
+        EngineSpec {
+            oracle: OracleKind::Persistent,
+            dirty_agents: false,
+            parallel_scan: None,
+        }
+    }
+
+    /// The fastest engine overall: the persistent oracle feeding its exact
+    /// changed-vertex export into dirty-agent tracking, so a step touches
+    /// only the memory the applied move actually changed. Termination is
+    /// exact (final confirmation sweep); mover order may deviate like
+    /// [`EngineSpec::fast`].
+    pub fn fastest() -> Self {
+        EngineSpec {
+            oracle: OracleKind::Persistent,
+            dirty_agents: true,
+            parallel_scan: None,
+        }
+    }
+
     /// Short label such as `"incremental+dirty"` used in ablation reports.
     pub fn label(&self) -> String {
         let mut parts = vec![self.oracle.label().to_string()];
@@ -248,6 +273,15 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    #[test]
+    fn engine_spec_labels_cover_all_backends() {
+        assert_eq!(EngineSpec::baseline().label(), "full-bfs");
+        assert_eq!(EngineSpec::default().label(), "incremental");
+        assert_eq!(EngineSpec::fast().label(), "incremental+dirty");
+        assert_eq!(EngineSpec::persistent().label(), "persistent");
+        assert_eq!(EngineSpec::fastest().label(), "persistent+dirty");
+    }
 
     #[test]
     fn alpha_resolution_and_labels() {

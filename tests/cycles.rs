@@ -2,9 +2,12 @@
 //! Theorem 3.7 (Fig. 5) and Theorem 4.1 (Fig. 9 / Fig. 10), and the host-graph
 //! explorations of Corollary 4.2.
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use selfish_ncg::core::classify::{explore, ExploreConfig};
-use selfish_ncg::core::{Game, Workspace};
-use selfish_ncg::instances::{fig05, fig09, fig10, hosts};
+use selfish_ncg::core::moves::apply_move;
+use selfish_ncg::core::{run_dynamics, DynamicsConfig, Game, OracleKind, Workspace};
+use selfish_ncg::instances::{fig05, fig09, fig10, hosts, CycleInstance};
 
 #[test]
 fn fig5_uniform_budget_cycle_verifies_and_is_minimal() {
@@ -92,6 +95,88 @@ fn cycle_movers_strictly_improve_and_nobody_loses_the_prescribed_amounts() {
             expected_gains[i]
         );
     }
+}
+
+/// At every state of the known best-response cycles, the full-BFS,
+/// incremental and persistent engines must agree on the complete improving-
+/// move list and the best response of the prescribed mover. Two full rounds
+/// are walked on one mutated-in-place graph, so the persistent workspaces
+/// carry their distance vectors across the cycle's state revisits (including
+/// the `SetOwned` whole-strategy moves of the Buy-Game cycles).
+#[test]
+fn cycle_instances_scan_identically_under_all_engines() {
+    fn check<G: Game>(inst: &CycleInstance<G>, label: &str) {
+        let n = inst.initial.num_nodes();
+        let mut ws_full = Workspace::with_oracle(n, OracleKind::FullBfs);
+        let mut ws_inc = Workspace::with_oracle(n, OracleKind::Incremental);
+        let mut ws_pers = Workspace::with_oracle(n, OracleKind::Persistent);
+        let mut g = inst.initial.clone();
+        for round in 0..2 {
+            for (i, step) in inst.steps.iter().enumerate() {
+                let ctx = format!("{label} round {round} step {i}");
+                let full = inst.game.improving_moves(&g, step.agent, &mut ws_full);
+                let inc = inst.game.improving_moves(&g, step.agent, &mut ws_inc);
+                let pers = inst.game.improving_moves(&g, step.agent, &mut ws_pers);
+                assert!(!full.is_empty(), "{ctx}: prescribed mover is unhappy");
+                assert_eq!(full, inc, "{ctx}");
+                assert_eq!(full, pers, "{ctx}");
+                let bf = inst.game.best_response(&g, step.agent, &mut ws_full);
+                let bp = inst.game.best_response(&g, step.agent, &mut ws_pers);
+                assert_eq!(bf, bp, "{ctx}");
+                apply_move(&mut g, step.agent, &step.mv).expect("prescribed move applies");
+            }
+            assert_eq!(g, inst.initial, "{label}: the cycle closes");
+        }
+    }
+    check(&fig05::cycle(), "fig5 SUM-ASG");
+    check(&fig09::greedy_buy_game_cycle(), "fig9 SUM-GBG");
+    check(&fig09::buy_game_cycle(), "fig9 SUM-BG");
+    check(&fig10::greedy_buy_game_cycle(), "fig10 MAX-GBG");
+    check(&fig10::buy_game_cycle(), "fig10 MAX-BG");
+}
+
+/// Convergence regression on the cycle instances: free-running dynamics from
+/// the cycle's initial network (deterministic analysis config, exact cycle
+/// detection) must behave *identically* under all three engines — same
+/// termination, same recorded move sequence, same final network.
+#[test]
+fn cycle_instance_dynamics_identical_across_engines() {
+    fn check<G: Game>(game: &G, initial: &selfish_ncg::graph::OwnedGraph, label: &str) {
+        let run = |oracle: OracleKind| {
+            let mut cfg = DynamicsConfig::analysis(200);
+            cfg.oracle = oracle;
+            let mut rng = StdRng::seed_from_u64(7);
+            run_dynamics(game, initial, &cfg, &mut rng)
+        };
+        let reference = run(OracleKind::FullBfs);
+        for oracle in [OracleKind::Incremental, OracleKind::Persistent] {
+            let out = run(oracle);
+            assert_eq!(
+                out.termination,
+                reference.termination,
+                "{label} {}",
+                oracle.label()
+            );
+            assert_eq!(
+                out.trajectory,
+                reference.trajectory,
+                "{label} {}",
+                oracle.label()
+            );
+            assert_eq!(
+                out.final_graph,
+                reference.final_graph,
+                "{label} {}",
+                oracle.label()
+            );
+        }
+    }
+    let inst = fig05::cycle();
+    check(&inst.game, &inst.initial, "fig5");
+    let inst = fig09::greedy_buy_game_cycle();
+    check(&inst.game, &inst.initial, "fig9 GBG");
+    let inst = fig10::greedy_buy_game_cycle();
+    check(&inst.game, &inst.initial, "fig10 GBG");
 }
 
 #[test]

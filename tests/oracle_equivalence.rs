@@ -1,19 +1,30 @@
-//! Randomized equivalence of the incremental distance oracle against
-//! from-scratch BFS: on random graphs, under random edge-delta candidates and
-//! random applied move sequences, the incremental backend must report exactly
-//! the same distance vector, SUM and MAX as a fresh BFS — and the full-BFS
-//! backend must agree with both.
+//! Randomized equivalence of the incremental and persistent distance oracles
+//! against from-scratch BFS: on random graphs, under random edge-delta
+//! candidates, random applied move sequences carried across [`begin`] calls
+//! (persistent mode), and random whole-strategy (`SetOwned` /
+//! `SetNeighbors`) candidates, every backend must report exactly the same
+//! distance vector, SUM and MAX as a fresh BFS.
 //!
 //! Driven by seeded loops over the deterministic [`StdRng`] shim; every
-//! failure is reproducible from the printed case/seed.
+//! failure is reproducible from the printed case/seed. Iteration counts are
+//! scaled down in debug builds (the tier-1 `cargo test -q` run) and reach the
+//! full ≥ 1000 randomized sequences per game type in `--release` (the CI
+//! release job).
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use selfish_ncg::core::{Game, OracleKind, Workspace};
+use selfish_ncg::core::{
+    agent_cost_total, apply_move, edge_cost_after, CostEvaluator, DeltaScore, DistanceMetric,
+    EdgeCostMode, Game, Move, OracleKind, Workspace,
+};
 use selfish_ncg::graph::oracle::{DistanceOracle, EdgeDelta, FullBfsOracle, IncrementalOracle};
 use selfish_ncg::graph::{generators, BfsBuffer, DistanceSummary, OwnedGraph};
 use selfish_ncg::prelude::*;
+
+/// Scale factor for the randomized loops: modest in debug (tier-1), ≥ 1000
+/// sequences per game type in release (CI release job).
+const SCALE: usize = if cfg!(debug_assertions) { 1 } else { 10 };
 
 fn random_graph<R: Rng>(rng: &mut R) -> OwnedGraph {
     let n = rng.gen_range(4usize..40);
@@ -144,8 +155,8 @@ fn oracle_stays_exact_along_random_move_sequences() {
 }
 
 /// End-to-end equivalence at the game layer: for every scanned agent, the
-/// full-BFS and incremental workspaces must produce the *identical* list of
-/// improving moves and the identical best response.
+/// full-BFS, incremental and persistent workspaces must produce the
+/// *identical* list of improving moves and the identical best response.
 #[test]
 fn best_responses_identical_across_backends() {
     let mut rng = StdRng::seed_from_u64(0xbe57);
@@ -161,15 +172,239 @@ fn best_responses_identical_across_backends() {
         ];
         let mut ws_full = Workspace::with_oracle(n, OracleKind::FullBfs);
         let mut ws_inc = Workspace::with_oracle(n, OracleKind::Incremental);
+        let mut ws_pers = Workspace::with_oracle(n, OracleKind::Persistent);
         for game in &games {
             for u in 0..n {
                 let full = game.improving_moves(&g, u, &mut ws_full);
                 let inc = game.improving_moves(&g, u, &mut ws_inc);
+                let pers = game.improving_moves(&g, u, &mut ws_pers);
                 assert_eq!(full, inc, "case {case}: {} agent {u}", game.name());
+                assert_eq!(full, pers, "case {case}: {} agent {u}", game.name());
                 let bf = game.best_response(&g, u, &mut ws_full);
                 let bi = game.best_response(&g, u, &mut ws_inc);
+                let bp = game.best_response(&g, u, &mut ws_pers);
                 assert_eq!(bf, bi, "case {case}: {} agent {u}", game.name());
+                assert_eq!(bf, bp, "case {case}: {} agent {u}", game.name());
             }
+        }
+    }
+}
+
+/// Applies the first delta of a random valid sequence to `g` as a structural
+/// mutation, returning `true` if something changed.
+fn apply_random_change<R: Rng>(g: &mut OwnedGraph, rng: &mut R) -> bool {
+    let deltas = random_deltas(g, rng);
+    match deltas.first() {
+        Some(&EdgeDelta::Insert { u, v }) => g.add_edge(u, v),
+        Some(&EdgeDelta::Remove { u, v }) => g.remove_edge(u, v),
+        None => false,
+    }
+}
+
+/// Tentpole property (SUM and MAX): the persistent oracle carries each
+/// source's distance vector across long random move sequences applied to the
+/// graph itself, repairing by journal replay, and must agree with a fresh BFS
+/// on the full vector and both aggregates after every single move.
+#[test]
+fn persistent_oracle_exact_along_long_random_move_sequences() {
+    let mut rng = StdRng::seed_from_u64(0x9e51);
+    let cases = 8 * SCALE;
+    let steps = 15;
+    let mut replays_seen = 0u64;
+    for case in 0..cases {
+        let mut g = random_graph(&mut rng);
+        let n = g.num_nodes();
+        let mut oracle = IncrementalOracle::persistent(n);
+        let mut buf = BfsBuffer::new(n);
+        // A small rotating set of sources, so re-pins hit warm cache entries.
+        let sources: Vec<usize> = (0..3).map(|_| rng.gen_range(0..n)).collect();
+        for &s in &sources {
+            oracle.begin(&g, s);
+        }
+        for step in 0..steps {
+            apply_random_change(&mut g, &mut rng);
+            let src = sources[rng.gen_range(0..sources.len())];
+            let summary = oracle.begin(&g, src);
+            let expect = buf.summary(&g, src);
+            assert_eq!(summary, expect, "case {case} step {step} src {src}");
+            assert_eq!(
+                summary.sum.is_some(),
+                summary.max.is_some(),
+                "case {case} step {step}: SUM and MAX agree on connectivity"
+            );
+            assert_eq!(
+                oracle.base_distances(),
+                &buf.run(&g, src)[..n],
+                "case {case} step {step} src {src}"
+            );
+        }
+        replays_seen += oracle.stats().replayed_begins;
+    }
+    assert!(
+        replays_seen > (cases * steps / 2) as u64,
+        "the persistent path must actually replay ({replays_seen} replays)"
+    );
+}
+
+/// A random strictly-sorted strategy vertex set avoiding `u`.
+fn random_strategy<R: Rng>(n: usize, u: usize, rng: &mut R) -> Vec<usize> {
+    (0..n).filter(|&v| v != u && rng.gen_bool(0.3)).collect()
+}
+
+/// Satellite property: `SetOwned` / `SetNeighbors` delta scoring agrees with
+/// apply → BFS → undo on summaries **and** on the reconstructed edge costs,
+/// for every backend, SUM and MAX, owner-pays and equal-split.
+#[test]
+fn whole_strategy_delta_scoring_matches_apply_bfs_undo() {
+    let mut rng = StdRng::seed_from_u64(0x5e70);
+    let cases = 4 * SCALE;
+    let mut sequences = 0usize;
+    for case in 0..cases {
+        let g = random_graph(&mut rng);
+        let n = g.num_nodes();
+        for kind in [
+            OracleKind::FullBfs,
+            OracleKind::Incremental,
+            OracleKind::Persistent,
+        ] {
+            let mut evaluator = CostEvaluator::new(kind, n);
+            for _ in 0..5 {
+                let u = rng.gen_range(0..n);
+                evaluator.begin_agent(&g, u);
+                // Several strategies against one pinned base: consecutive
+                // candidates share delta prefixes, stressing the stack reuse.
+                for round in 0..6 {
+                    let strategy = random_strategy(n, u, &mut rng);
+                    let mv = if rng.gen_bool(0.5) {
+                        Move::SetOwned {
+                            new_owned: strategy,
+                        }
+                    } else {
+                        Move::SetNeighbors {
+                            new_neighbors: strategy,
+                        }
+                    };
+                    let score = evaluator.try_score(&g, u, &mv);
+                    let mut h = g.clone();
+                    let ctx = format!("case {case} {} agent {u} round {round}", kind.label());
+                    match apply_move(&mut h, u, &mv) {
+                        None => assert_eq!(score, DeltaScore::Inapplicable, "{ctx}"),
+                        Some(_) => {
+                            let mut buf = BfsBuffer::new(n);
+                            let expect = buf.summary(&h, u);
+                            assert_eq!(score, DeltaScore::Summary(expect), "{ctx}");
+                            let DeltaScore::Summary(s) = score else {
+                                unreachable!()
+                            };
+                            for (metric, mode, alpha) in [
+                                (DistanceMetric::Sum, EdgeCostMode::OwnerPays, 1.3),
+                                (DistanceMetric::Max, EdgeCostMode::OwnerPays, 2.0),
+                                (DistanceMetric::Sum, EdgeCostMode::EqualSplit, 0.7),
+                                (DistanceMetric::Max, EdgeCostMode::EqualSplit, 3.1),
+                            ] {
+                                let measured =
+                                    agent_cost_total(&h, u, metric, alpha, mode, &mut buf);
+                                let scored = edge_cost_after(&g, u, &mv, mode, alpha)
+                                    + metric.distance_cost(&s);
+                                assert!(
+                                    measured == scored || (measured - scored).abs() < 1e-9,
+                                    "{ctx}: {measured} vs {scored} ({metric:?}, {mode:?})"
+                                );
+                            }
+                        }
+                    }
+                    sequences += 1;
+                }
+            }
+        }
+    }
+    assert_eq!(sequences, cases * 3 * 5 * 6);
+}
+
+/// Satellite property: along random improving-move playouts of every game
+/// type, the three backends agree on the full improving-move list and the
+/// best response at every visited `(state, agent)` — the graph is mutated in
+/// place, so the persistent workspaces replay the applied moves' deltas
+/// between scans.
+#[test]
+fn scans_identical_across_engines_along_random_playouts() {
+    let target = 120 * SCALE; // scans per game type; ≥ 1200 in release
+    type GameFactory = fn(usize) -> Box<dyn Game>;
+    let game_types: Vec<(&str, GameFactory)> = vec![
+        ("SUM-SG", |_| Box::new(SwapGame::sum())),
+        ("MAX-SG", |_| Box::new(SwapGame::max())),
+        ("SUM-ASG", |_| Box::new(AsymSwapGame::sum())),
+        ("MAX-ASG", |_| Box::new(AsymSwapGame::max())),
+        ("SUM-GBG", |n| Box::new(GreedyBuyGame::sum(n as f64 / 4.0))),
+        ("MAX-GBG", |_| Box::new(GreedyBuyGame::max(2.5))),
+        ("SUM-BG", |n| Box::new(BuyGame::sum(n as f64 / 4.0))),
+    ];
+    for (label, make) in game_types {
+        let mut rng = StdRng::seed_from_u64(0x91a7);
+        let mut scans = 0usize;
+        while scans < target {
+            // Small instances keep the exponential BG enumeration feasible.
+            let n = rng.gen_range(6usize..11);
+            let mut g = generators::random_with_m_edges(n, rng.gen_range(n..2 * n), &mut rng);
+            let game = make(n);
+            let mut ws_full = Workspace::with_oracle(n, OracleKind::FullBfs);
+            let mut ws_inc = Workspace::with_oracle(n, OracleKind::Incremental);
+            let mut ws_pers = Workspace::with_oracle(n, OracleKind::Persistent);
+            for _step in 0..12 {
+                let u = rng.gen_range(0..n);
+                let full = game.improving_moves(&g, u, &mut ws_full);
+                let inc = game.improving_moves(&g, u, &mut ws_inc);
+                let pers = game.improving_moves(&g, u, &mut ws_pers);
+                assert_eq!(full, inc, "{label} agent {u}");
+                assert_eq!(full, pers, "{label} agent {u}");
+                let bf = game.best_response(&g, u, &mut ws_full);
+                let bp = game.best_response(&g, u, &mut ws_pers);
+                assert_eq!(bf, bp, "{label} agent {u}");
+                scans += 1;
+                match bf {
+                    Some(scored) => {
+                        apply_move(&mut g, u, &scored.mv).expect("best response applies");
+                    }
+                    None => {
+                        // Agent is happy: nudge the state with a random change
+                        // so the playout keeps moving.
+                        apply_random_change(&mut g, &mut rng);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Satellite property: dirty-agent tracking fed by the persistent oracle's
+/// exact changed-vertex export still ends in certified pure Nash equilibria —
+/// the final confirmation sweep keeps termination exact even though distance
+/// vectors are carried across steps.
+#[test]
+fn dirty_tracking_with_persistent_oracle_certifies_equilibria() {
+    let trials = 3 * SCALE;
+    for trial in 0..trials {
+        let mut rng = StdRng::seed_from_u64(0xd1b7 + trial as u64);
+        let n = 12 + (trial % 5) * 3;
+        let initial = generators::random_with_m_edges(n, 2 * n, &mut rng);
+        let games: Vec<Box<dyn Game + Send + Sync>> = vec![
+            Box::new(AsymSwapGame::sum()),
+            Box::new(GreedyBuyGame::sum(n as f64 / 4.0)),
+            Box::new(GreedyBuyGame::max(2.5)),
+        ];
+        for game in &games {
+            let mut cfg = DynamicsConfig::simulation(400 * n);
+            cfg.oracle = OracleKind::Persistent;
+            cfg.dirty_agents = true;
+            let out = run_dynamics(game.as_ref(), &initial, &cfg, &mut rng);
+            assert!(out.converged(), "trial {trial}: {}", game.name());
+            // Certify with an untouched workspace: no cached state involved.
+            let mut ws = Workspace::new(n);
+            assert!(
+                selfish_ncg::core::equilibrium::is_stable(game.as_ref(), &out.final_graph, &mut ws),
+                "trial {trial}: {} final state must be stable",
+                game.name()
+            );
         }
     }
 }

@@ -145,6 +145,54 @@ fn sum_asg_max_cost_policy_linear_convergence() {
     }
 }
 
+/// Convergence regression: swap-game dynamics on trees must produce the
+/// *identical* move sequence under the full-BFS, incremental and persistent
+/// engines for a fixed seed — candidate scoring is exact in all three, so the
+/// policy decisions and the RNG stream must coincide step by step.
+#[test]
+fn engines_produce_identical_move_sequences_on_trees() {
+    use selfish_ncg::core::OracleKind;
+    let mut seed_rng = StdRng::seed_from_u64(61);
+    for trial in 0..4 {
+        let n = 12 + 3 * trial;
+        let tree = generators::random_spanning_tree(n, Some(1), &mut seed_rng);
+        let games: Vec<(Box<dyn Game>, bool)> = vec![
+            (Box::new(SwapGame::sum()), false),
+            (Box::new(SwapGame::max()), false),
+            (Box::new(AsymSwapGame::sum()), true),
+            (Box::new(AsymSwapGame::max()), true),
+        ];
+        for (game, ownership) in &games {
+            for policy in [Policy::MaxCost, Policy::Random] {
+                let run = |oracle: OracleKind| {
+                    let mut cfg = DynamicsConfig::simulation(n * n * n)
+                        .with_policy(policy)
+                        .with_tie_break(TieBreak::Random);
+                    cfg.oracle = oracle;
+                    cfg.record_trajectory = true;
+                    cfg.ownership_in_state = *ownership;
+                    let mut rng = StdRng::seed_from_u64(1000 + trial as u64);
+                    run_dynamics(game.as_ref(), &tree, &cfg, &mut rng)
+                };
+                let reference = run(OracleKind::FullBfs);
+                assert!(reference.converged(), "{} {}", game.name(), policy.label());
+                for oracle in [OracleKind::Incremental, OracleKind::Persistent] {
+                    let out = run(oracle);
+                    let ctx = format!(
+                        "n={n} {} {} {}",
+                        game.name(),
+                        policy.label(),
+                        oracle.label()
+                    );
+                    assert_eq!(out.termination, reference.termination, "{ctx}");
+                    assert_eq!(out.trajectory, reference.trajectory, "{ctx}");
+                    assert_eq!(out.final_graph, reference.final_graph, "{ctx}");
+                }
+            }
+        }
+    }
+}
+
 /// Stable networks found on trees are pure Nash equilibria of the respective game.
 #[test]
 fn converged_trees_are_nash_equilibria() {
