@@ -1,0 +1,235 @@
+//! Batch sweep driver on the `ncg-lab` orchestrator: grinds the Fig. 7/11
+//! grids to large `n` on the persistent engine (plus a scenario-catalog
+//! showcase), with streaming aggregation and checkpoint/resume.
+//!
+//! ```text
+//! cargo run -p ncg-bench --release --bin sweep -- max_n=512 trials=3 json=BENCH_sweeps.json
+//! cargo run -p ncg-bench --release --bin sweep -- smoke=1
+//! cargo run -p ncg-bench --release --bin sweep -- journal=sweep.jsonl resume=1
+//! ```
+//!
+//! `smoke=1` runs a tiny grid three ways — uninterrupted, killed mid-sweep,
+//! and resumed from the kill's journal — and **asserts** that the resumed
+//! aggregates are bit-identical to the uninterrupted run (the CI resume
+//! check). `journal=PATH` checkpoints every completed trial chunk; with
+//! `resume=1` a previous journal is replayed instead of re-running.
+
+use ncg_bench::sweeps;
+use ncg_lab::{run_sweep, PointOutcome, RunOptions, SweepOutcome, SweepPlan};
+use std::path::PathBuf;
+use std::time::Instant;
+
+struct Args {
+    max_n: usize,
+    trials: usize,
+    threads: Option<usize>,
+    smoke: bool,
+    json: Option<String>,
+    journal: Option<PathBuf>,
+    resume: bool,
+    seed: u64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        max_n: 512,
+        trials: 3,
+        threads: None,
+        smoke: false,
+        json: None,
+        journal: None,
+        resume: false,
+        seed: 0x5eed_2013,
+    };
+    for arg in std::env::args().skip(1) {
+        let Some((key, value)) = arg.split_once('=') else {
+            continue;
+        };
+        match key {
+            "max_n" => args.max_n = value.parse().unwrap_or(args.max_n),
+            "trials" => args.trials = value.parse().unwrap_or(args.trials),
+            "threads" => args.threads = value.parse().ok(),
+            "smoke" => args.smoke = value == "1" || value == "true",
+            "json" => args.json = Some(value.to_string()),
+            "journal" => args.journal = Some(PathBuf::from(value)),
+            "resume" => args.resume = value == "1" || value == "true",
+            "seed" => args.seed = value.parse().unwrap_or(args.seed),
+            _ => eprintln!("ignoring unknown argument {key}={value}"),
+        }
+    }
+    args
+}
+
+fn print_outcome(plan: &SweepPlan, outcome: &SweepOutcome) {
+    println!(
+        "\nplan {} ({} points, engine {}, {} trials/point; {} chunks run, {} resumed)",
+        plan.name,
+        outcome.points.len(),
+        plan.engine.label(),
+        plan.trials,
+        outcome.executed_chunks,
+        outcome.resumed_chunks,
+    );
+    println!(
+        "{:>42} {:>6} {:>10} {:>8} {:>8} {:>8} {:>9} {:>6}",
+        "point", "n", "avg steps", "max", "std", "nonconv", "steps/n", "scan"
+    );
+    for p in &outcome.points {
+        let s = &p.stats;
+        let summary = s.summary(p.point.n);
+        println!(
+            "{:>42} {:>6} {:>10.2} {:>8} {:>8.2} {:>8} {:>9.3} {:>6}",
+            p.point.label(),
+            p.point.n,
+            summary.avg_steps,
+            s.max_steps,
+            s.std_dev(),
+            s.non_converged,
+            s.max_steps as f64 / p.point.n as f64,
+            if p.point.engine.parallel_scan.is_some() {
+                "par"
+            } else {
+                "seq"
+            },
+        );
+    }
+}
+
+fn assert_bit_identical(a: &[PointOutcome], b: &[PointOutcome], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: point count");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(
+            x.stats,
+            y.stats,
+            "{what}: aggregates of {} must be bit-identical",
+            x.point.label()
+        );
+        assert_eq!(
+            x.stats.mean.to_bits(),
+            y.stats.mean.to_bits(),
+            "{what}: {} mean bits",
+            x.point.label()
+        );
+        assert_eq!(
+            x.stats.m2.to_bits(),
+            y.stats.m2.to_bits(),
+            "{what}: {} m2 bits",
+            x.point.label()
+        );
+    }
+}
+
+/// The CI resume check: a tiny grid, run uninterrupted, then killed
+/// mid-sweep and resumed — all three must agree bit-for-bit.
+fn smoke(args: &Args) {
+    let mut plan = sweeps::fig11_style(0, 4, args.seed); // one small n
+    plan.ns = vec![12, 16];
+    plan.chunk_size = 2;
+    let mut catalog = sweeps::catalog_showcase(14, 4, args.seed);
+    catalog.chunk_size = 2;
+
+    for plan in [plan, catalog] {
+        let total_chunks: usize = plan.flatten().iter().map(|p| plan.chunks(p).len()).sum();
+        let full = run_sweep(
+            &plan,
+            &RunOptions {
+                threads: args.threads,
+                ..RunOptions::default()
+            },
+        )
+        .expect("uninterrupted smoke sweep");
+        assert!(full.completed);
+
+        let journal = std::env::temp_dir().join(format!(
+            "ncg-sweep-smoke-{}-{}.jsonl",
+            std::process::id(),
+            plan.name
+        ));
+        let killed = run_sweep(
+            &plan,
+            &RunOptions {
+                threads: args.threads,
+                journal: Some(journal.clone()),
+                resume: false,
+                stop_after_chunks: Some(total_chunks / 2),
+            },
+        )
+        .expect("killed smoke sweep");
+        assert!(
+            !killed.completed,
+            "{}: the mid-sweep kill must leave work pending",
+            plan.name
+        );
+        let resumed = run_sweep(
+            &plan,
+            &RunOptions {
+                threads: args.threads,
+                journal: Some(journal.clone()),
+                resume: true,
+                stop_after_chunks: None,
+            },
+        )
+        .expect("resumed smoke sweep");
+        assert!(resumed.completed);
+        assert_eq!(
+            resumed.resumed_chunks, killed.executed_chunks,
+            "{}: every journaled chunk restored",
+            plan.name
+        );
+        assert!(
+            resumed.executed_chunks < total_chunks,
+            "{}: resume must not re-run completed chunks",
+            plan.name
+        );
+        assert_bit_identical(&full.points, &resumed.points, &plan.name);
+        print_outcome(&plan, &resumed);
+        std::fs::remove_file(&journal).ok();
+        println!(
+            "smoke OK: {} kill/resume aggregates bit-identical",
+            plan.name
+        );
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    if args.smoke {
+        smoke(&args);
+        return;
+    }
+
+    let start = Instant::now();
+    let plans = vec![
+        sweeps::fig07_style(args.max_n, args.trials, args.seed),
+        sweeps::fig11_style(args.max_n, args.trials, args.seed),
+        sweeps::catalog_showcase(args.max_n.min(64), args.trials, args.seed),
+    ];
+    let mut runs = Vec::new();
+    for plan in plans {
+        // One journal per plan when checkpointing is requested.
+        let journal = args
+            .journal
+            .as_ref()
+            .map(|p| p.with_extension(format!("{}.jsonl", plan.name)));
+        let outcome = run_sweep(
+            &plan,
+            &RunOptions {
+                threads: args.threads,
+                journal,
+                resume: args.resume,
+                stop_after_chunks: None,
+            },
+        )
+        .expect("sweep failed");
+        print_outcome(&plan, &outcome);
+        runs.push((plan, outcome));
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    println!("\ntotal wall time: {seconds:.1}s");
+
+    if let Some(path) = &args.json {
+        let json = sweeps::render_json(&runs, false, seconds);
+        std::fs::write(path, json).expect("write json snapshot");
+        println!("wrote {path}");
+    }
+}

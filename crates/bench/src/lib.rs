@@ -104,6 +104,155 @@ impl Scale {
     }
 }
 
+/// Sweep-plan presets and reporting for the `sweep` binary: the Fig. 7/11
+/// grids extended to large `n` on the persistent engine, plus a showcase of
+/// the `ncg-lab` scenario catalog.
+pub mod sweeps {
+    use ncg_core::policy::Policy;
+    use ncg_lab::{PointOutcome, Scenario, SweepOutcome, SweepPlan};
+    use ncg_sim::{AlphaSpec, EngineSpec, GameFamily, InitialTopology, STEP_HIST_BUCKET_WIDTH};
+    use std::fmt::Write as _;
+
+    /// Doubling `n` axis `64, 128, … , max_n` (clamped below by one entry).
+    fn doubling_ns(max_n: usize) -> Vec<usize> {
+        let mut ns = Vec::new();
+        let mut n = 64usize;
+        while n <= max_n {
+            ns.push(n);
+            n *= 2;
+        }
+        if ns.is_empty() {
+            ns.push(max_n.max(8));
+        }
+        ns
+    }
+
+    /// Fig. 7-style grid (SUM-ASG, budgeted starts) extended to `max_n` on
+    /// the persistent engine.
+    pub fn fig07_style(max_n: usize, trials: usize, base_seed: u64) -> SweepPlan {
+        let mut plan = SweepPlan::new("fig07-style");
+        plan.scenarios = vec![
+            Scenario::Paper(InitialTopology::Budgeted { k: 1 }),
+            Scenario::Paper(InitialTopology::Budgeted { k: 3 }),
+        ];
+        plan.families = vec![GameFamily::AsgSum];
+        plan.policies = vec![Policy::MaxCost];
+        plan.ns = doubling_ns(max_n);
+        plan.trials = trials;
+        plan.chunk_size = trials.div_ceil(4).max(1);
+        plan.base_seed = base_seed;
+        plan.engine = EngineSpec::persistent();
+        plan
+    }
+
+    /// Fig. 11-style grid (SUM-GBG, random `m = 2n` starts, α ∈ {n/4, n})
+    /// extended to `max_n` on the persistent engine.
+    pub fn fig11_style(max_n: usize, trials: usize, base_seed: u64) -> SweepPlan {
+        let mut plan = SweepPlan::new("fig11-style");
+        plan.scenarios = vec![Scenario::Paper(InitialTopology::RandomEdges { m_per_n: 2 })];
+        plan.families = vec![GameFamily::GbgSum];
+        plan.policies = vec![Policy::MaxCost];
+        plan.alphas = vec![AlphaSpec::FractionOfN(0.25), AlphaSpec::FractionOfN(1.0)];
+        plan.ns = doubling_ns(max_n);
+        plan.trials = trials;
+        plan.chunk_size = trials.div_ceil(4).max(1);
+        plan.base_seed = base_seed.wrapping_add(0x11);
+        plan.engine = EngineSpec::persistent();
+        plan
+    }
+
+    /// A tour of the new catalog families on the greedy buy game.
+    pub fn catalog_showcase(n: usize, trials: usize, base_seed: u64) -> SweepPlan {
+        let mut plan = SweepPlan::new("catalog-showcase");
+        plan.scenarios = vec![
+            Scenario::ErdosRenyi { m_per_n: 2 },
+            Scenario::SmallWorld {
+                k: 2,
+                rewire_permille: 100,
+            },
+            Scenario::TorusGrid,
+            Scenario::Hypercube,
+            Scenario::PreferentialAttachment { m: 2 },
+        ];
+        plan.families = vec![GameFamily::GbgSum];
+        plan.policies = vec![Policy::MaxCost];
+        plan.alphas = vec![AlphaSpec::FractionOfN(0.25)];
+        plan.ns = vec![n];
+        plan.trials = trials;
+        plan.chunk_size = trials.div_ceil(2).max(1);
+        plan.base_seed = base_seed.wrapping_add(0x5c);
+        plan.engine = EngineSpec::persistent();
+        plan
+    }
+
+    /// The non-empty buckets of a point's steps-per-agent histogram as
+    /// `"[lo,hi)": count` JSON members.
+    fn hist_json(p: &PointOutcome) -> String {
+        let mut parts = Vec::new();
+        for (i, &count) in p.stats.hist.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let lo = i as f64 * STEP_HIST_BUCKET_WIDTH;
+            let hi = lo + STEP_HIST_BUCKET_WIDTH;
+            parts.push(format!("\"[{lo:.1},{hi:.1})\": {count}"));
+        }
+        parts.join(", ")
+    }
+
+    /// Renders the measured sweeps as the `BENCH_sweeps.json` snapshot.
+    pub fn render_json(runs: &[(SweepPlan, SweepOutcome)], smoke: bool, seconds: f64) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"smoke\": {smoke},");
+        let _ = writeln!(out, "  \"wall_seconds\": {seconds:.1},");
+        out.push_str("  \"sweeps\": [\n");
+        for (si, (plan, outcome)) in runs.iter().enumerate() {
+            let _ = writeln!(out, "    {{\"plan\": \"{}\",", plan.name);
+            let _ = writeln!(out, "     \"engine\": \"{}\",", plan.engine.label());
+            let _ = writeln!(out, "     \"trials_per_point\": {},", plan.trials);
+            let worst = outcome
+                .points
+                .iter()
+                .map(|p| p.stats.max_steps as f64 / p.point.n as f64)
+                .fold(0.0, f64::max);
+            let _ = writeln!(out, "     \"worst_max_steps_per_agent\": {worst:.3},");
+            out.push_str("     \"points\": [\n");
+            for (i, p) in outcome.points.iter().enumerate() {
+                let s = &p.stats;
+                let _ = write!(
+                    out,
+                    "       {{\"label\": \"{}\", \"n\": {}, \"trials\": {}, \
+                     \"avg_steps\": {:.3}, \"max_steps\": {}, \"min_steps\": {}, \
+                     \"std_dev\": {:.3}, \"non_converged\": {}, \
+                     \"avg_steps_per_agent\": {:.4}, \"max_steps_per_agent\": {:.4}, \
+                     \"scan_mode\": {}, \"hist_steps_per_agent\": {{{}}}}}",
+                    p.point.label().replace(',', ";"),
+                    p.point.n,
+                    s.count,
+                    s.summary(p.point.n).avg_steps,
+                    s.max_steps,
+                    s.min_steps,
+                    s.std_dev(),
+                    s.non_converged,
+                    s.summary(p.point.n).avg_steps_per_agent(),
+                    s.max_steps as f64 / p.point.n as f64,
+                    p.point.engine.parallel_scan.is_some(),
+                    hist_json(p)
+                );
+                out.push_str(if i + 1 < outcome.points.len() {
+                    ",\n"
+                } else {
+                    "\n"
+                });
+            }
+            out.push_str("     ]}");
+            out.push_str(if si + 1 < runs.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
 /// Runs one figure definition at the given scale and prints the table (and
 /// optionally CSV) to stdout.
 pub fn regenerate(def: FigureDef, scale: Scale) {

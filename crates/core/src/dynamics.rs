@@ -46,6 +46,9 @@ pub struct DynamicsConfig {
     pub ownership_in_state: bool,
     /// Which distance-oracle backend scores candidate moves.
     pub oracle: OracleKind,
+    /// Cap on the persistent oracle's per-source distance cache (number of
+    /// parked vectors; `None` = backend default: unlimited at `n ≤ 4096`).
+    pub oracle_cache_budget: Option<usize>,
     /// If `true`, the engine keeps a dirty-agent set: after a move only agents
     /// whose distance vectors could have changed are re-examined, instead of
     /// re-scanning all `n` agents per step. Termination stays exact — before
@@ -69,6 +72,7 @@ impl DynamicsConfig {
             record_trajectory: false,
             ownership_in_state: true,
             oracle: OracleKind::default(),
+            oracle_cache_budget: None,
             dirty_agents: false,
         }
     }
@@ -85,6 +89,7 @@ impl DynamicsConfig {
             record_trajectory: true,
             ownership_in_state: true,
             oracle: OracleKind::default(),
+            oracle_cache_budget: None,
             dirty_agents: false,
         }
     }
@@ -110,6 +115,12 @@ impl DynamicsConfig {
     /// Sets the distance-oracle backend.
     pub fn with_oracle(mut self, oracle: OracleKind) -> Self {
         self.oracle = oracle;
+        self
+    }
+
+    /// Sets the persistent oracle's per-source cache budget.
+    pub fn with_oracle_cache_budget(mut self, budget: Option<usize>) -> Self {
+        self.oracle_cache_budget = budget;
         self
     }
 
@@ -212,7 +223,7 @@ impl<'a, G: Game + ?Sized> Dynamics<'a, G> {
     /// Creates a process in the given initial state.
     pub fn new(game: &'a G, initial: OwnedGraph, config: DynamicsConfig) -> Self {
         let n = initial.num_nodes();
-        let ws = Workspace::with_oracle(n, config.oracle);
+        let ws = Workspace::with_engine(n, config.oracle, config.oracle_cache_budget);
         let mut dyn_ = Dynamics {
             game,
             graph: initial,
@@ -569,6 +580,7 @@ impl<'a, G: Game + Sync + ?Sized> Dynamics<'a, G> {
             self.game,
             &self.graph,
             kind,
+            self.config.oracle_cache_budget,
             threads,
             &mut self.par_pool,
             |game, g, u, ws| {
@@ -805,6 +817,32 @@ mod tests {
         assert!(is_stable(&game, &out.final_graph, &mut ws));
         for rec in &out.trajectory {
             assert!(rec.new_cost < rec.old_cost, "step {}", rec.step);
+        }
+    }
+
+    #[test]
+    fn oracle_cache_budget_never_changes_trajectories() {
+        // LRU eviction only trades speed for memory: a harshly budgeted
+        // persistent engine must walk exactly the same move sequence as the
+        // unlimited one.
+        let mut seed_rng = StdRng::seed_from_u64(61);
+        let n = 16;
+        let g = generators::random_with_m_edges(n, 2 * n, &mut seed_rng);
+        let game = GreedyBuyGame::sum(n as f64 / 4.0);
+        let run = |budget: Option<usize>| {
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut cfg = DynamicsConfig::simulation(400 * n)
+                .with_oracle(OracleKind::Persistent)
+                .with_oracle_cache_budget(budget);
+            cfg.record_trajectory = true;
+            run_dynamics(&game, &g, &cfg, &mut rng)
+        };
+        let unlimited = run(None);
+        assert!(unlimited.converged());
+        for budget in [Some(0), Some(1), Some(4)] {
+            let capped = run(budget);
+            assert_eq!(capped.trajectory, unlimited.trajectory, "{budget:?}");
+            assert_eq!(capped.final_graph, unlimited.final_graph, "{budget:?}");
         }
     }
 

@@ -23,6 +23,7 @@ pub(crate) fn scan_agents_parallel<G, T, F>(
     game: &G,
     g: &OwnedGraph,
     kind: OracleKind,
+    cache_budget: Option<usize>,
     threads: usize,
     pool: &mut Vec<Workspace>,
     per_agent: F,
@@ -39,7 +40,7 @@ where
     let threads = threads.clamp(1, n);
     let chunk = n.div_ceil(threads);
     while pool.len() < threads {
-        pool.push(Workspace::with_oracle(n, kind));
+        pool.push(Workspace::with_engine(n, kind, cache_budget));
     }
     let mut results = vec![T::default(); n];
     std::thread::scope(|scope| {
@@ -66,9 +67,10 @@ pub fn unhappy_agents_parallel<G: Game + Sync + ?Sized>(
     threads: usize,
 ) -> Vec<NodeId> {
     let mut pool = Vec::new();
-    let unhappy = scan_agents_parallel(game, g, kind, threads, &mut pool, |game, g, u, ws| {
-        game.has_improving_move(g, u, ws)
-    });
+    let unhappy =
+        scan_agents_parallel(game, g, kind, None, threads, &mut pool, |game, g, u, ws| {
+            game.has_improving_move(g, u, ws)
+        });
     unhappy
         .into_iter()
         .enumerate()

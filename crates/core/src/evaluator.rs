@@ -22,7 +22,7 @@
 
 use crate::cost::EdgeCostMode;
 use crate::moves::Move;
-use ncg_graph::oracle::{make_oracle, DistanceOracle, EdgeDelta, OracleKind, OracleStats};
+use ncg_graph::oracle::{make_oracle_budgeted, DistanceOracle, EdgeDelta, OracleKind, OracleStats};
 use ncg_graph::{DistanceSummary, NodeId, OwnedGraph};
 
 /// Outcome of a delta-based candidate evaluation.
@@ -42,6 +42,7 @@ pub enum DeltaScore {
 /// A distance-oracle-backed scorer for one agent's candidate moves.
 pub struct CostEvaluator {
     kind: OracleKind,
+    cache_budget: Option<usize>,
     oracle: Box<dyn DistanceOracle>,
     deltas: Vec<EdgeDelta>,
 }
@@ -49,9 +50,17 @@ pub struct CostEvaluator {
 impl CostEvaluator {
     /// Creates an evaluator with the given backend for graphs on `n` vertices.
     pub fn new(kind: OracleKind, n: usize) -> Self {
+        CostEvaluator::with_budget(kind, n, None)
+    }
+
+    /// Like [`CostEvaluator::new`], with an explicit cap on the persistent
+    /// backend's per-source distance cache (`None` = the backend default:
+    /// unlimited at `n ≤ 4096`). Ignored by the stateless backends.
+    pub fn with_budget(kind: OracleKind, n: usize, cache_budget: Option<usize>) -> Self {
         CostEvaluator {
             kind,
-            oracle: make_oracle(kind, n),
+            cache_budget,
+            oracle: make_oracle_budgeted(kind, n, cache_budget),
             deltas: Vec::with_capacity(4),
         }
     }
@@ -59,6 +68,11 @@ impl CostEvaluator {
     /// The configured backend.
     pub fn kind(&self) -> OracleKind {
         self.kind
+    }
+
+    /// The configured persistent-cache budget (`None` = backend default).
+    pub fn cache_budget(&self) -> Option<usize> {
+        self.cache_budget
     }
 
     /// Work counters of the underlying oracle.

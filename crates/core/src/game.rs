@@ -38,9 +38,15 @@ impl Workspace {
 
     /// Creates a workspace with an explicit distance-oracle backend.
     pub fn with_oracle(n: usize, kind: OracleKind) -> Self {
+        Workspace::with_engine(n, kind, None)
+    }
+
+    /// Creates a workspace with an explicit backend and persistent-cache
+    /// budget (`None` = the backend default: unlimited at `n ≤ 4096`).
+    pub fn with_engine(n: usize, kind: OracleKind, cache_budget: Option<usize>) -> Self {
         Workspace {
             bfs: BfsBuffer::new(n),
-            evaluator: CostEvaluator::new(kind, n),
+            evaluator: CostEvaluator::with_budget(kind, n, cache_budget),
             scratch: OwnedGraph::new(n),
             candidates: Vec::new(),
         }
@@ -61,7 +67,11 @@ impl Clone for Workspace {
     /// Clones the workspace configuration; the oracle state is scratch and is
     /// recreated fresh.
     fn clone(&self) -> Self {
-        Workspace::with_oracle(self.scratch.num_nodes(), self.evaluator.kind())
+        Workspace::with_engine(
+            self.scratch.num_nodes(),
+            self.evaluator.kind(),
+            self.evaluator.cache_budget(),
+        )
     }
 }
 

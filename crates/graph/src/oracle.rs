@@ -144,10 +144,22 @@ pub trait DistanceOracle: Send {
 
 /// Creates a boxed oracle of the requested backend for graphs on `n` vertices.
 pub fn make_oracle(kind: OracleKind, n: usize) -> Box<dyn DistanceOracle> {
+    make_oracle_budgeted(kind, n, None)
+}
+
+/// Like [`make_oracle`], with an explicit budget on the number of per-source
+/// distance vectors the persistent backend may keep cached (`None` applies
+/// the default rule: unlimited at `n ≤ 4096`, capped at 4096 sources beyond).
+/// The budget is ignored by the stateless backends.
+pub fn make_oracle_budgeted(
+    kind: OracleKind,
+    n: usize,
+    cache_budget: Option<usize>,
+) -> Box<dyn DistanceOracle> {
     match kind {
         OracleKind::FullBfs => Box::new(FullBfsOracle::new(n)),
         OracleKind::Incremental => Box::new(IncrementalOracle::new(n)),
-        OracleKind::Persistent => Box::new(IncrementalOracle::persistent(n)),
+        OracleKind::Persistent => Box::new(IncrementalOracle::persistent_budgeted(n, cache_budget)),
     }
 }
 
@@ -513,6 +525,8 @@ struct SourceCache {
     reached: usize,
     max_hint: u32,
     version: Option<GraphVersion>,
+    /// Monotonic recency stamp of the last park/activate, for LRU eviction.
+    last_used: u64,
 }
 
 /// Incremental backend: journaled truncated-BFS repair of the base vector.
@@ -564,6 +578,13 @@ pub struct IncrementalOracle {
     persistent: bool,
     /// Per-source cached vectors (persistent mode; lazily populated).
     cache: Vec<SourceCache>,
+    /// Requested cap on the number of occupied cache slots (`None` = the
+    /// default rule: unlimited at `n ≤ 4096`, capped at 4096 beyond).
+    requested_cache_budget: Option<usize>,
+    /// Number of cache slots currently holding a parked vector.
+    cached_count: usize,
+    /// Monotonic clock driving the LRU recency stamps.
+    lru_tick: u64,
     /// Version the working [`DistState`] reflects; `None` until the first
     /// successful `begin` (persistent mode only).
     pinned_version: Option<GraphVersion>,
@@ -595,6 +616,9 @@ impl IncrementalOracle {
             stats: OracleStats::default(),
             persistent: false,
             cache: Vec::new(),
+            requested_cache_budget: None,
+            cached_count: 0,
+            lru_tick: 0,
             pinned_version: None,
             csr_version: None,
             changed_valid: false,
@@ -607,10 +631,51 @@ impl IncrementalOracle {
     /// distance vectors are carried across [`DistanceOracle::begin`] calls by
     /// replaying the pinned graph's change journal.
     pub fn persistent(n: usize) -> Self {
+        IncrementalOracle::persistent_budgeted(n, None)
+    }
+
+    /// Like [`IncrementalOracle::persistent`], with an explicit LRU budget on
+    /// the number of sources whose vectors may stay parked in the per-source
+    /// cache at once. Each parked vector costs `O(n)` u32s (distances + level
+    /// counters, so `O(n²)` over an unbounded cache); `None` applies the
+    /// default rule — unlimited at `n ≤ 4096`, capped at 4096 sources beyond,
+    /// bounding the cache at the memory of one `n = 4096` workspace.
+    pub fn persistent_budgeted(n: usize, cache_budget: Option<usize>) -> Self {
         let mut oracle = IncrementalOracle::new(n);
         oracle.persistent = true;
+        oracle.requested_cache_budget = cache_budget;
         oracle.cache.resize_with(n, SourceCache::default);
         oracle
+    }
+
+    /// The effective cache budget for the current graph size.
+    fn cache_budget(&self) -> usize {
+        const DEFAULT_UNLIMITED_UP_TO: usize = 4096;
+        self.requested_cache_budget.unwrap_or({
+            if self.cache.len() <= DEFAULT_UNLIMITED_UP_TO {
+                usize::MAX
+            } else {
+                DEFAULT_UNLIMITED_UP_TO
+            }
+        })
+    }
+
+    /// Evicts the least-recently-used parked vector, freeing its buffers.
+    fn evict_lru(&mut self) {
+        let victim = self
+            .cache
+            .iter()
+            .enumerate()
+            .filter(|(_, slot)| slot.version.is_some())
+            .min_by_key(|(_, slot)| slot.last_used)
+            .map(|(i, _)| i);
+        if let Some(i) = victim {
+            let slot = &mut self.cache[i];
+            slot.version = None;
+            slot.dist = Vec::new();
+            slot.level_counts = Vec::new();
+            self.cached_count -= 1;
+        }
     }
 
     /// Maximum number of journal entries worth replaying before a full BFS is
@@ -908,7 +973,17 @@ impl IncrementalOracle {
         slot.sum = self.state.sum;
         slot.reached = self.state.reached;
         slot.max_hint = self.state.max_hint;
+        if slot.version.is_none() {
+            self.cached_count += 1;
+        }
         slot.version = Some(version);
+        slot.last_used = self.lru_tick;
+        self.lru_tick += 1;
+        // The just-parked slot carries the newest stamp, so it is never the
+        // victim unless the budget is zero (cache disabled).
+        while self.cached_count > self.cache_budget() {
+            self.evict_lru();
+        }
     }
 
     /// Activates the cached vector of `src` as the working state — two buffer
@@ -920,6 +995,7 @@ impl IncrementalOracle {
         std::mem::swap(&mut slot.dist, &mut self.state.dist);
         std::mem::swap(&mut slot.level_counts, &mut self.state.level_counts);
         slot.version = None;
+        self.cached_count -= 1;
         self.state.sum = slot.sum;
         self.state.reached = slot.reached;
         self.state.max_hint = slot.max_hint;
@@ -975,6 +1051,7 @@ impl IncrementalOracle {
             self.resize_scratch(n);
             self.cache.clear();
             self.cache.resize_with(n, SourceCache::default);
+            self.cached_count = 0;
             self.pinned_version = None;
             self.csr_version = None;
         }
@@ -1334,6 +1411,68 @@ mod tests {
         assert_eq!(oracle.begin(&clone, 0), buf.summary(&clone, 0));
         assert!(oracle.stats().full_bfs_runs > bfs_mid);
         assert_eq!(oracle.changed_since_begin(), None);
+    }
+
+    #[test]
+    fn lru_budget_caps_parked_vectors_and_stays_exact() {
+        // Budget 2, three sources pinned round-robin: every re-pin of the
+        // evicted source must fall back to a full BFS, and every summary must
+        // stay exact. An unbounded twin oracle replays everything.
+        let mut g = generators::cycle(18);
+        let mut capped = IncrementalOracle::persistent_budgeted(18, Some(2));
+        let mut unbounded = IncrementalOracle::persistent(18);
+        let mut buf = BfsBuffer::new(18);
+        let sources = [0usize, 6, 12];
+        for &src in &sources {
+            capped.begin(&g, src);
+            unbounded.begin(&g, src);
+        }
+        let (capped_cold, unbounded_cold) = (
+            capped.stats().full_bfs_runs,
+            unbounded.stats().full_bfs_runs,
+        );
+        for round in 0..4 {
+            let (a, b) = (round, (round + 9) % 18);
+            if g.has_edge(a, b) {
+                g.remove_edge(a, b);
+            } else {
+                g.add_edge(a, b);
+            }
+            for &src in &sources {
+                assert_eq!(capped.begin(&g, src), buf.summary(&g, src));
+                assert_eq!(unbounded.begin(&g, src), buf.summary(&g, src));
+                assert_eq!(capped.base_distances(), &buf.run(&g, src)[..18]);
+            }
+        }
+        assert_eq!(
+            unbounded.stats().full_bfs_runs,
+            unbounded_cold,
+            "unbounded cache replays every re-pin"
+        );
+        assert!(
+            capped.stats().full_bfs_runs > capped_cold,
+            "a 2-slot cache over 3 sources must evict and re-pin"
+        );
+        assert!(capped.cached_count <= 2, "budget respected");
+    }
+
+    #[test]
+    fn zero_budget_disables_the_cache_without_losing_exactness() {
+        let mut g = generators::path(12);
+        let mut oracle = IncrementalOracle::persistent_budgeted(12, Some(0));
+        let mut buf = BfsBuffer::new(12);
+        oracle.begin(&g, 0);
+        g.add_edge(0, 7);
+        // Same source re-pinned: the working vector is still live (it is only
+        // parked on a source switch), so this replays; switching away and
+        // back cannot be served from the (disabled) cache.
+        assert_eq!(oracle.begin(&g, 0), buf.summary(&g, 0));
+        let bfs_before = oracle.stats().full_bfs_runs;
+        oracle.begin(&g, 5);
+        assert_eq!(oracle.begin(&g, 0), buf.summary(&g, 0));
+        assert_eq!(oracle.cached_count, 0);
+        assert!(oracle.stats().full_bfs_runs > bfs_before);
+        assert_eq!(oracle.base_distances(), &buf.run(&g, 0)[..12]);
     }
 
     #[test]

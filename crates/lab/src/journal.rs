@@ -1,0 +1,352 @@
+//! The JSON-lines chunk journal behind checkpoint/resume.
+//!
+//! One line per *completed trial chunk*, keyed by the stable point hash and
+//! the chunk index, carrying the chunk's full [`StreamingStats`] payload. A
+//! killed sweep is resumed by replaying the journal: completed chunks are
+//! loaded as finished aggregates (never re-run), pending chunks re-execute,
+//! and because chunk contents are pure functions of `(point, start, len)` the
+//! resumed sweep produces **bit-identical** aggregates.
+//!
+//! Floating-point moments (`mean`, `m2`) are serialized as their exact IEEE
+//! bit patterns — a decimal round-trip would silently break the bit-identity
+//! guarantee. A header line pins the plan hash, so a journal can never be
+//! resumed into a different grid; a torn final line (the process died
+//! mid-write) is detected and ignored.
+
+use ncg_sim::{MoveKindCounts, StreamingStats, STEP_HIST_BUCKETS};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// One journal entry: a completed trial chunk of one point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkRecord {
+    /// Stable hash of the owning sweep point.
+    pub point_hash: u64,
+    /// Index of the chunk within the point's chunk layout.
+    pub chunk_index: usize,
+    /// First trial of the chunk.
+    pub start: usize,
+    /// Number of trials in the chunk.
+    pub len: usize,
+    /// The chunk's aggregate.
+    pub stats: StreamingStats,
+}
+
+/// Renders one journal line (no trailing newline).
+fn render_line(rec: &ChunkRecord) -> String {
+    let s = &rec.stats;
+    let mut line = format!(
+        "{{\"point\":\"{:016x}\",\"chunk\":{},\"start\":{},\"len\":{},\"count\":{},\"total\":{},\"min\":{},\"max\":{},\"nonconv\":{},\"del\":{},\"swap\":{},\"buy\":{},\"rewrite\":{},\"mean_bits\":{},\"m2_bits\":{},\"hist\":[",
+        rec.point_hash,
+        rec.chunk_index,
+        rec.start,
+        rec.len,
+        s.count,
+        s.total_steps,
+        s.min_steps,
+        s.max_steps,
+        s.non_converged,
+        s.kinds.deletions,
+        s.kinds.swaps,
+        s.kinds.purchases,
+        s.kinds.strategy_rewrites,
+        s.mean.to_bits(),
+        s.m2.to_bits(),
+    );
+    for (i, h) in s.hist.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        let _ = write!(line, "{h}");
+    }
+    line.push_str("]}");
+    line
+}
+
+/// Extracts the integer value of `"key":<digits>` from a flat journal line.
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let at = line.find(&needle)? + needle.len();
+    let rest = &line[at..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    if end == 0 {
+        return None;
+    }
+    rest[..end].parse().ok()
+}
+
+/// Extracts the hex-string value of `"key":"<hex>"`.
+fn field_hex(line: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":\"");
+    let at = line.find(&needle)? + needle.len();
+    let rest = &line[at..];
+    let end = rest.find('"')?;
+    u64::from_str_radix(&rest[..end], 16).ok()
+}
+
+/// Parses one chunk line; `None` for torn or foreign lines.
+fn parse_line(line: &str) -> Option<ChunkRecord> {
+    if !line.ends_with("]}") {
+        return None; // torn write
+    }
+    let mut hist = [0u64; STEP_HIST_BUCKETS];
+    let open = line.find("\"hist\":[")? + "\"hist\":[".len();
+    let close = line[open..].find(']')? + open;
+    let mut buckets = 0usize;
+    for (i, tok) in line[open..close].split(',').enumerate() {
+        if i >= STEP_HIST_BUCKETS {
+            return None;
+        }
+        hist[i] = tok.trim().parse().ok()?;
+        buckets = i + 1;
+    }
+    if buckets != STEP_HIST_BUCKETS {
+        return None;
+    }
+    Some(ChunkRecord {
+        point_hash: field_hex(line, "point")?,
+        chunk_index: field_u64(line, "chunk")? as usize,
+        start: field_u64(line, "start")? as usize,
+        len: field_u64(line, "len")? as usize,
+        stats: StreamingStats {
+            count: field_u64(line, "count")?,
+            total_steps: field_u64(line, "total")?,
+            min_steps: field_u64(line, "min")?,
+            max_steps: field_u64(line, "max")?,
+            non_converged: field_u64(line, "nonconv")?,
+            kinds: MoveKindCounts {
+                deletions: field_u64(line, "del")? as usize,
+                swaps: field_u64(line, "swap")? as usize,
+                purchases: field_u64(line, "buy")? as usize,
+                strategy_rewrites: field_u64(line, "rewrite")? as usize,
+            },
+            mean: f64::from_bits(field_u64(line, "mean_bits")?),
+            m2: f64::from_bits(field_u64(line, "m2_bits")?),
+            hist,
+        },
+    })
+}
+
+/// Append-only journal writer shared across worker threads.
+pub struct JournalWriter {
+    file: Mutex<BufWriter<File>>,
+}
+
+impl JournalWriter {
+    /// Creates a fresh journal at `path` (truncating any previous file) and
+    /// writes the plan-hash header.
+    pub fn create(path: &Path, plan_hash: u64) -> std::io::Result<JournalWriter> {
+        let mut file = BufWriter::new(File::create(path)?);
+        writeln!(
+            file,
+            "{{\"ncg_sweep_journal\":1,\"plan\":\"{plan_hash:016x}\"}}"
+        )?;
+        file.flush()?;
+        Ok(JournalWriter {
+            file: Mutex::new(file),
+        })
+    }
+
+    /// Opens an existing journal for appending (resume). If the previous run
+    /// died mid-write, the file ends in a torn fragment without a newline;
+    /// a newline is inserted first so the next record starts on its own line
+    /// (otherwise it would fuse with the fragment and misparse on the *next*
+    /// resume as a line whose leading fields come from the torn record).
+    pub fn append(path: &Path) -> std::io::Result<JournalWriter> {
+        use std::io::{Read, Seek, SeekFrom};
+        let mut file = OpenOptions::new().read(true).append(true).open(path)?;
+        let len = file.seek(SeekFrom::End(0))?;
+        if len > 0 {
+            file.seek(SeekFrom::End(-1))?;
+            let mut last = [0u8; 1];
+            file.read_exact(&mut last)?;
+            if last != [b'\n'] {
+                use std::io::Write as _;
+                file.write_all(b"\n")?;
+            }
+        }
+        Ok(JournalWriter {
+            file: Mutex::new(BufWriter::new(file)),
+        })
+    }
+
+    /// Durably records one completed chunk (flushed before returning, so a
+    /// kill right after the call never loses the chunk).
+    pub fn record(&self, rec: &ChunkRecord) -> std::io::Result<()> {
+        let mut file = self.file.lock().expect("journal mutex poisoned");
+        writeln!(file, "{}", render_line(rec))?;
+        file.flush()
+    }
+}
+
+/// The replayed content of a journal file.
+#[derive(Debug, Default)]
+pub struct JournalContents {
+    /// Completed chunks, keyed by `(point_hash, chunk_index)`.
+    pub chunks: HashMap<(u64, usize), ChunkRecord>,
+    /// Lines that failed to parse (torn tail writes); surfaced for logging.
+    pub skipped_lines: usize,
+}
+
+/// Loads a journal, validating its header against `expected_plan_hash`.
+pub fn load_journal(path: &Path, expected_plan_hash: u64) -> std::io::Result<JournalContents> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut lines = reader.lines();
+    let header = lines
+        .next()
+        .transpose()?
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "empty journal"))?;
+    let plan = field_hex(&header, "plan").ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, "journal header unreadable")
+    })?;
+    if plan != expected_plan_hash {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!(
+                "journal belongs to plan {plan:016x}, expected {expected_plan_hash:016x} \
+                 (grid, chunk size, seeds or engine changed)"
+            ),
+        ));
+    }
+    let mut contents = JournalContents::default();
+    for line in lines {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_line(&line) {
+            Some(rec) => {
+                contents
+                    .chunks
+                    .insert((rec.point_hash, rec.chunk_index), rec);
+            }
+            None => contents.skipped_lines += 1,
+        }
+    }
+    Ok(contents)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record(seed: u64) -> ChunkRecord {
+        let mut stats = StreamingStats::new();
+        for i in 0..5 {
+            stats.push(
+                &ncg_sim::TrialResult {
+                    steps: (seed as usize + i * 3) % 40,
+                    converged: i != 3,
+                    kinds: MoveKindCounts {
+                        deletions: i,
+                        swaps: 2 * i,
+                        purchases: 1,
+                        strategy_rewrites: i % 2,
+                    },
+                },
+                10,
+            );
+        }
+        ChunkRecord {
+            point_hash: 0xdead_beef_0bad_cafe ^ seed,
+            chunk_index: seed as usize % 7,
+            start: 4,
+            len: 5,
+            stats,
+        }
+    }
+
+    #[test]
+    fn chunk_lines_round_trip_bit_exactly() {
+        for seed in [0u64, 1, 17, 255] {
+            let rec = sample_record(seed);
+            let line = render_line(&rec);
+            let back = parse_line(&line).expect("parses");
+            assert_eq!(back, rec);
+            assert_eq!(back.stats.mean.to_bits(), rec.stats.mean.to_bits());
+            assert_eq!(back.stats.m2.to_bits(), rec.stats.m2.to_bits());
+        }
+    }
+
+    #[test]
+    fn torn_lines_are_rejected_not_misparsed() {
+        let line = render_line(&sample_record(3));
+        for cut in [1, line.len() / 2, line.len() - 1] {
+            assert_eq!(parse_line(&line[..cut]), None, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn journal_file_round_trip_and_plan_guard() {
+        let dir = std::env::temp_dir().join(format!("ncg-lab-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("j1.jsonl");
+        let writer = JournalWriter::create(&path, 0x1234).unwrap();
+        let (a, b) = (sample_record(1), sample_record(2));
+        writer.record(&a).unwrap();
+        writer.record(&b).unwrap();
+        drop(writer);
+        // Simulate a kill mid-write: append a torn half line.
+        {
+            use std::io::Write as _;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            write!(f, "{{\"point\":\"00ff\",\"chunk\":9").unwrap();
+        }
+        let contents = load_journal(&path, 0x1234).unwrap();
+        assert_eq!(contents.chunks.len(), 2);
+        assert_eq!(contents.skipped_lines, 1, "torn tail detected");
+        assert_eq!(contents.chunks[&(a.point_hash, a.chunk_index)], a);
+        let err = load_journal(&path, 0x9999).unwrap_err();
+        assert!(err.to_string().contains("belongs to plan"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn append_after_a_torn_tail_starts_a_fresh_line() {
+        // A mid-write kill leaves a fragment without a trailing newline; the
+        // resumed writer must not fuse its first record onto that fragment
+        // (the fused line would end in "]}" and misparse with the torn
+        // record's leading fields on the *next* resume).
+        let dir = std::env::temp_dir().join(format!("ncg-lab-journal3-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("j3.jsonl");
+        let (a, b) = (sample_record(8), sample_record(9));
+        JournalWriter::create(&path, 3).unwrap().record(&a).unwrap();
+        {
+            use std::io::Write as _;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            write!(
+                f,
+                "{{\"point\":\"{:016x}\",\"chunk\":2,\"start\":4",
+                a.point_hash
+            )
+            .unwrap();
+        }
+        JournalWriter::append(&path).unwrap().record(&b).unwrap();
+        let contents = load_journal(&path, 3).unwrap();
+        assert_eq!(contents.chunks.len(), 2, "both real records survive");
+        assert_eq!(contents.skipped_lines, 1, "the fragment alone is skipped");
+        assert_eq!(contents.chunks[&(b.point_hash, b.chunk_index)], b);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn append_mode_extends_an_existing_journal() {
+        let dir = std::env::temp_dir().join(format!("ncg-lab-journal2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("j2.jsonl");
+        let (a, b) = (sample_record(5), sample_record(6));
+        JournalWriter::create(&path, 7).unwrap().record(&a).unwrap();
+        JournalWriter::append(&path).unwrap().record(&b).unwrap();
+        let contents = load_journal(&path, 7).unwrap();
+        assert_eq!(contents.chunks.len(), 2);
+        assert_eq!(contents.skipped_lines, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

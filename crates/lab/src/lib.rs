@@ -1,0 +1,39 @@
+//! # ncg-lab
+//!
+//! The batch experimentation layer on top of the simulation harness: a
+//! **scenario catalog** of named, seeded initial-network families beyond the
+//! paper's topologies, and an **adaptive batch orchestrator** that grinds
+//! arbitrary sweep grids with streaming aggregation and exact
+//! checkpoint/resume.
+//!
+//! * [`scenario`] — the catalog: Erdős–Rényi `G(n, m)`, ring lattices,
+//!   small-world rewirings, torus grids, hypercubes, preferential attachment,
+//!   star forests, plus the paper's own topologies; all seed-deterministic
+//!   and structurally property-tested.
+//! * [`plan`] — declarative [`SweepPlan`] grids (scenario × game family ×
+//!   policy × α × `n`), flattened into stably-hashed [`SweepPoint`]s and
+//!   fixed trial chunks; resolves the trial-level vs. scan-level parallelism
+//!   split from `n`, the trial count and the machine's core count.
+//! * [`orchestrator`] — the shared work queue: workers steal `(point,
+//!   trial-chunk)` jobs round-robin across points, aggregates stream through
+//!   [`ncg_sim::StreamingStats`] (memory `O(points)`, not `O(trials)`), and
+//!   every completed chunk is durably journaled.
+//! * [`journal`] — the JSON-lines chunk journal: bit-exact f64 payloads,
+//!   plan-hash guarded, torn-tail tolerant.
+//!
+//! The headline guarantee, enforced by the workspace reproducibility test:
+//! a plan run with 1 worker, N workers, or killed and resumed mid-sweep
+//! produces **bit-identical** per-point aggregates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod journal;
+pub mod orchestrator;
+pub mod plan;
+pub mod scenario;
+
+pub use journal::{load_journal, ChunkRecord, JournalWriter};
+pub use orchestrator::{run_sweep, PointOutcome, RunOptions, SweepOutcome};
+pub use plan::{fnv1a, AutoSplit, SweepPlan, SweepPoint};
+pub use scenario::Scenario;

@@ -1,0 +1,351 @@
+//! The adaptive batch orchestrator: executes a [`SweepPlan`] as a shared
+//! work queue of `(point, trial-chunk)` jobs.
+//!
+//! Workers steal jobs across *points* as well as trials: the queue is ordered
+//! round-robin by chunk index (every point's first chunk before any point's
+//! second), so progress — and therefore checkpoint coverage — spreads evenly
+//! over the grid instead of draining one point at a time. Memory stays
+//! `O(points × chunks)` small aggregates; no `TrialResult` is ever retained.
+//!
+//! Reproducibility contract: the aggregates of a completed sweep are
+//! **bit-identical** regardless of worker count, scan width, and kill/resume
+//! splits — chunk contents are pure functions of `(point, start, len)` and
+//! per-point aggregates merge chunk-ordered. The machine's core count enters
+//! only through the plan's scan-mode decision, which is baked into the point
+//! hashes; the journal's plan-hash guard turns any cross-machine flip of
+//! that decision into a hard error instead of a silent mix.
+
+use crate::journal::{load_journal, ChunkRecord, JournalWriter};
+use crate::plan::{SweepPlan, SweepPoint};
+use ncg_sim::{run_seeded_trial, StreamingStats};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Execution options of one sweep run.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Worker threads (`None` = available CPUs).
+    pub threads: Option<usize>,
+    /// Checkpoint journal path (`None` = no checkpointing).
+    pub journal: Option<PathBuf>,
+    /// Load completed chunks from an existing journal before running.
+    pub resume: bool,
+    /// Execute at most this many chunks in *this* run — a simulated
+    /// mid-sweep kill, used by the smoke test and the CI resume check. The
+    /// cap is enforced on job *claims*, so it holds for any worker count.
+    pub stop_after_chunks: Option<usize>,
+}
+
+/// Aggregated outcome of one point.
+#[derive(Debug, Clone)]
+pub struct PointOutcome {
+    /// The executed point.
+    pub point: SweepPoint,
+    /// Chunks completed so far (== chunk count when the sweep finished).
+    pub completed_chunks: usize,
+    /// Total chunks of the point.
+    pub total_chunks: usize,
+    /// The chunk-ordered merge of all completed chunk aggregates.
+    pub stats: StreamingStats,
+}
+
+impl PointOutcome {
+    /// True once every chunk of the point completed.
+    pub fn complete(&self) -> bool {
+        self.completed_chunks == self.total_chunks
+    }
+}
+
+/// Outcome of a sweep run.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// True if every chunk of every point completed.
+    pub completed: bool,
+    /// Per-point aggregates, in plan (flatten) order.
+    pub points: Vec<PointOutcome>,
+    /// Chunks executed by this run.
+    pub executed_chunks: usize,
+    /// Chunks restored from the journal instead of re-running.
+    pub resumed_chunks: usize,
+}
+
+struct Job {
+    point_index: usize,
+    chunk_index: usize,
+    start: usize,
+    len: usize,
+}
+
+/// Runs one chunk of one point: trials `start .. start + len`, each derived
+/// by the shared [`run_seeded_trial`] convention (the same one the figure
+/// runner uses, so chunk contents stay a pure function of the point), and
+/// streamed into a fresh [`StreamingStats`].
+fn run_chunk(point: &SweepPoint, start: usize, len: usize, scan_width: usize) -> StreamingStats {
+    let game = point.make_game();
+    let mut engine = point.engine;
+    if engine.parallel_scan.is_some() {
+        // The plan only fixes the *mode*; the width is machine-local and
+        // cannot influence trajectories (workers consume no randomness).
+        engine.parallel_scan = Some(scan_width.max(1));
+    }
+    let mut stats = StreamingStats::new();
+    for t in start..start + len {
+        let result = run_seeded_trial(
+            game.as_ref(),
+            point.policy,
+            engine,
+            point.max_steps(),
+            point.base_seed,
+            t,
+            |rng| point.scenario.generate(point.n, rng),
+        );
+        stats.push(&result, point.n);
+    }
+    stats
+}
+
+/// Executes `plan` and returns the per-point aggregates.
+///
+/// With a journal configured, every completed chunk is durably recorded
+/// before the worker moves on; with `resume`, previously recorded chunks are
+/// loaded instead of re-run. Errors surface only from journal I/O.
+pub fn run_sweep(plan: &SweepPlan, opts: &RunOptions) -> std::io::Result<SweepOutcome> {
+    let points = plan.flatten();
+    let plan_hash = plan.plan_hash();
+    let layouts: Vec<Vec<(usize, usize)>> = points.iter().map(|p| plan.chunks(p)).collect();
+
+    // Per-point chunk slots, prefilled from the journal on resume.
+    let mut slots: Vec<Vec<Option<StreamingStats>>> = layouts
+        .iter()
+        .map(|chunks| vec![None; chunks.len()])
+        .collect();
+    let mut resumed_chunks = 0usize;
+    if opts.resume {
+        if let Some(path) = &opts.journal {
+            if path.exists() {
+                let contents = load_journal(path, plan_hash)?;
+                if contents.skipped_lines > 0 {
+                    eprintln!(
+                        "sweep journal: ignoring {} torn line(s) from an interrupted run",
+                        contents.skipped_lines
+                    );
+                }
+                for (pi, point) in points.iter().enumerate() {
+                    for (ci, &(start, len)) in layouts[pi].iter().enumerate() {
+                        if let Some(rec) = contents.chunks.get(&(point.hash, ci)) {
+                            if rec.start == start && rec.len == len {
+                                slots[pi][ci] = Some(rec.stats.clone());
+                                resumed_chunks += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let writer = match &opts.journal {
+        Some(path) => Some(if opts.resume && path.exists() {
+            JournalWriter::append(path)?
+        } else {
+            JournalWriter::create(path, plan_hash)?
+        }),
+        None => None,
+    };
+
+    // Pending jobs, round-robin by chunk index across points.
+    let mut jobs: Vec<Job> = Vec::new();
+    let max_chunks = layouts.iter().map(Vec::len).max().unwrap_or(0);
+    for ci in 0..max_chunks {
+        for (pi, layout) in layouts.iter().enumerate() {
+            if ci < layout.len() && slots[pi][ci].is_none() {
+                let (start, len) = layout[ci];
+                jobs.push(Job {
+                    point_index: pi,
+                    chunk_index: ci,
+                    start,
+                    len,
+                });
+            }
+        }
+    }
+
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let workers = opts.threads.unwrap_or(cores).max(1).min(jobs.len().max(1));
+    // Cores left over per worker feed the parallel scan of scan-mode points.
+    let scan_width = (cores / workers).max(1);
+
+    let next = AtomicUsize::new(0);
+    let done_this_run = AtomicUsize::new(0);
+    let io_failed = AtomicBool::new(false);
+    let slots_mutex = Mutex::new(std::mem::take(&mut slots));
+    let io_error: Mutex<Option<std::io::Error>> = Mutex::new(None);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                if io_failed.load(Ordering::Relaxed) {
+                    break;
+                }
+                let j = next.fetch_add(1, Ordering::Relaxed);
+                if j >= jobs.len() {
+                    break;
+                }
+                // The claim counter itself enforces the simulated kill: at
+                // most `limit` jobs are ever claimed, no matter how many
+                // workers race here (completed-count checks would let up to
+                // `workers - 1` extra chunks through).
+                if opts.stop_after_chunks.is_some_and(|limit| j >= limit) {
+                    break;
+                }
+                let job = &jobs[j];
+                let point = &points[job.point_index];
+                let stats = run_chunk(point, job.start, job.len, scan_width);
+                if let Some(writer) = &writer {
+                    let rec = ChunkRecord {
+                        point_hash: point.hash,
+                        chunk_index: job.chunk_index,
+                        start: job.start,
+                        len: job.len,
+                        stats: stats.clone(),
+                    };
+                    if let Err(e) = writer.record(&rec) {
+                        *io_error.lock().expect("error mutex poisoned") = Some(e);
+                        io_failed.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                }
+                slots_mutex.lock().expect("slots mutex poisoned")[job.point_index]
+                    [job.chunk_index] = Some(stats);
+                done_this_run.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+    });
+
+    slots = slots_mutex.into_inner().expect("slots mutex poisoned");
+    if let Some(e) = io_error.into_inner().expect("error mutex poisoned") {
+        return Err(e);
+    }
+    let executed_chunks = done_this_run.into_inner();
+
+    // Merge per point, strictly in chunk order — the reproducibility anchor.
+    let mut outcomes = Vec::with_capacity(points.len());
+    let mut completed = true;
+    for (pi, point) in points.into_iter().enumerate() {
+        let mut stats = StreamingStats::new();
+        let mut done = 0usize;
+        for chunk in slots[pi].iter().flatten() {
+            stats.merge(chunk);
+            done += 1;
+        }
+        if done < layouts[pi].len() {
+            completed = false;
+        }
+        outcomes.push(PointOutcome {
+            point,
+            completed_chunks: done,
+            total_chunks: layouts[pi].len(),
+            stats,
+        });
+    }
+    Ok(SweepOutcome {
+        completed,
+        points: outcomes,
+        executed_chunks,
+        resumed_chunks,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::AutoSplit;
+    use crate::scenario::Scenario;
+    use ncg_core::policy::Policy;
+    use ncg_sim::{GameFamily, InitialTopology};
+
+    fn tiny_plan() -> SweepPlan {
+        let mut plan = SweepPlan::new("tiny");
+        plan.scenarios = vec![
+            Scenario::Paper(InitialTopology::Budgeted { k: 2 }),
+            Scenario::RingLattice { k: 2 },
+        ];
+        plan.families = vec![GameFamily::AsgSum];
+        plan.policies = vec![Policy::MaxCost];
+        plan.ns = vec![10, 13];
+        plan.trials = 6;
+        plan.chunk_size = 2;
+        plan.split = AutoSplit::never();
+        plan
+    }
+
+    #[test]
+    fn sweep_completes_and_counts_chunks() {
+        let plan = tiny_plan();
+        let out = run_sweep(&plan, &RunOptions::default()).unwrap();
+        assert!(out.completed);
+        assert_eq!(out.points.len(), 4);
+        assert_eq!(out.executed_chunks, 4 * 3, "4 points × 3 chunks");
+        assert_eq!(out.resumed_chunks, 0);
+        for p in &out.points {
+            assert!(p.complete());
+            assert_eq!(p.stats.count, 6, "{}", p.point.label());
+            assert_eq!(p.stats.non_converged, 0, "{}", p.point.label());
+            assert_eq!(
+                p.stats.hist.iter().sum::<u64>(),
+                6,
+                "histogram covers every trial"
+            );
+        }
+    }
+
+    #[test]
+    fn stop_after_chunks_leaves_the_sweep_incomplete() {
+        let plan = tiny_plan();
+        // The claim-based cap must hold exactly for ANY worker count — a
+        // completed-count check would let extra in-flight chunks through
+        // (and on a many-core box could even finish the whole sweep,
+        // defeating the simulated kill).
+        for threads in [1usize, 8] {
+            let out = run_sweep(
+                &plan,
+                &RunOptions {
+                    threads: Some(threads),
+                    stop_after_chunks: Some(5),
+                    ..RunOptions::default()
+                },
+            )
+            .unwrap();
+            assert!(!out.completed, "threads={threads}");
+            assert_eq!(out.executed_chunks, 5, "threads={threads}");
+            assert!(out.points.iter().any(|p| !p.complete()));
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_aggregates() {
+        let plan = tiny_plan();
+        let one = run_sweep(
+            &plan,
+            &RunOptions {
+                threads: Some(1),
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        let many = run_sweep(
+            &plan,
+            &RunOptions {
+                threads: Some(4),
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        for (a, b) in one.points.iter().zip(&many.points) {
+            assert_eq!(a.stats, b.stats, "{}", a.point.label());
+        }
+    }
+}

@@ -99,13 +99,13 @@ pub fn render_table(def: &FigureDef, data: &FigureData) -> String {
 /// Renders the measured data as CSV with one row per (series, n) pair.
 pub fn render_csv(data: &FigureData) -> String {
     let mut out = String::from(
-        "figure,series,n,trials,avg_steps,max_steps,min_steps,non_converged,deletions,swaps,purchases\n",
+        "figure,series,n,trials,avg_steps,max_steps,min_steps,non_converged,deletions,swaps,purchases,strategy_rewrites\n",
     );
     for series in &data.series {
         for p in &series.points {
             let _ = writeln!(
                 out,
-                "{},{},{},{},{:.4},{},{},{},{},{},{}",
+                "{},{},{},{},{:.4},{},{},{},{},{},{},{}",
                 data.id,
                 series.label.replace(',', ";"),
                 p.n,
@@ -116,7 +116,8 @@ pub fn render_csv(data: &FigureData) -> String {
                 p.non_converged,
                 p.kinds.deletions,
                 p.kinds.swaps,
-                p.kinds.purchases
+                p.kinds.purchases,
+                p.kinds.strategy_rewrites
             );
         }
     }
@@ -127,6 +128,124 @@ pub fn render_csv(data: &FigureData) -> String {
 mod tests {
     use super::*;
     use crate::experiments::fig11;
+    use crate::runner::MoveKindCounts;
+
+    /// A fixed two-series figure with hand-picked numbers, for golden tests.
+    fn fixture() -> (FigureDef, FigureData) {
+        let def = FigureDef {
+            id: "figXX",
+            title: "Golden fixture",
+            series: Vec::new(),
+            envelopes: vec![("5n", |n| 5.0 * n)],
+        };
+        let point = |n: usize, trials, avg, max, min, kinds| PointSummary {
+            n,
+            trials,
+            avg_steps: avg,
+            max_steps: max,
+            min_steps: min,
+            non_converged: 0,
+            kinds,
+        };
+        let data = FigureData {
+            id: "figXX".to_string(),
+            title: "Golden fixture".to_string(),
+            series: vec![
+                SeriesData {
+                    label: "k=1, max cost".to_string(),
+                    points: vec![
+                        point(
+                            10,
+                            4,
+                            12.5,
+                            20,
+                            7,
+                            MoveKindCounts {
+                                deletions: 3,
+                                swaps: 40,
+                                purchases: 7,
+                                strategy_rewrites: 0,
+                            },
+                        ),
+                        point(
+                            20,
+                            4,
+                            30.25,
+                            44,
+                            21,
+                            MoveKindCounts {
+                                deletions: 10,
+                                swaps: 100,
+                                purchases: 11,
+                                strategy_rewrites: 0,
+                            },
+                        ),
+                    ],
+                },
+                SeriesData {
+                    label: "rewrites".to_string(),
+                    points: vec![point(
+                        10,
+                        2,
+                        3.0,
+                        4,
+                        2,
+                        MoveKindCounts {
+                            deletions: 0,
+                            swaps: 0,
+                            purchases: 1,
+                            strategy_rewrites: 5,
+                        },
+                    )],
+                },
+            ],
+        };
+        (def, data)
+    }
+
+    #[test]
+    fn golden_plain_text_table() {
+        let (def, data) = fixture();
+        let expected = "\
+Golden fixture (figXX)
+======================
+
+series: k=1, max cost
+     n    avg steps        max     trials         5n
+    10        12.50         20          4       50.0
+    20        30.25         44          4      100.0
+
+series: rewrites
+     n    avg steps        max     trials         5n
+    10         3.00          4          2       50.0
+
+all trials converged: true   worst max-steps/n: 2.20
+";
+        assert_eq!(render_table(&def, &data), expected);
+    }
+
+    #[test]
+    fn golden_csv() {
+        let (_, data) = fixture();
+        let expected = "\
+figure,series,n,trials,avg_steps,max_steps,min_steps,non_converged,deletions,swaps,purchases,strategy_rewrites
+figXX,k=1; max cost,10,4,12.5000,20,7,0,3,40,7,0
+figXX,k=1; max cost,20,4,30.2500,44,21,0,10,100,11,0
+figXX,rewrites,10,2,3.0000,4,2,0,0,0,1,5
+";
+        assert_eq!(render_csv(&data), expected);
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_counts_rows() {
+        let (_, data) = fixture();
+        let csv = render_csv(&data);
+        assert_eq!(csv.lines().count(), 4, "header + three points");
+        assert!(
+            !csv.lines().any(|l| l.split(',').count() != 12),
+            "every row has exactly the header's 12 columns"
+        );
+    }
 
     #[test]
     fn measure_and_render_a_tiny_figure() {

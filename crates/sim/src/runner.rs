@@ -6,12 +6,24 @@
 //! A *point* aggregates many independent trials; trials are distributed over worker
 //! threads with `std::thread::scope`, each trial seeded as `base_seed + trial_index`
 //! so that results are reproducible independent of the number of threads.
+//!
+//! Three layers are exposed so batch layers (the `ncg-lab` orchestrator) can
+//! reuse exactly as much as they need:
+//!
+//! * [`run_dynamics_trial`] — one trial on an **already generated** initial
+//!   network (topology generation decoupled from execution),
+//! * [`run_trial_chunk`] — a contiguous, seeded trial range streamed into a
+//!   caller-provided sink (the unit of checkpoint/resume),
+//! * [`StreamingStats`] — a mergeable constant-size aggregate (count/min/max,
+//!   Welford mean/variance, fixed-bucket steps-per-agent histogram) that
+//!   replaces keeping every [`TrialResult`] in memory.
 
-use crate::spec::ExperimentPoint;
+use crate::spec::{EngineSpec, ExperimentPoint};
 use ncg_core::dynamics::{Dynamics, DynamicsConfig, ResponseMode};
 use ncg_core::moves::Move;
-use ncg_core::policy::TieBreak;
+use ncg_core::policy::{Policy, TieBreak};
 use ncg_core::Game;
+use ncg_graph::OwnedGraph;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Mutex;
@@ -25,6 +37,9 @@ pub struct MoveKindCounts {
     pub swaps: usize,
     /// Edge purchases.
     pub purchases: usize,
+    /// Whole-strategy rewrites (`SetOwned` / `SetNeighbors` moves, played by
+    /// the Buy Game and the bilateral game).
+    pub strategy_rewrites: usize,
 }
 
 impl MoveKindCounts {
@@ -33,13 +48,22 @@ impl MoveKindCounts {
             Move::Delete { .. } => self.deletions += 1,
             Move::Swap { .. } => self.swaps += 1,
             Move::Buy { .. } => self.purchases += 1,
-            Move::SetOwned { .. } | Move::SetNeighbors { .. } => {}
+            Move::SetOwned { .. } | Move::SetNeighbors { .. } => self.strategy_rewrites += 1,
         }
     }
 
-    /// Total number of recorded moves.
+    /// Total number of recorded moves; equals the trajectory's step count for
+    /// every game family (whole-strategy rewrites included).
     pub fn total(&self) -> usize {
-        self.deletions + self.swaps + self.purchases
+        self.deletions + self.swaps + self.purchases + self.strategy_rewrites
+    }
+
+    /// Adds another count set (summing field-wise).
+    pub fn merge(&mut self, other: &MoveKindCounts) {
+        self.deletions += other.deletions;
+        self.swaps += other.swaps;
+        self.purchases += other.purchases;
+        self.strategy_rewrites += other.strategy_rewrites;
     }
 }
 
@@ -52,6 +76,147 @@ pub struct TrialResult {
     pub converged: bool,
     /// Move-kind breakdown of the trajectory.
     pub kinds: MoveKindCounts,
+}
+
+/// Number of fixed-width buckets of the steps-per-agent histogram.
+pub const STEP_HIST_BUCKETS: usize = 32;
+/// Width (in steps per agent) of one histogram bucket; the last bucket
+/// additionally absorbs everything beyond the covered range.
+pub const STEP_HIST_BUCKET_WIDTH: f64 = 0.5;
+
+/// The histogram bucket of a `steps / n` ratio.
+pub fn step_hist_bucket(steps: usize, n: usize) -> usize {
+    if n == 0 {
+        return STEP_HIST_BUCKETS - 1;
+    }
+    let ratio = steps as f64 / n as f64;
+    ((ratio / STEP_HIST_BUCKET_WIDTH) as usize).min(STEP_HIST_BUCKETS - 1)
+}
+
+/// Constant-size streaming aggregate of trial results.
+///
+/// `push` consumes trials one by one; `merge` combines two aggregates with
+/// Chan's parallel Welford update. Merging is exact for all integer fields and
+/// deterministic for the floating-point moments **given a fixed merge order**
+/// — batch layers must therefore always fold their chunk aggregates in chunk
+/// order (not completion order) to obtain bit-identical results independent
+/// of thread count or checkpoint/resume splits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamingStats {
+    /// Number of trials aggregated.
+    pub count: u64,
+    /// Exact sum of all step counts.
+    pub total_steps: u64,
+    /// Minimum steps observed (`u64::MAX` while empty).
+    pub min_steps: u64,
+    /// Maximum steps observed.
+    pub max_steps: u64,
+    /// Trials that hit the step limit without converging.
+    pub non_converged: u64,
+    /// Summed move-kind counts.
+    pub kinds: MoveKindCounts,
+    /// Welford running mean of the step count.
+    pub mean: f64,
+    /// Welford running sum of squared deviations.
+    pub m2: f64,
+    /// Fixed-bucket histogram of `steps / n` (bucket width
+    /// [`STEP_HIST_BUCKET_WIDTH`], last bucket open-ended).
+    pub hist: [u64; STEP_HIST_BUCKETS],
+}
+
+impl Default for StreamingStats {
+    fn default() -> Self {
+        StreamingStats {
+            count: 0,
+            total_steps: 0,
+            min_steps: u64::MAX,
+            max_steps: 0,
+            non_converged: 0,
+            kinds: MoveKindCounts::default(),
+            mean: 0.0,
+            m2: 0.0,
+            hist: [0; STEP_HIST_BUCKETS],
+        }
+    }
+}
+
+impl StreamingStats {
+    /// An empty aggregate.
+    pub fn new() -> Self {
+        StreamingStats::default()
+    }
+
+    /// Folds one trial of a point with `n` agents into the aggregate.
+    pub fn push(&mut self, result: &TrialResult, n: usize) {
+        let steps = result.steps as u64;
+        self.count += 1;
+        self.total_steps += steps;
+        self.min_steps = self.min_steps.min(steps);
+        self.max_steps = self.max_steps.max(steps);
+        if !result.converged {
+            self.non_converged += 1;
+        }
+        self.kinds.merge(&result.kinds);
+        let delta = result.steps as f64 - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (result.steps as f64 - self.mean);
+        self.hist[step_hist_bucket(result.steps, n)] += 1;
+    }
+
+    /// Merges `other` into `self` (Chan's pairwise Welford combination).
+    pub fn merge(&mut self, other: &StreamingStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let (na, nb) = (self.count as f64, other.count as f64);
+        let delta = other.mean - self.mean;
+        let total = na + nb;
+        self.mean += delta * (nb / total);
+        self.m2 += other.m2 + delta * delta * (na * nb / total);
+        self.count += other.count;
+        self.total_steps += other.total_steps;
+        self.min_steps = self.min_steps.min(other.min_steps);
+        self.max_steps = self.max_steps.max(other.max_steps);
+        self.non_converged += other.non_converged;
+        self.kinds.merge(&other.kinds);
+        for (a, b) in self.hist.iter_mut().zip(other.hist.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Sample standard deviation of the step count (0 for fewer than two trials).
+    pub fn std_dev(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.count - 1) as f64).sqrt()
+        }
+    }
+
+    /// Collapses the aggregate into the figure pipeline's [`PointSummary`].
+    pub fn summary(&self, n: usize) -> PointSummary {
+        PointSummary {
+            n,
+            trials: self.count as usize,
+            avg_steps: if self.count == 0 {
+                0.0
+            } else {
+                self.total_steps as f64 / self.count as f64
+            },
+            max_steps: self.max_steps as usize,
+            min_steps: if self.count == 0 {
+                0
+            } else {
+                self.min_steps as usize
+            },
+            non_converged: self.non_converged as usize,
+            kinds: self.kinds,
+        }
+    }
 }
 
 /// Aggregated results of all trials of an experiment point.
@@ -82,44 +247,47 @@ impl PointSummary {
     }
 }
 
-/// Runs a single trial of `point` with the given trial index.
-pub fn run_trial(point: &ExperimentPoint, trial_index: usize) -> TrialResult {
-    let game = point.make_game();
-    run_trial_with_game(point, game.as_ref(), trial_index)
-}
-
-/// Runs a single trial re-using an already constructed game (avoids the per-trial
-/// boxing when the caller runs many trials of the same point).
-pub fn run_trial_with_game(
-    point: &ExperimentPoint,
+/// Runs best-response dynamics on an **already generated** initial network
+/// until convergence or `max_steps`. This is the execution core shared by
+/// [`run_trial_with_game`] and the `ncg-lab` scenario orchestrator, which
+/// generates initial networks from its own catalog.
+///
+/// `rng` must be the trial's seeded stream, already advanced past topology
+/// generation. The parallel-scan *width* in `engine` never influences the
+/// trajectory (worker threads consume no randomness); whether the scan is
+/// parallel at all does, because mover selection draws from `rng` differently.
+pub fn run_dynamics_trial(
     game: &(dyn Game + Send + Sync),
-    trial_index: usize,
+    initial: OwnedGraph,
+    policy: Policy,
+    engine: EngineSpec,
+    max_steps: usize,
+    rng: &mut StdRng,
 ) -> TrialResult {
-    let mut rng = StdRng::seed_from_u64(point.base_seed.wrapping_add(trial_index as u64));
-    let initial = point.topology.generate(point.n, &mut rng);
     let config = DynamicsConfig {
-        policy: point.policy,
+        policy,
         tie_break: TieBreak::Random,
         response_mode: ResponseMode::BestResponse,
-        max_steps: point.max_steps(),
+        max_steps,
         detect_cycles: false,
         record_trajectory: false,
         ownership_in_state: true,
-        oracle: point.engine.oracle,
+        oracle: engine.oracle,
+        oracle_cache_budget: engine.oracle_cache_budget,
         // The parallel scan is a full rescan; maintaining the dirty set next
         // to it would only burn endpoint BFS runs nobody reads.
-        dirty_agents: point.engine.dirty_agents && point.engine.parallel_scan.is_none(),
+        dirty_agents: engine.dirty_agents && engine.parallel_scan.is_none(),
     };
     let mut dynamics = Dynamics::new(game, initial, config);
     let mut kinds = MoveKindCounts::default();
     let mut steps = 0usize;
     let converged = loop {
-        if steps >= point.max_steps() {
+        if steps >= max_steps {
             break false;
         }
-        let record = match point.engine.parallel_scan {
-            Some(threads) => dynamics.step_parallel(&mut rng, threads),
-            None => dynamics.step(&mut rng),
+        let record = match engine.parallel_scan {
+            Some(threads) => dynamics.step_parallel(rng, threads),
+            None => dynamics.step(rng),
         };
         match record {
             Some(record) => {
@@ -136,9 +304,78 @@ pub fn run_trial_with_game(
     }
 }
 
+/// Runs a single trial of `point` with the given trial index.
+pub fn run_trial(point: &ExperimentPoint, trial_index: usize) -> TrialResult {
+    let game = point.make_game();
+    run_trial_with_game(point, game.as_ref(), trial_index)
+}
+
+/// **The** trial-seeding convention, shared by every batch layer: trial `t`
+/// seeds its RNG stream with `base_seed + t`, `generate` consumes whatever
+/// randomness it needs for the initial network, and the dynamics continue on
+/// the *same* stream. Checkpoint/resume exactness rests on every executor
+/// deriving trials this way and only this way.
+pub fn run_seeded_trial(
+    game: &(dyn Game + Send + Sync),
+    policy: Policy,
+    engine: EngineSpec,
+    max_steps: usize,
+    base_seed: u64,
+    trial_index: usize,
+    generate: impl FnOnce(&mut StdRng) -> OwnedGraph,
+) -> TrialResult {
+    let mut rng = StdRng::seed_from_u64(base_seed.wrapping_add(trial_index as u64));
+    let initial = generate(&mut rng);
+    run_dynamics_trial(game, initial, policy, engine, max_steps, &mut rng)
+}
+
+/// Runs a single trial re-using an already constructed game (avoids the per-trial
+/// boxing when the caller runs many trials of the same point).
+pub fn run_trial_with_game(
+    point: &ExperimentPoint,
+    game: &(dyn Game + Send + Sync),
+    trial_index: usize,
+) -> TrialResult {
+    run_seeded_trial(
+        game,
+        point.policy,
+        point.engine,
+        point.max_steps(),
+        point.base_seed,
+        trial_index,
+        |rng| point.topology.generate(point.n, rng),
+    )
+}
+
+/// Runs the contiguous trial range `start .. start + len` of `point`,
+/// streaming each result (with its trial index) into `sink` in index order.
+///
+/// A chunk is the natural unit of batched execution: its content depends only
+/// on `(point, start, len)` — never on threads or wall-clock — which is what
+/// makes chunk-granular checkpoint/resume exact.
+pub fn run_trial_chunk(
+    point: &ExperimentPoint,
+    game: &(dyn Game + Send + Sync),
+    start: usize,
+    len: usize,
+    mut sink: impl FnMut(usize, TrialResult),
+) {
+    for t in start..start + len {
+        sink(t, run_trial_with_game(point, game, t));
+    }
+}
+
 /// Runs all trials of `point`, distributing them over `threads` worker threads
 /// (defaults to the number of available CPUs when `None`).
 pub fn run_point(point: &ExperimentPoint, threads: Option<usize>) -> PointSummary {
+    let results = run_point_trials(point, threads);
+    summarize(point, &results)
+}
+
+/// Like [`run_point`], but returns the per-trial results **indexed by trial**
+/// (slot `t` holds trial `t` regardless of which worker finished it when), so
+/// per-trial output is deterministic and journalable.
+pub fn run_point_trials(point: &ExperimentPoint, threads: Option<usize>) -> Vec<TrialResult> {
     let threads = threads
         .unwrap_or_else(|| {
             std::thread::available_parallelism()
@@ -148,7 +385,7 @@ pub fn run_point(point: &ExperimentPoint, threads: Option<usize>) -> PointSummar
         .max(1)
         .min(point.trials.max(1));
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let results: Mutex<Vec<TrialResult>> = Mutex::new(Vec::with_capacity(point.trials));
+    let results: Mutex<Vec<Option<TrialResult>>> = Mutex::new(vec![None; point.trials]);
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
@@ -160,48 +397,26 @@ pub fn run_point(point: &ExperimentPoint, threads: Option<usize>) -> PointSummar
                         break;
                     }
                     let result = run_trial_with_game(point, game.as_ref(), t);
-                    results.lock().expect("runner mutex poisoned").push(result);
+                    results.lock().expect("runner mutex poisoned")[t] = Some(result);
                 }
             });
         }
     });
 
-    let results = results.into_inner().expect("runner mutex poisoned");
-    summarize(point, &results)
+    results
+        .into_inner()
+        .expect("runner mutex poisoned")
+        .into_iter()
+        .map(|r| r.expect("every trial index was claimed exactly once"))
+        .collect()
 }
 
 fn summarize(point: &ExperimentPoint, results: &[TrialResult]) -> PointSummary {
-    let trials = results.len();
-    let mut avg = 0.0;
-    let mut max = 0usize;
-    let mut min = usize::MAX;
-    let mut non_converged = 0usize;
-    let mut kinds = MoveKindCounts::default();
+    let mut stats = StreamingStats::new();
     for r in results {
-        avg += r.steps as f64;
-        max = max.max(r.steps);
-        min = min.min(r.steps);
-        if !r.converged {
-            non_converged += 1;
-        }
-        kinds.deletions += r.kinds.deletions;
-        kinds.swaps += r.kinds.swaps;
-        kinds.purchases += r.kinds.purchases;
+        stats.push(r, point.n);
     }
-    if trials > 0 {
-        avg /= trials as f64;
-    } else {
-        min = 0;
-    }
-    PointSummary {
-        n: point.n,
-        trials,
-        avg_steps: avg,
-        max_steps: max,
-        min_steps: min,
-        non_converged,
-        kinds,
-    }
+    stats.summary(point.n)
 }
 
 #[cfg(test)]
@@ -252,6 +467,7 @@ mod tests {
         assert!(r.converged);
         assert_eq!(r.kinds.deletions, 0);
         assert_eq!(r.kinds.purchases, 0);
+        assert_eq!(r.kinds.strategy_rewrites, 0);
         assert_eq!(r.kinds.swaps, r.steps);
     }
 
@@ -265,6 +481,23 @@ mod tests {
         let r = run_trial(&point, 1);
         assert!(r.converged);
         assert_eq!(r.kinds.total(), r.steps);
+    }
+
+    #[test]
+    fn strategy_rewrites_are_counted_towards_the_total() {
+        // `SetOwned` / `SetNeighbors` moves (Buy-Game whole-strategy changes)
+        // used to be dropped silently, breaking `total() == steps`.
+        let mut kinds = MoveKindCounts::default();
+        kinds.record(&Move::Buy { to: 3 });
+        kinds.record(&Move::SetOwned {
+            new_owned: vec![1, 2],
+        });
+        kinds.record(&Move::SetNeighbors {
+            new_neighbors: vec![0],
+        });
+        assert_eq!(kinds.purchases, 1);
+        assert_eq!(kinds.strategy_rewrites, 2);
+        assert_eq!(kinds.total(), 3);
     }
 
     #[test]
@@ -295,5 +528,90 @@ mod tests {
         assert_eq!(par.avg_steps, seq.avg_steps);
         assert_eq!(par.max_steps, seq.max_steps);
         assert_eq!(par.kinds, seq.kinds);
+    }
+
+    #[test]
+    fn per_trial_results_are_indexed_by_trial() {
+        let point = small_point(
+            GameFamily::AsgSum,
+            InitialTopology::Budgeted { k: 2 },
+            Policy::MaxCost,
+        );
+        let multi = run_point_trials(&point, Some(3));
+        for (t, r) in multi.iter().enumerate() {
+            let solo = run_trial(&point, t);
+            assert_eq!(r.steps, solo.steps, "trial {t}");
+            assert_eq!(r.kinds, solo.kinds, "trial {t}");
+        }
+    }
+
+    #[test]
+    fn chunked_execution_matches_individual_trials() {
+        let point = small_point(
+            GameFamily::GbgSum,
+            InitialTopology::RandomEdges { m_per_n: 1 },
+            Policy::Random,
+        );
+        let game = point.make_game();
+        let mut seen = Vec::new();
+        run_trial_chunk(&point, game.as_ref(), 2, 3, |t, r| seen.push((t, r)));
+        assert_eq!(seen.len(), 3);
+        for (i, (t, r)) in seen.iter().enumerate() {
+            assert_eq!(*t, 2 + i, "indices stream in order");
+            let solo = run_trial(&point, *t);
+            assert_eq!(r.steps, solo.steps);
+            assert_eq!(r.kinds, solo.kinds);
+        }
+    }
+
+    #[test]
+    fn streaming_stats_match_batch_summary_and_merge_orderly() {
+        let point = small_point(
+            GameFamily::AsgSum,
+            InitialTopology::Budgeted { k: 2 },
+            Policy::MaxCost,
+        );
+        let results = run_point_trials(&point, Some(1));
+        // One pass over everything…
+        let mut whole = StreamingStats::new();
+        for r in &results {
+            whole.push(r, point.n);
+        }
+        // …must equal chunked accumulation merged in chunk order.
+        let mut merged = StreamingStats::new();
+        for chunk in results.chunks(2) {
+            let mut part = StreamingStats::new();
+            for r in chunk {
+                part.push(r, point.n);
+            }
+            merged.merge(&part);
+        }
+        assert_eq!(whole.count, merged.count);
+        assert_eq!(whole.total_steps, merged.total_steps);
+        assert_eq!(whole.hist, merged.hist);
+        assert!((whole.mean - merged.mean).abs() < 1e-9);
+        assert!((whole.std_dev() - merged.std_dev()).abs() < 1e-9);
+        let summary = whole.summary(point.n);
+        let batch = run_point(&point, Some(2));
+        assert_eq!(summary.trials, batch.trials);
+        assert_eq!(summary.avg_steps, batch.avg_steps);
+        assert_eq!(summary.max_steps, batch.max_steps);
+        assert_eq!(summary.min_steps, batch.min_steps);
+        assert_eq!(summary.kinds, batch.kinds);
+        // Histogram sanity: every trial landed in exactly one bucket.
+        assert_eq!(whole.hist.iter().sum::<u64>(), whole.count);
+    }
+
+    #[test]
+    fn empty_streaming_stats_collapse_safely() {
+        let stats = StreamingStats::new();
+        let s = stats.summary(10);
+        assert_eq!(s.trials, 0);
+        assert_eq!(s.avg_steps, 0.0);
+        assert_eq!(s.min_steps, 0);
+        assert_eq!(stats.std_dev(), 0.0);
+        let mut merged = StreamingStats::new();
+        merged.merge(&stats);
+        assert_eq!(merged, StreamingStats::new());
     }
 }

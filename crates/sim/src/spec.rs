@@ -26,6 +26,11 @@ pub struct EngineSpec {
     /// `Some(threads)` scans agents for unhappiness across worker threads
     /// (useful for large `n`); `None` scans sequentially.
     pub parallel_scan: Option<usize>,
+    /// Cap on the persistent oracle's per-source distance cache (number of
+    /// parked vectors, each `O(n)` u32s). `None` applies the backend default:
+    /// unlimited at `n ≤ 4096`, capped at 4096 sources beyond. Ignored by the
+    /// stateless backends.
+    pub oracle_cache_budget: Option<usize>,
 }
 
 impl Default for EngineSpec {
@@ -34,6 +39,7 @@ impl Default for EngineSpec {
             oracle: OracleKind::Incremental,
             dirty_agents: false,
             parallel_scan: None,
+            oracle_cache_budget: None,
         }
     }
 }
@@ -43,8 +49,7 @@ impl EngineSpec {
     pub fn baseline() -> Self {
         EngineSpec {
             oracle: OracleKind::FullBfs,
-            dirty_agents: false,
-            parallel_scan: None,
+            ..EngineSpec::default()
         }
     }
 
@@ -55,7 +60,7 @@ impl EngineSpec {
         EngineSpec {
             oracle: OracleKind::Incremental,
             dirty_agents: true,
-            parallel_scan: None,
+            ..EngineSpec::default()
         }
     }
 
@@ -66,8 +71,7 @@ impl EngineSpec {
     pub fn persistent() -> Self {
         EngineSpec {
             oracle: OracleKind::Persistent,
-            dirty_agents: false,
-            parallel_scan: None,
+            ..EngineSpec::default()
         }
     }
 
@@ -80,8 +84,20 @@ impl EngineSpec {
         EngineSpec {
             oracle: OracleKind::Persistent,
             dirty_agents: true,
-            parallel_scan: None,
+            ..EngineSpec::default()
         }
+    }
+
+    /// Sets the persistent-cache budget (see [`EngineSpec::oracle_cache_budget`]).
+    pub fn with_cache_budget(mut self, budget: Option<usize>) -> Self {
+        self.oracle_cache_budget = budget;
+        self
+    }
+
+    /// Sets the parallel-scan width (`None` = sequential scan).
+    pub fn with_parallel_scan(mut self, threads: Option<usize>) -> Self {
+        self.parallel_scan = threads;
+        self
     }
 
     /// Short label such as `"incremental+dirty"` used in ablation reports.
@@ -92,6 +108,9 @@ impl EngineSpec {
         }
         if let Some(t) = self.parallel_scan {
             parts.push(format!("par{t}"));
+        }
+        if let Some(b) = self.oracle_cache_budget {
+            parts.push(format!("lru{b}"));
         }
         parts.join("+")
     }

@@ -7,13 +7,16 @@
 //! * [`graph`] (`ncg-graph`) — owned graphs, distances, generators, host graphs,
 //! * [`core`] (`ncg-core`) — games, costs, move policies, dynamics engine,
 //! * [`instances`] (`ncg-instances`) — every constructed instance from the paper,
-//! * [`sim`] (`ncg-sim`) — the empirical-study harness (Fig. 7–14).
+//! * [`sim`] (`ncg-sim`) — the empirical-study harness (Fig. 7–14),
+//! * [`lab`] (`ncg-lab`) — the scenario catalog and the batch orchestrator
+//!   (streaming stats, checkpoint/resume).
 
 #![forbid(unsafe_code)]
 
 pub use ncg_core as core;
 pub use ncg_graph as graph;
 pub use ncg_instances as instances;
+pub use ncg_lab as lab;
 pub use ncg_sim as sim;
 
 /// Convenient prelude importing the most frequently used items.
