@@ -18,7 +18,7 @@
 
 use ncg_bench::ConsentForced;
 use ncg_core::policy::Policy;
-use ncg_core::{BuyGame, Game, OracleKind, Workspace};
+use ncg_core::{BilateralBuyGame, BuyGame, Game, OracleKind, Workspace};
 use ncg_graph::generators;
 use ncg_sim::{
     run_trial_with_game, AlphaSpec, EngineSpec, ExperimentPoint, GameFamily, InitialTopology,
@@ -30,6 +30,10 @@ use std::time::Instant;
 
 struct Scale {
     max_n: usize,
+    /// Largest `n` the slow engines (full BFS and the per-scan re-pinning
+    /// incremental pair) still run at; beyond it only the persistent engines
+    /// are measured, which is what lets the sweep reach n = 1024 on one core.
+    full_max_n: usize,
     trials: usize,
     smoke: bool,
     json: Option<String>,
@@ -38,6 +42,7 @@ struct Scale {
 fn parse_scale() -> Scale {
     let mut scale = Scale {
         max_n: 256,
+        full_max_n: 256,
         trials: 3,
         smoke: false,
         json: None,
@@ -48,6 +53,7 @@ fn parse_scale() -> Scale {
         };
         match key {
             "max_n" => scale.max_n = value.parse().unwrap_or(scale.max_n),
+            "full_max_n" => scale.full_max_n = value.parse().unwrap_or(scale.full_max_n),
             "trials" => scale.trials = value.parse().unwrap_or(scale.trials),
             "smoke" => scale.smoke = value == "1" || value == "true",
             "json" => scale.json = Some(value.to_string()),
@@ -64,7 +70,10 @@ fn parse_scale() -> Scale {
 fn point(family: GameFamily, n: usize, engine: EngineSpec, trials: usize) -> ExperimentPoint {
     let topology = match family {
         GameFamily::AsgSum | GameFamily::AsgMax => InitialTopology::Budgeted { k: 2 },
-        GameFamily::GbgSum | GameFamily::GbgMax => InitialTopology::RandomEdges { m_per_n: 2 },
+        GameFamily::GbgSum
+        | GameFamily::GbgMax
+        | GameFamily::BilateralSum
+        | GameFamily::BilateralMax => InitialTopology::RandomEdges { m_per_n: 2 },
     };
     ExperimentPoint {
         n,
@@ -135,10 +144,62 @@ fn measure_set_owned(n: usize, reps: usize) -> SetOwnedRow {
     }
 }
 
+struct BilateralRow {
+    n: usize,
+    reps: usize,
+    delta_s: f64,
+    apply_undo_s: f64,
+}
+
+/// Bilateral series: best-response scans (exponential neighbour-set
+/// enumeration **plus consent checks**) with the persistent engine's
+/// delta-scored consent vs. the same workspace forced onto the historical
+/// apply → BFS → undo path.
+fn measure_bilateral(n: usize, reps: usize) -> BilateralRow {
+    let mut rng = StdRng::seed_from_u64(11 + n as u64);
+    let g = generators::random_with_m_edges(n, 2 * n, &mut rng);
+    let alpha = n as f64 / 4.0;
+    let delta_game = BilateralBuyGame::sum(alpha);
+    let fallback_game = ConsentForced(BilateralBuyGame::sum(alpha));
+    let mut ws = Workspace::with_oracle(n, OracleKind::Persistent);
+    fn run(
+        game: &dyn Game,
+        g: &ncg_graph::OwnedGraph,
+        n: usize,
+        reps: usize,
+        ws: &mut Workspace,
+    ) -> (f64, usize) {
+        let start = Instant::now();
+        let mut found = 0usize;
+        for _ in 0..reps {
+            for u in 0..n {
+                if game.best_response(g, u, ws).is_some() {
+                    found += 1;
+                }
+            }
+        }
+        (start.elapsed().as_secs_f64(), found)
+    }
+    let (delta_s, found_delta) = run(&delta_game, &g, n, reps, &mut ws);
+    let (apply_undo_s, found_fallback) = run(&fallback_game, &g, n, reps, &mut ws);
+    assert_eq!(
+        found_delta, found_fallback,
+        "n={n}: delta consent and apply-undo consent must agree"
+    );
+    BilateralRow {
+        n,
+        reps,
+        delta_s,
+        apply_undo_s,
+    }
+}
+
 struct SweepRow {
     family: &'static str,
     n: usize,
-    times: Vec<f64>,
+    /// Wall-clock per engine; `None` when the engine was skipped at this `n`
+    /// (slow engines past `full_max_n`).
+    times: Vec<Option<f64>>,
     steps: usize,
 }
 
@@ -151,6 +212,10 @@ fn main() {
         EngineSpec::fast(),
         EngineSpec::fastest(),
     ];
+    // Which engines still run at a given n: the persistent pair always, the
+    // re-scanning baselines only up to `full_max_n`.
+    let engine_runs_at =
+        |idx: usize, n: usize| -> bool { n <= scale.full_max_n || matches!(idx, 2 | 4) };
     let mut ns = Vec::new();
     let mut n = 64usize;
     while n <= scale.max_n {
@@ -166,6 +231,10 @@ fn main() {
             .collect::<Vec<_>>()
             .join(", ")
     );
+    let fmt_time = |t: Option<f64>| match t {
+        Some(t) => format!("{t:>13.4}"),
+        None => format!("{:>13}", "-"),
+    };
     let mut sweep_rows = Vec::new();
     for family in [GameFamily::AsgSum, GameFamily::GbgSum] {
         println!("\nfamily {}", family.label());
@@ -182,24 +251,49 @@ fn main() {
             "steps"
         );
         for &n in &ns {
-            let mut times = Vec::new();
+            let mut times: Vec<Option<f64>> = Vec::new();
             let mut steps = 0usize;
-            for engine in engines {
+            let mut eager_steps: Option<usize> = None;
+            for (idx, engine) in engines.into_iter().enumerate() {
+                if !engine_runs_at(idx, n) {
+                    times.push(None);
+                    continue;
+                }
                 let p = point(family, n, engine, scale.trials);
                 let (secs, s) = measure(&p);
-                times.push(secs);
+                times.push(Some(secs));
                 steps = s;
+                // The eager engines follow the exact policy order, so their
+                // trajectories (and hence step counts) must coincide — this
+                // is the patched-CSR ≡ full-BFS trajectory assertion of the
+                // CI smoke run (dirty engines may legally deviate).
+                if idx <= 2 {
+                    match eager_steps {
+                        None => eager_steps = Some(s),
+                        Some(expect) => assert_eq!(
+                            s,
+                            expect,
+                            "{} n={n}: engine {} step count diverged from the eager reference",
+                            family.label(),
+                            engine.label()
+                        ),
+                    }
+                }
             }
+            let ratio = |a: Option<f64>, b: Option<f64>| match (a, b) {
+                (Some(a), Some(b)) => format!("{:>8.2}x", a / b.max(1e-9)),
+                _ => format!("{:>9}", "-"),
+            };
             println!(
-                "{:>6} {:>13.4} {:>13.4} {:>13.4} {:>13.4} {:>13.4} {:>8.2}x {:>8.2}x {:>9}",
+                "{:>6} {} {} {} {} {} {} {} {:>9}",
                 n,
-                times[0],
-                times[1],
-                times[2],
-                times[3],
-                times[4],
-                times[1] / times[2].max(1e-9),
-                times[0] / times[4].max(1e-9),
+                fmt_time(times[0]),
+                fmt_time(times[1]),
+                fmt_time(times[2]),
+                fmt_time(times[3]),
+                fmt_time(times[4]),
+                ratio(times[1], times[2]),
+                ratio(times[0], times[4]),
                 steps
             );
             sweep_rows.push(SweepRow {
@@ -233,6 +327,28 @@ fn main() {
         set_owned_rows.push(row);
     }
 
+    // Bilateral series: delta-scored consent vs apply → BFS → undo.
+    let bil_ns: &[usize] = if scale.smoke { &[8] } else { &[10, 12, 14, 16] };
+    let bil_reps = if scale.smoke { 2 } else { 4 };
+    println!("\nBilateral best-response scans (delta consent vs apply->BFS->undo)");
+    println!(
+        "{:>6} {:>6} {:>13} {:>15} {:>9}",
+        "n", "reps", "delta [s]", "apply-undo [s]", "speedup"
+    );
+    let mut bilateral_rows = Vec::new();
+    for &n in bil_ns {
+        let row = measure_bilateral(n, bil_reps);
+        println!(
+            "{:>6} {:>6} {:>13.4} {:>15.4} {:>8.2}x",
+            row.n,
+            row.reps,
+            row.delta_s,
+            row.apply_undo_s,
+            row.apply_undo_s / row.delta_s.max(1e-9)
+        );
+        bilateral_rows.push(row);
+    }
+
     if let Some(path) = &scale.json {
         let mut out = String::new();
         out.push_str("{\n");
@@ -244,7 +360,7 @@ fn main() {
             let engines_json: Vec<String> = labels
                 .iter()
                 .zip(&row.times)
-                .map(|(l, t)| format!("\"{l}\": {t:.6}"))
+                .filter_map(|(l, t)| t.map(|t| format!("\"{l}\": {t:.6}")))
                 .collect();
             let _ = write!(
                 out,
@@ -255,6 +371,24 @@ fn main() {
                 engines_json.join(", ")
             );
             out.push_str(if i + 1 < sweep_rows.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"bilateral\": [\n");
+        for (i, row) in bilateral_rows.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"n\": {}, \"reps\": {}, \"delta_s\": {:.6}, \"apply_undo_s\": {:.6}, \"speedup\": {:.3}}}",
+                row.n,
+                row.reps,
+                row.delta_s,
+                row.apply_undo_s,
+                row.apply_undo_s / row.delta_s.max(1e-9)
+            );
+            out.push_str(if i + 1 < bilateral_rows.len() {
                 ",\n"
             } else {
                 "\n"

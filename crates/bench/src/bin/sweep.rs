@@ -127,8 +127,12 @@ fn smoke(args: &Args) {
     plan.chunk_size = 2;
     let mut catalog = sweeps::catalog_showcase(14, 4, args.seed);
     catalog.chunk_size = 2;
+    // Bilateral kill/resume: the delta-scored consent path must checkpoint
+    // and resume bit-identically like every other engine.
+    let mut bilateral = sweeps::bilateral_small(10, 3, args.seed);
+    bilateral.chunk_size = 1;
 
-    for plan in [plan, catalog] {
+    for plan in [plan, catalog, bilateral] {
         let total_chunks: usize = plan.flatten().iter().map(|p| plan.chunks(p).len()).sum();
         let full = run_sweep(
             &plan,
@@ -203,6 +207,7 @@ fn main() {
         sweeps::fig07_style(args.max_n, args.trials, args.seed),
         sweeps::fig11_style(args.max_n, args.trials, args.seed),
         sweeps::catalog_showcase(args.max_n.min(64), args.trials, args.seed),
+        sweeps::bilateral_small(args.max_n, args.trials, args.seed),
     ];
     let mut runs = Vec::new();
     for plan in plans {

@@ -19,9 +19,10 @@ use ncg_graph::{BfsBuffer, HostGraph, NodeId, OwnedGraph};
 use ncg_sim::{render_csv, render_table, FigureData, FigureDef};
 
 /// Forces the apply → BFS → undo fallback for every candidate by claiming a
-/// consent requirement — the historical whole-strategy scoring path. Used by
-/// the `oracle_ablation` bench and binary as the baseline of the Buy-Game
-/// `SetOwned` delta-scoring series.
+/// consent requirement (while *not* opting into delta-scored consent) — the
+/// historical whole-strategy scoring path. Used by the `oracle_ablation`
+/// bench and binary as the baseline of the Buy-Game `SetOwned` and bilateral
+/// delta-scoring series.
 pub struct ConsentForced<G>(pub G);
 
 impl<G: Game> Game for ConsentForced<G> {
@@ -46,9 +47,21 @@ impl<G: Game> Game for ConsentForced<G> {
     fn candidate_moves(&self, g: &OwnedGraph, u: NodeId, out: &mut Vec<Move>) {
         self.0.candidate_moves(g, u, out)
     }
+    fn move_is_blocked(
+        &self,
+        g_before: &OwnedGraph,
+        agent: NodeId,
+        mv: &Move,
+        g_after: &OwnedGraph,
+        buf: &mut BfsBuffer,
+    ) -> bool {
+        self.0.move_is_blocked(g_before, agent, mv, g_after, buf)
+    }
     fn needs_consent(&self) -> bool {
         true
     }
+    // `delta_consent` deliberately stays `false`: that is the whole point of
+    // the wrapper — every candidate takes the scratch-graph fallback.
 }
 
 /// Scale parameters of a regeneration run.
@@ -161,6 +174,31 @@ pub mod sweeps {
         plan
     }
 
+    /// Bilateral equal-split sweeps (paper §5) at tiny `n` — bilateral best
+    /// responses enumerate every neighbour set, so `n` is capped at
+    /// `GameFamily::MAX_BILATERAL_N` — with the consent checks delta-scored
+    /// on the persistent engine (no apply → BFS → undo per candidate).
+    pub fn bilateral_small(max_n: usize, trials: usize, base_seed: u64) -> SweepPlan {
+        let cap = max_n.min(GameFamily::MAX_BILATERAL_N);
+        let mut plan = SweepPlan::new("bilateral-small");
+        plan.scenarios = vec![Scenario::Paper(InitialTopology::RandomEdges { m_per_n: 2 })];
+        plan.families = vec![GameFamily::BilateralSum];
+        plan.policies = vec![Policy::MaxCost];
+        plan.alphas = vec![AlphaSpec::FractionOfN(0.25), AlphaSpec::FractionOfN(1.0)];
+        plan.ns = [8usize, 10, 12, 14]
+            .into_iter()
+            .filter(|&n| n <= cap)
+            .collect();
+        if plan.ns.is_empty() {
+            plan.ns.push(cap.max(6));
+        }
+        plan.trials = trials;
+        plan.chunk_size = trials.div_ceil(4).max(1);
+        plan.base_seed = base_seed.wrapping_add(0xb1);
+        plan.engine = EngineSpec::persistent();
+        plan
+    }
+
     /// A tour of the new catalog families on the greedy buy game.
     pub fn catalog_showcase(n: usize, trials: usize, base_seed: u64) -> SweepPlan {
         let mut plan = SweepPlan::new("catalog-showcase");
@@ -186,7 +224,9 @@ pub mod sweeps {
     }
 
     /// The non-empty buckets of a point's steps-per-agent histogram as
-    /// `"[lo,hi)": count` JSON members.
+    /// `"[lo,hi)": count` JSON members; the last bucket is open-ended (it
+    /// absorbs every ratio beyond the covered range) and renders as
+    /// `"[lo,inf)"`.
     fn hist_json(p: &PointOutcome) -> String {
         let mut parts = Vec::new();
         for (i, &count) in p.stats.hist.iter().enumerate() {
@@ -194,8 +234,12 @@ pub mod sweeps {
                 continue;
             }
             let lo = i as f64 * STEP_HIST_BUCKET_WIDTH;
-            let hi = lo + STEP_HIST_BUCKET_WIDTH;
-            parts.push(format!("\"[{lo:.1},{hi:.1})\": {count}"));
+            if i + 1 < p.stats.hist.len() {
+                let hi = lo + STEP_HIST_BUCKET_WIDTH;
+                parts.push(format!("\"[{lo:.1},{hi:.1})\": {count}"));
+            } else {
+                parts.push(format!("\"[{lo:.1},inf)\": {count}"));
+            }
         }
         parts.join(", ")
     }

@@ -821,6 +821,50 @@ mod tests {
     }
 
     #[test]
+    fn bilateral_delta_consent_matches_fallback_trajectories() {
+        // The bilateral game on a persistent engine scores every candidate
+        // (and every consent check) through oracle what-ifs; the scoring is
+        // exact, so its trajectories must be identical to the
+        // apply → BFS → undo engines.
+        use crate::games::BilateralBuyGame;
+        let mut seed_rng = StdRng::seed_from_u64(71);
+        let n = 9;
+        let g = generators::random_with_m_edges(n, 14, &mut seed_rng);
+        for &alpha in &[1.0, 4.0] {
+            let game = BilateralBuyGame::sum(alpha);
+            let run = |kind: OracleKind| {
+                let mut rng = StdRng::seed_from_u64(13);
+                let mut cfg = DynamicsConfig::simulation(200 * n).with_oracle(kind);
+                cfg.record_trajectory = true;
+                run_dynamics(&game, &g, &cfg, &mut rng)
+            };
+            let reference = run(OracleKind::FullBfs);
+            assert!(reference.converged(), "α={alpha}");
+            for kind in [OracleKind::Incremental, OracleKind::Persistent] {
+                let out = run(kind);
+                assert_eq!(
+                    out.termination,
+                    reference.termination,
+                    "α={alpha} {}",
+                    kind.label()
+                );
+                assert_eq!(
+                    out.trajectory,
+                    reference.trajectory,
+                    "α={alpha} {}",
+                    kind.label()
+                );
+                assert_eq!(
+                    out.final_graph,
+                    reference.final_graph,
+                    "α={alpha} {}",
+                    kind.label()
+                );
+            }
+        }
+    }
+
+    #[test]
     fn oracle_cache_budget_never_changes_trajectories() {
         // LRU eviction only trades speed for memory: a harshly budgeted
         // persistent engine must walk exactly the same move sequence as the

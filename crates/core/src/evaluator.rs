@@ -30,6 +30,14 @@ use ncg_graph::{DistanceSummary, NodeId, OwnedGraph};
 pub enum DeltaScore {
     /// The move applies; this is the agent's distance summary afterwards.
     Summary(DistanceSummary),
+    /// The move applies and this is a **lower bound** on the agent's distance
+    /// summary afterwards (sum and max are each `≤` their true values), served
+    /// arithmetically from the persistent oracle's per-source caches without
+    /// touching the repair machinery. A candidate whose lower-bound cost is
+    /// already not an improvement is guaranteed non-improving and may be
+    /// skipped; otherwise re-score it with
+    /// [`CostEvaluator::score_exact_last`].
+    LowerBound(DistanceSummary),
     /// The move does not apply in the current state (mirrors the moves
     /// rejected by [`crate::moves::apply_move`]); skip it.
     Inapplicable,
@@ -45,6 +53,12 @@ pub struct CostEvaluator {
     cache_budget: Option<usize>,
     oracle: Box<dyn DistanceOracle>,
     deltas: Vec<EdgeDelta>,
+    /// Second oracle of the same backend answering *counterpart* queries
+    /// ("what does agent `v` pay after the mover's candidate?") for consent
+    /// checks. Kept separate from the main oracle so consent queries never
+    /// evict the mover's pinned base vector or its delta-stack prefix. Lazily
+    /// created on the first consent-checked scan.
+    consent: Option<Box<dyn DistanceOracle>>,
 }
 
 impl CostEvaluator {
@@ -62,6 +76,7 @@ impl CostEvaluator {
             cache_budget,
             oracle: make_oracle_budgeted(kind, n, cache_budget),
             deltas: Vec::with_capacity(4),
+            consent: None,
         }
     }
 
@@ -78,6 +93,11 @@ impl CostEvaluator {
     /// Work counters of the underlying oracle.
     pub fn stats(&self) -> OracleStats {
         self.oracle.stats()
+    }
+
+    /// Work counters of the consent (counterpart) oracle, if one was created.
+    pub fn consent_stats(&self) -> Option<OracleStats> {
+        self.consent.as_ref().map(|o| o.stats())
     }
 
     /// Clears the work counters.
@@ -97,6 +117,24 @@ impl CostEvaluator {
     /// [`CostEvaluator::begin_agent`]; it is only consulted for applicability
     /// checks, never mutated.
     pub fn try_score(&mut self, g: &OwnedGraph, u: NodeId, mv: &Move) -> DeltaScore {
+        self.try_score_bounded(g, u, mv, false)
+    }
+
+    /// Like [`CostEvaluator::try_score`], with an opt-in lower-bound fast
+    /// path: with `allow_bound == true` a candidate ending in an insertion on
+    /// a removal-only prefix may come back as [`DeltaScore::LowerBound`]
+    /// (served from the persistent oracle's per-source caches), which the
+    /// caller either prunes or upgrades via
+    /// [`CostEvaluator::score_exact_last`]. With `false` every answer is
+    /// exact — [`try_score`](CostEvaluator::try_score)'s behaviour. Exact
+    /// cache arithmetic (pure purchases) is used either way.
+    pub fn try_score_bounded(
+        &mut self,
+        g: &OwnedGraph,
+        u: NodeId,
+        mv: &Move,
+        allow_bound: bool,
+    ) -> DeltaScore {
         self.deltas.clear();
         match *mv {
             Move::Swap { from, to } => {
@@ -137,10 +175,85 @@ impl CostEvaluator {
                 push_set_deltas(g.neighbors(u), new_neighbors, g, u, &mut self.deltas);
             }
         }
+        // Candidates ending in an insertion incident to the pinned source are
+        // first tried against the persistent oracle's cache arithmetic: exact
+        // for pure purchases (empty prefix), a prunable lower bound for swaps
+        // and other removal-prefixed sequences. Everything else (or a cache
+        // miss) takes the repair machinery.
+        if let Some((&EdgeDelta::Insert { u: a, v: b }, prefix)) = self.deltas.split_last() {
+            if a == u && (allow_bound || prefix.is_empty()) {
+                if let Some((summary, exact)) = self.oracle.evaluate_insert_via_cache(prefix, a, b)
+                {
+                    return if exact {
+                        DeltaScore::Summary(summary)
+                    } else {
+                        DeltaScore::LowerBound(summary)
+                    };
+                }
+            }
+        }
         let deltas = std::mem::take(&mut self.deltas);
         let summary = self.oracle.evaluate(&deltas);
         self.deltas = deltas;
         DeltaScore::Summary(summary)
+    }
+
+    /// Exact summary of the last candidate scored by
+    /// [`CostEvaluator::try_score`] — used to upgrade a
+    /// [`DeltaScore::LowerBound`] that survived its prune, by running the
+    /// buffered delta sequence through the repair machinery.
+    pub fn score_exact_last(&mut self) -> DistanceSummary {
+        let deltas = std::mem::take(&mut self.deltas);
+        let summary = self.oracle.evaluate(&deltas);
+        self.deltas = deltas;
+        summary
+    }
+
+    /// Warms the consent oracle's per-source cache for `sources` at the
+    /// current version of `g`, so the counterpart queries of the following
+    /// scans are served by journal replay instead of full BFS re-pins.
+    pub fn pin_consent_sources(&mut self, g: &OwnedGraph, sources: &[NodeId]) {
+        let (kind, budget, n) = (self.kind, self.cache_budget, g.num_nodes());
+        self.consent
+            .get_or_insert_with(|| make_oracle_budgeted(kind, n, budget))
+            .pin_sources(g, sources);
+    }
+
+    /// Counterpart what-if for the **last scored candidate**: re-pins agent
+    /// `v` on the consent oracle and scores the candidate's delta sequence
+    /// from `v`'s point of view, returning `v`'s `(base, post-move)` distance
+    /// summaries. With the persistent backend both halves are `O(changes)`
+    /// journal replays — no apply/undo, no full BFS.
+    ///
+    /// Must follow a [`CostEvaluator::try_score`] that returned
+    /// [`DeltaScore::Summary`]; the delta sequence of that candidate is still
+    /// buffered and is what `v` is scored against.
+    pub fn score_counterpart(
+        &mut self,
+        g: &OwnedGraph,
+        v: NodeId,
+    ) -> (DistanceSummary, DistanceSummary) {
+        let (kind, budget, n) = (self.kind, self.cache_budget, g.num_nodes());
+        let consent = self
+            .consent
+            .get_or_insert_with(|| make_oracle_budgeted(kind, n, budget));
+        consent.evaluate_for_source(g, v, &self.deltas)
+    }
+
+    /// Degree change of vertex `v` under the last scored candidate's delta
+    /// sequence (inserts touching `v` minus removes touching `v`).
+    pub fn last_delta_degree(&self, vertex: NodeId) -> isize {
+        let mut delta = 0isize;
+        for d in &self.deltas {
+            let (a, b, sign) = match *d {
+                EdgeDelta::Insert { u, v } => (u, v, 1),
+                EdgeDelta::Remove { u, v } => (u, v, -1),
+            };
+            if a == vertex || b == vertex {
+                delta += sign;
+            }
+        }
+        delta
     }
 
     /// Pins `(g, src)` like [`CostEvaluator::begin_agent`] and additionally
@@ -279,6 +392,27 @@ pub fn edge_cost_after(
             };
             alpha / 2.0 * degree.max(0) as f64
         }
+    }
+}
+
+/// Edge-cost of a *consent party* `v` (an agent other than the mover) after
+/// the mover's candidate, reconstructed without mutating the graph.
+///
+/// `delta_deg` is `v`'s degree change under the candidate's delta sequence
+/// ([`CostEvaluator::last_delta_degree`]). Every edge the mover creates is
+/// owned (paid) by the mover, so under [`EdgeCostMode::OwnerPays`] a party's
+/// bill never moves; under [`EdgeCostMode::EqualSplit`] it tracks the degree.
+pub fn party_edge_cost_after(
+    g: &OwnedGraph,
+    v: NodeId,
+    mode: EdgeCostMode,
+    alpha: f64,
+    delta_deg: isize,
+) -> f64 {
+    match mode {
+        EdgeCostMode::Free => 0.0,
+        EdgeCostMode::OwnerPays => alpha * g.owned_degree(v) as f64,
+        EdgeCostMode::EqualSplit => alpha / 2.0 * (g.degree(v) as isize + delta_deg).max(0) as f64,
     }
 }
 
@@ -444,6 +578,46 @@ mod tests {
         out.clear();
         push_set_deltas(g.owned_neighbors(0), &[1, 2, 4], &g, 0, &mut out);
         assert!(out.is_empty(), "keeping everything is a structural no-op");
+    }
+
+    #[test]
+    fn pinned_consent_sources_are_served_by_replay() {
+        // Warming the consent oracle parks the parties' vectors at the
+        // current version: counterpart queries after later graph changes are
+        // then journal replays, not full BFS re-pins.
+        let mut g = generators::path(10);
+        let mut evaluator = CostEvaluator::new(OracleKind::Persistent, 10);
+        evaluator.begin_agent(&g, 0);
+        evaluator.pin_consent_sources(&g, &[5, 9]);
+        let warm_bfs = evaluator
+            .consent_stats()
+            .expect("consent oracle")
+            .full_bfs_runs;
+        g.add_edge(0, 7);
+        evaluator.begin_agent(&g, 0);
+        let mv = Move::SetNeighbors {
+            new_neighbors: vec![1, 5, 9],
+        };
+        assert!(matches!(
+            evaluator.try_score(&g, 0, &mv),
+            DeltaScore::Summary(_)
+        ));
+        let mut h = g.clone();
+        apply_move(&mut h, 0, &mv).expect("applies");
+        let mut buf = BfsBuffer::new(10);
+        for party in [5usize, 9] {
+            let (base, modified) = evaluator.score_counterpart(&g, party);
+            assert_eq!(base, buf.summary(&g, party), "party {party} base");
+            assert_eq!(modified, buf.summary(&h, party), "party {party} post-move");
+        }
+        assert_eq!(
+            evaluator
+                .consent_stats()
+                .expect("consent oracle")
+                .full_bfs_runs,
+            warm_bfs,
+            "pinned counterpart queries must replay, not re-run BFS"
+        );
     }
 
     #[test]

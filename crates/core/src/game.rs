@@ -8,7 +8,7 @@
 //! used everywhere: improving moves, best responses and unhappiness tests.
 
 use crate::cost::{agent_cost_total, is_improvement, DistanceMetric, EdgeCostMode};
-use crate::evaluator::{edge_cost_after, CostEvaluator, DeltaScore};
+use crate::evaluator::{edge_cost_after, party_edge_cost_after, CostEvaluator, DeltaScore};
 use crate::moves::{apply_move, undo_move, Move};
 use ncg_graph::oracle::{OracleKind, OracleStats};
 use ncg_graph::{BfsBuffer, HostGraph, NodeId, OwnedGraph};
@@ -27,6 +27,7 @@ pub struct Workspace {
     pub evaluator: CostEvaluator,
     scratch: OwnedGraph,
     candidates: Vec<Move>,
+    parties: Vec<NodeId>,
 }
 
 impl Workspace {
@@ -49,6 +50,7 @@ impl Workspace {
             evaluator: CostEvaluator::with_budget(kind, n, cache_budget),
             scratch: OwnedGraph::new(n),
             candidates: Vec::new(),
+            parties: Vec::new(),
         }
     }
 
@@ -160,10 +162,32 @@ pub trait Game {
 
     /// Returns `true` if the game's moves require inspecting the post-move
     /// state of *other* agents (a consent check). Such games cannot use the
-    /// delta-based scoring fast path, which never materialises the post-move
-    /// graph.
+    /// plain delta-based scoring fast path, which never materialises the
+    /// post-move graph — unless they additionally opt into the delta-scored
+    /// consent contract via [`Game::delta_consent`].
     fn needs_consent(&self) -> bool {
         false
+    }
+
+    /// Opt-in for consent games whose blocking rule is *exactly* "some consent
+    /// party's standard `edge + distance` cost strictly increases": the scan
+    /// may then answer both the mover's score **and** every party's consent
+    /// from distance-oracle what-if queries, with no apply → BFS → undo.
+    ///
+    /// **Override contract:** a game returning `true` must (1) keep the
+    /// default `edge + distance` decomposition of [`Game::cost`], (2) name its
+    /// consent parties via [`Game::consent_parties`], and (3) have
+    /// [`Game::move_is_blocked`] equivalent to the party-cost-increase rule —
+    /// the fallback path still uses `move_is_blocked`, and the randomized
+    /// equivalence tests compare the two paths move by move.
+    fn delta_consent(&self) -> bool {
+        false
+    }
+
+    /// Appends the agents (other than the mover) whose consent `mv` requires
+    /// — for the bilateral game, exactly the newly connected endpoints. Only
+    /// consulted on the delta consent path ([`Game::delta_consent`]).
+    fn consent_parties(&self, _g: &OwnedGraph, _agent: NodeId, _mv: &Move, _out: &mut Vec<NodeId>) {
     }
 
     /// All feasible improving moves of agent `u`, in deterministic order.
@@ -173,8 +197,13 @@ pub trait Game {
 
     /// All feasible *best-response* moves of agent `u`: the improving moves of
     /// maximal cost decrease. Empty iff the agent is happy.
+    ///
+    /// Uses the best-only scan mode: on the delta consent path the expensive
+    /// counterpart checks are deferred and run in ascending-cost order, so a
+    /// scan pays for the blocked candidates *below* the best feasible cost
+    /// and the ties at it — not for every improving candidate.
     fn best_responses(&self, g: &OwnedGraph, u: NodeId, ws: &mut Workspace) -> Vec<ScoredMove> {
-        let mut improving = scan_moves(self, g, u, ws, ScanMode::AllImproving);
+        let mut improving = scan_moves(self, g, u, ws, ScanMode::BestOnly);
         if improving.is_empty() {
             return improving;
         }
@@ -222,7 +251,8 @@ pub fn workspace_cost<G: Game + ?Sized>(
     u: NodeId,
     ws: &mut Workspace,
 ) -> f64 {
-    if ws.oracle_kind() == OracleKind::Persistent && !game.needs_consent() {
+    if ws.oracle_kind() == OracleKind::Persistent && (!game.needs_consent() || game.delta_consent())
+    {
         let summary = ws.evaluator.begin_agent(g, u);
         game.edge_cost_mode().edge_cost(g, u, game.alpha()) + game.metric().distance_cost(&summary)
     } else {
@@ -235,6 +265,12 @@ pub fn workspace_cost<G: Game + ?Sized>(
 enum ScanMode {
     AllImproving,
     FirstImproving,
+    /// Only the minimal-cost feasible improving moves are needed (the caller
+    /// filters to the best anyway): consent checks on the delta path are
+    /// deferred to one ascending-cost pass instead of running per candidate.
+    /// For every other configuration this behaves exactly like
+    /// [`ScanMode::AllImproving`].
+    BestOnly,
 }
 
 /// Shared candidate-evaluation loop: enumerate candidates, score each from the
@@ -256,11 +292,19 @@ fn scan_moves<G: Game + ?Sized>(
     let metric = game.metric();
     let alpha = game.alpha();
     let edge_mode = game.edge_cost_mode();
-    let delta_path = !game.needs_consent();
+    // Consent games delta-score too when they opt into the delta consent
+    // contract and the backend can answer multi-source what-ifs cheaply (the
+    // persistent oracle's per-source caches); otherwise they keep the honest
+    // apply → BFS → undo cycle.
+    let consent_delta =
+        game.needs_consent() && game.delta_consent() && ws.oracle_kind() == OracleKind::Persistent;
+    let delta_path = !game.needs_consent() || consent_delta;
     // On the delta path the base cost must use exactly the same decomposition
-    // as the candidate scores; consent games never take the delta path and
-    // instead go through the (potentially overridden) `Game::cost`, so they
-    // also skip pinning an oracle base they would never query.
+    // as the candidate scores. That is sound for non-consent games and for
+    // `delta_consent` games by their override contract (the default
+    // `edge + distance` cost); consent games without that contract go through
+    // the (potentially overridden) `Game::cost` and skip pinning an oracle
+    // base they would never query.
     let old_cost = if delta_path {
         let base_summary = ws.evaluator.begin_agent(g, u);
         edge_mode.edge_cost(g, u, alpha) + metric.distance_cost(&base_summary)
@@ -271,21 +315,67 @@ fn scan_moves<G: Game + ?Sized>(
     candidates.clear();
     game.candidate_moves(g, u, &mut candidates);
 
+    // In best-only mode the consent checks of delta-scored candidates are
+    // deferred to one ascending-cost pass after the scoring loop; the entries
+    // of `unchecked` mark which collected moves still owe one.
+    let defer_consent = consent_delta && mode == ScanMode::BestOnly;
+    // In best-only mode without consent, lower-bounded candidates are not
+    // re-scored inline either: they queue up in `pending` and are evaluated
+    // in ascending-bound order, stopping once no bound can beat the best
+    // exact cost found (an A*-style cutoff). All-improving scans disable the
+    // bound path entirely — every improving candidate needs an exact score,
+    // so the bound would be a pure detour.
+    let order_by_bound = delta_path && !consent_delta && mode == ScanMode::BestOnly;
+    let allow_bound = delta_path && mode != ScanMode::AllImproving;
     let mut scratch_synced = false;
     let mut out = Vec::new();
-    for mv in &candidates {
+    // Original candidate index of each `out` entry (enumeration order must be
+    // restored after the bound-ordered pass — tie-breaking RNG sees it).
+    let mut out_idx: Vec<usize> = Vec::new();
+    let mut unchecked: Vec<bool> = Vec::new();
+    let mut pending: Vec<(usize, f64)> = Vec::new();
+    for (ci, mv) in candidates.iter().enumerate() {
+        let mut deferred = false;
         let new_cost = if delta_path {
-            match ws.evaluator.try_score(g, u, mv) {
-                DeltaScore::Summary(summary) => {
-                    edge_cost_after(g, u, mv, edge_mode, alpha) + metric.distance_cost(&summary)
+            let score = ws.evaluator.try_score_bounded(g, u, mv, allow_bound);
+            let summary = match score {
+                DeltaScore::Summary(summary) => Some(summary),
+                DeltaScore::LowerBound(lb) => {
+                    let lb_cost =
+                        edge_cost_after(g, u, mv, edge_mode, alpha) + metric.distance_cost(&lb);
+                    if !is_improvement(old_cost, lb_cost) {
+                        // The true cost is at least the bound: provably not
+                        // an improvement, no exact evaluation needed.
+                        continue;
+                    }
+                    if order_by_bound {
+                        pending.push((ci, lb_cost));
+                        continue;
+                    }
+                    Some(ws.evaluator.score_exact_last())
                 }
                 DeltaScore::Inapplicable => continue,
-                DeltaScore::Unsupported => {
-                    match score_on_scratch(game, g, u, mv, ws, &mut scratch_synced, old_cost) {
-                        Some(cost) => cost,
-                        None => continue,
+                DeltaScore::Unsupported => None,
+            };
+            match summary {
+                Some(summary) => {
+                    let new_cost = edge_cost_after(g, u, mv, edge_mode, alpha)
+                        + metric.distance_cost(&summary);
+                    // Consent is only consulted for improving candidates,
+                    // exactly like the fallback path.
+                    if consent_delta && is_improvement(old_cost, new_cost) {
+                        if defer_consent {
+                            deferred = true;
+                        } else if consent_blocked_delta(game, g, u, mv, ws) {
+                            continue;
+                        }
                     }
+                    new_cost
                 }
+                None => match score_on_scratch(game, g, u, mv, ws, &mut scratch_synced, old_cost) {
+                    Some(cost) => cost,
+                    None => continue,
+                },
             }
         } else {
             match score_on_scratch(game, g, u, mv, ws, &mut scratch_synced, old_cost) {
@@ -299,13 +389,146 @@ fn scan_moves<G: Game + ?Sized>(
                 old_cost,
                 new_cost,
             });
+            out_idx.push(ci);
+            if defer_consent {
+                unchecked.push(deferred);
+            }
             if mode == ScanMode::FirstImproving {
                 break;
             }
         }
     }
+    if order_by_bound && !pending.is_empty() {
+        // Ascending-bound exact evaluation with cutoff: once the next bound
+        // exceeds the best exact cost seen, no remaining candidate can beat
+        // (or tie) it — candidates tying the best have bounds ≤ it and were
+        // already evaluated.
+        pending.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("costs are never NaN"));
+        let mut best = out.iter().map(|s| s.new_cost).fold(f64::INFINITY, f64::min);
+        for &(ci, lb_cost) in &pending {
+            if lb_cost > best {
+                break;
+            }
+            let mv = &candidates[ci];
+            let DeltaScore::Summary(summary) = ws.evaluator.try_score_bounded(g, u, mv, false)
+            else {
+                debug_assert!(false, "re-scoring a bounded candidate must be exact");
+                continue;
+            };
+            let new_cost =
+                edge_cost_after(g, u, mv, edge_mode, alpha) + metric.distance_cost(&summary);
+            if is_improvement(old_cost, new_cost) {
+                out.push(ScoredMove {
+                    mv: mv.clone(),
+                    old_cost,
+                    new_cost,
+                });
+                out_idx.push(ci);
+                best = best.min(new_cost);
+            }
+        }
+        // Restore candidate-enumeration order for the tie-breaking RNG.
+        let mut paired: Vec<(usize, ScoredMove)> = out_idx.drain(..).zip(out).collect();
+        paired.sort_by_key(|&(ci, _)| ci);
+        out = paired.into_iter().map(|(_, s)| s).collect();
+    }
     ws.candidates = candidates;
+    if defer_consent && !out.is_empty() {
+        out = resolve_deferred_consent(game, g, u, ws, out, &unchecked);
+    }
     out
+}
+
+/// The ascending-cost consent pass of the best-only scan: finds the minimal
+/// new cost among the *feasible* (unblocked) candidates and returns exactly
+/// the feasible candidates at that cost, in their original enumeration order
+/// (the order the tie-breaking RNG sees must not depend on the scan mode).
+///
+/// Candidates that already passed an inline consent check (`unchecked[i] ==
+/// false`, e.g. scratch-scored ones) are feasible as-is; the rest are
+/// re-scored — one oracle evaluation re-buffers the candidate's deltas — and
+/// consent-checked lazily. The pass stops as soon as a cost level with a
+/// feasible candidate is fully examined, so it pays for the blocked
+/// candidates below the answer and the ties at it, not for every improving
+/// candidate of the enumeration.
+fn resolve_deferred_consent<G: Game + ?Sized>(
+    game: &G,
+    g: &OwnedGraph,
+    u: NodeId,
+    ws: &mut Workspace,
+    out: Vec<ScoredMove>,
+    unchecked: &[bool],
+) -> Vec<ScoredMove> {
+    debug_assert_eq!(out.len(), unchecked.len());
+    let mut order: Vec<usize> = (0..out.len()).collect();
+    order.sort_by(|&a, &b| {
+        out[a]
+            .new_cost
+            .partial_cmp(&out[b].new_cost)
+            .expect("costs are never NaN")
+    });
+    let mut best_cost: Option<f64> = None;
+    let mut keep = vec![false; out.len()];
+    for &i in &order {
+        if let Some(c) = best_cost {
+            if out[i].new_cost > c {
+                break;
+            }
+        }
+        let blocked = unchecked[i] && {
+            // Re-buffer this candidate's delta sequence for the counterpart
+            // queries; the state is unchanged, so the score must reproduce
+            // (a lower bound re-buffers the same sequence and is fine too).
+            let rescored = ws.evaluator.try_score(g, u, &out[i].mv);
+            debug_assert!(matches!(
+                rescored,
+                DeltaScore::Summary(_) | DeltaScore::LowerBound(_)
+            ));
+            consent_blocked_delta(game, g, u, &out[i].mv, ws)
+        };
+        if !blocked {
+            best_cost = Some(out[i].new_cost);
+            keep[i] = true;
+        }
+    }
+    out.into_iter()
+        .zip(keep)
+        .filter_map(|(mv, k)| k.then_some(mv))
+        .collect()
+}
+
+/// Delta-scored consent: `true` iff some consent party of `mv` sees her
+/// standard `edge + distance` cost strictly increase, with both sides of the
+/// comparison answered by the evaluator's counterpart oracle (journal-replay
+/// re-pin + candidate-delta what-if) — the post-move graph never exists.
+///
+/// Must run directly after the [`CostEvaluator::try_score`] of the same
+/// candidate, whose delta sequence is still buffered in the evaluator.
+fn consent_blocked_delta<G: Game + ?Sized>(
+    game: &G,
+    g: &OwnedGraph,
+    u: NodeId,
+    mv: &Move,
+    ws: &mut Workspace,
+) -> bool {
+    let mut parties = std::mem::take(&mut ws.parties);
+    parties.clear();
+    game.consent_parties(g, u, mv, &mut parties);
+    let (metric, mode, alpha) = (game.metric(), game.edge_cost_mode(), game.alpha());
+    let mut blocked = false;
+    for &v in &parties {
+        let delta_deg = ws.evaluator.last_delta_degree(v);
+        let (base, modified) = ws.evaluator.score_counterpart(g, v);
+        let before = mode.edge_cost(g, v, alpha) + metric.distance_cost(&base);
+        let after =
+            party_edge_cost_after(g, v, mode, alpha, delta_deg) + metric.distance_cost(&modified);
+        if after > before {
+            blocked = true;
+            break;
+        }
+    }
+    ws.parties = parties;
+    blocked
 }
 
 /// Fallback scoring: apply `mv` to a scratch copy, measure the real post-move

@@ -84,6 +84,24 @@ impl Game for BilateralBuyGame {
         true
     }
 
+    fn delta_consent(&self) -> bool {
+        // Blocking is exactly "a newly connected agent's equal-split cost
+        // strictly increases", and `cost` keeps the standard decomposition —
+        // so the scan may answer consent from counterpart what-if queries.
+        true
+    }
+
+    fn consent_parties(&self, g: &OwnedGraph, agent: NodeId, mv: &Move, out: &mut Vec<NodeId>) {
+        let Move::SetNeighbors { new_neighbors } = mv else {
+            return;
+        };
+        for &v in new_neighbors {
+            if !g.has_edge(agent, v) {
+                out.push(v);
+            }
+        }
+    }
+
     fn candidate_moves(&self, g: &OwnedGraph, u: NodeId, out: &mut Vec<Move>) {
         let pool = self.strategy_pool(g, u);
         assert!(
@@ -155,6 +173,42 @@ mod tests {
     use super::*;
     use crate::game::Workspace;
     use ncg_graph::generators;
+    use ncg_graph::oracle::OracleKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn delta_consent_scan_matches_apply_undo_scan() {
+        // The persistent workspace scores candidates (and consent) through
+        // oracle what-ifs; the incremental one takes the historical
+        // apply → BFS → undo path. Same states, identical scored-move lists.
+        let mut rng = StdRng::seed_from_u64(5);
+        for trial in 0..8u64 {
+            let n = 8;
+            let g = generators::random_with_m_edges(n, 10 + (trial % 4) as usize, &mut rng);
+            for &alpha in &[0.6, 2.0, 6.0] {
+                for game in [BilateralBuyGame::sum(alpha), BilateralBuyGame::max(alpha)] {
+                    let mut fast = Workspace::with_oracle(n, OracleKind::Persistent);
+                    let mut slow = Workspace::with_oracle(n, OracleKind::Incremental);
+                    for u in 0..n {
+                        let a = game.improving_moves(&g, u, &mut fast);
+                        let b = game.improving_moves(&g, u, &mut slow);
+                        assert_eq!(a, b, "trial {trial} α={alpha} {} agent {u}", game.name());
+                        // The deferred-consent best-response scan must return
+                        // the same set (and order) as the eager fallback.
+                        let a = game.best_responses(&g, u, &mut fast);
+                        let b = game.best_responses(&g, u, &mut slow);
+                        assert_eq!(
+                            a,
+                            b,
+                            "best responses: trial {trial} α={alpha} {} agent {u}",
+                            game.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
 
     #[test]
     fn name_mentions_bilateral() {

@@ -58,7 +58,7 @@ pub use dynamics::{
 pub use equilibrium::{
     cost_vector, is_stable, social_cost, unhappy_agents, unhappy_agents_parallel,
 };
-pub use evaluator::{edge_cost_after, CostEvaluator, DeltaScore};
+pub use evaluator::{edge_cost_after, party_edge_cost_after, CostEvaluator, DeltaScore};
 pub use game::{Game, ScoredMove, Workspace};
 pub use games::{AsymSwapGame, BilateralBuyGame, BuyGame, GreedyBuyGame, SwapGame};
 pub use moves::{apply_move, undo_move, Move, UndoMove};

@@ -42,7 +42,7 @@ pub mod oracle;
 pub mod properties;
 
 pub use canonical::{canonical_state_key, canonical_unlabeled_key, StateKey};
-pub use csr::CsrAdjacency;
+pub use csr::{CsrAdjacency, PatchOutcome};
 pub use distances::{BfsBuffer, DistanceMatrix, DistanceSummary, UNREACHABLE};
 pub use graph::{EdgeChange, EdgeRef, GraphVersion, NodeId, OwnedGraph};
 pub use host::HostGraph;

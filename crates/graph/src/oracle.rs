@@ -29,7 +29,7 @@
 //! incremental repairs against from-scratch BFS is enforced by the randomized
 //! equivalence tests in the facade crate.
 
-use crate::csr::CsrAdjacency;
+use crate::csr::{CsrAdjacency, PatchOutcome};
 use crate::distances::{DistanceSummary, UNREACHABLE};
 use crate::graph::{EdgeChange, GraphVersion, NodeId, OwnedGraph};
 
@@ -99,6 +99,13 @@ pub struct OracleStats {
     /// `begin` calls served by replaying the graph's change journal onto a
     /// cached distance vector instead of a full BFS (persistent backend only).
     pub replayed_begins: u64,
+    /// CSR snapshot syncs served by in-place journal patching — `O(changes)`
+    /// instead of the `O(n + m)` rebuild (persistent backend only).
+    pub csr_patches: u64,
+    /// CSR snapshot syncs that had to rebuild (or regrow) the flat buffers:
+    /// version jumps, dense journals, exhausted segment slack, and every
+    /// `begin` of the stateless backends.
+    pub csr_rebuilds: u64,
 }
 
 /// A single-source distance engine answering what-if queries about edge deltas.
@@ -117,6 +124,69 @@ pub trait DistanceOracle: Send {
     /// base state (backends may defer the rollback and reuse the longest
     /// common delta prefix between consecutive evaluations).
     fn evaluate(&mut self, deltas: &[EdgeDelta]) -> DistanceSummary;
+
+    /// Warms the backend's per-source state for every vertex of `sources` at
+    /// the current version of `g`, leaving the last source pinned.
+    ///
+    /// For the persistent backend each source's distance vector ends up
+    /// parked in the per-source cache stamped with `g`'s current version, so
+    /// a later [`DistanceOracle::evaluate_for_source`] (or re-`begin`) of the
+    /// same source is served by journal replay in `O(changes)` instead of a
+    /// full BFS. Stateless backends simply run one BFS per source.
+    fn pin_sources(&mut self, g: &OwnedGraph, sources: &[NodeId]) {
+        for &src in sources {
+            self.begin(g, src);
+        }
+    }
+
+    /// Multi-source what-if query: re-pins `(g, src)` and scores `deltas`
+    /// against it, returning the source's `(base, modified)` summaries.
+    ///
+    /// This is the primitive behind consent checks: "what does agent `src`
+    /// pay *after* candidate move `deltas`?" answered without materialising
+    /// the post-move graph. The persistent backend serves the re-pin from its
+    /// per-source cache by replaying the graph's change journal, so the whole
+    /// query costs `O(changes + affected region)`; stateless backends pay one
+    /// full BFS for the re-pin.
+    fn evaluate_for_source(
+        &mut self,
+        g: &OwnedGraph,
+        src: NodeId,
+        deltas: &[EdgeDelta],
+    ) -> (DistanceSummary, DistanceSummary) {
+        let base = self.begin(g, src);
+        let modified = self.evaluate(deltas);
+        (base, modified)
+    }
+
+    /// Arithmetic what-if for a **trailing edge insertion** `{u, v}` applied
+    /// on top of `prefix`: the candidate `prefix ++ [Insert {u, v}]` scored
+    /// from the pinned source's delta-stack state and `v`'s *parked* base
+    /// vector, with no graph traversal at all — one `O(n)` fused min/sum/max
+    /// pass over two flat arrays.
+    ///
+    /// Returns `(summary, exact)`:
+    /// * `exact == true` (empty `prefix`) — the summary is the exact
+    ///   post-insertion summary, by the single-insertion identity
+    ///   `d'(x) = min(d(src, x), 1 + d(v, x))`.
+    /// * `exact == false` (removal-only `prefix`) — the parked vector of `v`
+    ///   predates the removals, which can only *lengthen* `v`'s distances, so
+    ///   the summary is a **lower bound** on the true one: callers may prune
+    ///   candidates whose lower-bound cost is already not an improvement, and
+    ///   must re-score the rest exactly.
+    ///
+    /// `None` whenever the backend cannot serve the query (stateless
+    /// backends; `u` not the pinned source; `v`'s vector not parked at the
+    /// pinned version; `prefix` containing insertions, which would flip the
+    /// bound's direction).
+    fn evaluate_insert_via_cache(
+        &mut self,
+        _prefix: &[EdgeDelta],
+        _u: NodeId,
+        _v: NodeId,
+    ) -> Option<(DistanceSummary, bool)> {
+        None
+    }
 
     /// After a [`DistanceOracle::begin`] served by cross-step journal replay,
     /// the **exact** set of vertices whose base distance from the source
@@ -326,6 +396,7 @@ impl DistanceOracle for FullBfsOracle {
 
     fn begin(&mut self, g: &OwnedGraph, src: NodeId) -> DistanceSummary {
         self.csr.rebuild_from(g);
+        self.stats.csr_rebuilds += 1;
         self.src = src as u32;
         self.overlay.clear();
         Self::bfs(
@@ -909,15 +980,37 @@ impl IncrementalOracle {
         }
     }
 
-    /// Rebuilds the CSR snapshot only when the pinned graph's version moved
+    /// Brings the CSR snapshot to the pinned graph's current version
     /// (persistent mode): within one dynamics step the graph is immutable, so
-    /// the `n` per-agent re-pins of a scan share a single rebuild.
+    /// the `n` per-agent re-pins of a scan share a single sync. When the
+    /// version moved, the sync is served by patching the journal's exact edge
+    /// deltas into the flat buffers in place — the `O(n + m)` per-step rebuild
+    /// becomes `O(changes)` — with the patcher's own rebuild fallback covering
+    /// dense journals, foreign lineages and exhausted segment slack.
     fn sync_csr(&mut self, g: &OwnedGraph) {
         let v = g.version();
-        if self.csr_version != Some(v) || self.csr.num_nodes() != g.num_nodes() {
-            self.csr.rebuild_from(g);
-            self.csr_version = Some(v);
+        if self.csr_version == Some(v) && self.csr.num_nodes() == g.num_nodes() {
+            return;
         }
+        let outcome = match self.csr_version {
+            Some(from) => match g.changes_since(from) {
+                Some(changes) => self.csr.patch_from_journal(g, changes),
+                None => {
+                    self.csr.rebuild_from(g);
+                    PatchOutcome::Rebuilt
+                }
+            },
+            None => {
+                self.csr.rebuild_from(g);
+                PatchOutcome::Rebuilt
+            }
+        };
+        if outcome.in_place() {
+            self.stats.csr_patches += 1;
+        } else {
+            self.stats.csr_rebuilds += 1;
+        }
+        self.csr_version = Some(v);
     }
 
     /// Re-pins `(g, src)` with one full BFS (and, in non-persistent mode, an
@@ -927,6 +1020,7 @@ impl IncrementalOracle {
             self.sync_csr(g);
         } else {
             self.csr.rebuild_from(g);
+            self.stats.csr_rebuilds += 1;
         }
         let n = g.num_nodes();
         self.src = src as u32;
@@ -1108,6 +1202,52 @@ impl DistanceOracle for IncrementalOracle {
     fn evaluate(&mut self, deltas: &[EdgeDelta]) -> DistanceSummary {
         self.run_deltas(deltas);
         self.state.summary(self.csr.num_nodes())
+    }
+
+    fn evaluate_insert_via_cache(
+        &mut self,
+        prefix: &[EdgeDelta],
+        u: NodeId,
+        v: NodeId,
+    ) -> Option<(DistanceSummary, bool)> {
+        if !self.persistent
+            || u as u32 != self.src
+            || self.pinned_version.is_none()
+            || v >= self.cache.len()
+            || self.cache[v].version != self.pinned_version
+            || prefix.iter().any(|d| matches!(d, EdgeDelta::Insert { .. }))
+        {
+            return None;
+        }
+        // Bring the delta stack to exactly `prefix` (for the swap enumeration
+        // `(from, to₁), (from, to₂), …` this is a no-op after the first
+        // candidate: the shared removal stays applied, and no insertion is
+        // ever pushed or rolled back).
+        self.run_deltas(prefix);
+        let n = self.csr.num_nodes();
+        let src_dist = &self.state.dist[..n];
+        let far_dist = &self.cache[v].dist[..n];
+        let mut sum = 0u64;
+        let mut max = 0u32;
+        let mut reached = 0usize;
+        for (&a, &b) in src_dist.iter().zip(far_dist) {
+            let d = a.min(b.saturating_add(1));
+            if d != UNREACHABLE {
+                sum += u64::from(d);
+                max = max.max(d);
+                reached += 1;
+            }
+        }
+        self.stats.nodes_expanded += n as u64;
+        let summary = if reached < n {
+            DistanceSummary::DISCONNECTED
+        } else {
+            DistanceSummary {
+                sum: Some(sum),
+                max: Some(max),
+            }
+        };
+        Some((summary, prefix.is_empty()))
     }
 
     fn evaluate_into(&mut self, deltas: &[EdgeDelta], out: &mut Vec<u32>) -> DistanceSummary {
@@ -1473,6 +1613,77 @@ mod tests {
         assert_eq!(oracle.cached_count, 0);
         assert!(oracle.stats().full_bfs_runs > bfs_before);
         assert_eq!(oracle.base_distances(), &buf.run(&g, 0)[..12]);
+    }
+
+    #[test]
+    fn persistent_csr_syncs_by_patching_not_rebuilding() {
+        let mut g = generators::cycle(32);
+        let mut oracle = IncrementalOracle::persistent(32);
+        let mut buf = BfsBuffer::new(32);
+        oracle.begin(&g, 0);
+        for step in 0..10 {
+            let (a, b) = (step % 32, (step + 9) % 32);
+            if g.has_edge(a, b) {
+                g.remove_edge(a, b);
+            } else {
+                g.add_edge(a, b);
+            }
+            let src = (step * 5) % 32;
+            assert_eq!(oracle.begin(&g, src), buf.summary(&g, src), "step {step}");
+        }
+        let stats = oracle.stats();
+        // One initial build, at most one slack-granting regrow; every other
+        // version sync is an in-place patch.
+        assert!(
+            stats.csr_patches >= 8,
+            "expected patched syncs, got {stats:?}"
+        );
+        assert!(
+            stats.csr_rebuilds <= 2,
+            "persistent mode must not rebuild per version: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn evaluate_for_source_matches_fresh_bfs_for_every_backend() {
+        let mut g = generators::path(11);
+        g.add_edge(2, 8);
+        let deltas = [
+            EdgeDelta::Remove { u: 4, v: 5 },
+            EdgeDelta::Insert { u: 0, v: 6 },
+        ];
+        let mut buf = BfsBuffer::new(11);
+        for kind in [
+            OracleKind::FullBfs,
+            OracleKind::Incremental,
+            OracleKind::Persistent,
+        ] {
+            let mut oracle = make_oracle(kind, 11);
+            oracle.pin_sources(&g, &[0, 4, 9]);
+            for src in [4usize, 9, 0, 7] {
+                let (base, modified) = oracle.evaluate_for_source(&g, src, &deltas);
+                assert_eq!(base, buf.summary(&g, src), "{} src {src}", kind.label());
+                let (_, expect) = truth(&g, src, &deltas);
+                assert_eq!(modified, expect, "{} src {src}", kind.label());
+            }
+        }
+        // Persistent: pinned sources answer later what-ifs by replay, and the
+        // answers stay exact after the graph moved on.
+        let mut oracle = IncrementalOracle::persistent(11);
+        oracle.pin_sources(&g, &[0, 4, 9]);
+        let cold_bfs = oracle.stats().full_bfs_runs;
+        g.add_edge(1, 10);
+        for src in [0usize, 4, 9] {
+            let (base, modified) = oracle.evaluate_for_source(&g, src, &deltas);
+            assert_eq!(base, buf.summary(&g, src), "replayed src {src}");
+            let (_, expect) = truth(&g, src, &deltas);
+            assert_eq!(modified, expect, "replayed src {src}");
+        }
+        assert_eq!(
+            oracle.stats().full_bfs_runs,
+            cold_bfs,
+            "pinned sources are served by journal replay"
+        );
     }
 
     #[test]

@@ -19,7 +19,7 @@
 
 use crate::scenario::Scenario;
 use ncg_core::policy::Policy;
-use ncg_core::{AsymSwapGame, Game, GreedyBuyGame};
+use ncg_core::Game;
 use ncg_sim::{AlphaSpec, EngineSpec, GameFamily};
 
 /// FNV-1a over a byte string: the stable hash behind point and plan identity
@@ -302,13 +302,7 @@ impl SweepPoint {
 
     /// Instantiates the game of this point.
     pub fn make_game(&self) -> Box<dyn Game + Send + Sync> {
-        let alpha = self.alpha.resolve(self.n);
-        match self.family {
-            GameFamily::AsgSum => Box::new(AsymSwapGame::sum()),
-            GameFamily::AsgMax => Box::new(AsymSwapGame::max()),
-            GameFamily::GbgSum => Box::new(GreedyBuyGame::sum(alpha)),
-            GameFamily::GbgMax => Box::new(GreedyBuyGame::max(alpha)),
-        }
+        self.family.make_game(self.n, self.alpha.resolve(self.n))
     }
 
     /// The step limit of one trial.

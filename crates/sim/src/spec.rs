@@ -1,7 +1,7 @@
 //! Declarative experiment descriptions.
 
 use ncg_core::policy::Policy;
-use ncg_core::{AsymSwapGame, DistanceMetric, Game, GreedyBuyGame, OracleKind};
+use ncg_core::{AsymSwapGame, BilateralBuyGame, DistanceMetric, Game, GreedyBuyGame, OracleKind};
 use ncg_graph::{generators, OwnedGraph};
 use rand::Rng;
 
@@ -66,8 +66,13 @@ impl EngineSpec {
 
     /// The persistent engine: distance vectors are carried *across* dynamics
     /// steps (per-source cache + graph change-journal replay) instead of
-    /// being re-pinned with a fresh BFS per `(agent, state)` scan. Scans stay
-    /// eager, so mover selection follows the exact policy order.
+    /// being re-pinned with a fresh BFS per `(agent, state)` scan, the CSR
+    /// snapshot is journal-patched in place, and insertion candidates are
+    /// scored arithmetically from the parked vectors. Scans stay eager —
+    /// mover selection follows the exact policy order — and the eager re-pin
+    /// of every source per step keeps the whole cache fresh for the
+    /// arithmetic scoring path, which makes this the fastest engine on most
+    /// workloads (see `crates/README.md`).
     pub fn persistent() -> Self {
         EngineSpec {
             oracle: OracleKind::Persistent,
@@ -75,11 +80,13 @@ impl EngineSpec {
         }
     }
 
-    /// The fastest engine overall: the persistent oracle feeding its exact
-    /// changed-vertex export into dirty-agent tracking, so a step touches
-    /// only the memory the applied move actually changed. Termination is
-    /// exact (final confirmation sweep); mover order may deviate like
-    /// [`EngineSpec::fast`].
+    /// The persistent oracle feeding its exact changed-vertex export into
+    /// dirty-agent tracking, so a step re-examines only agents the applied
+    /// move actually affected. Termination is exact (final confirmation
+    /// sweep); mover order may deviate like [`EngineSpec::fast`], and the
+    /// sparse re-pins leave most parked vectors stale, forfeiting the
+    /// cache-arithmetic scoring path — ahead of [`EngineSpec::persistent`]
+    /// only where skipped scans dominate (large-n SUM-GBG).
     pub fn fastest() -> Self {
         EngineSpec {
             oracle: OracleKind::Persistent,
@@ -129,9 +136,20 @@ pub enum GameFamily {
     GbgSum,
     /// Greedy Buy Game, MAX distance-cost (Fig. 13 / 14).
     GbgMax,
+    /// Bilateral equal-split Buy Game, SUM distance-cost (paper §5). Best
+    /// responses enumerate `2^(n-1)` neighbour sets, so sweeps stay at tiny
+    /// `n` (≤ [`GameFamily::MAX_BILATERAL_N`]); the consent checks are
+    /// delta-scored on the persistent engine.
+    BilateralSum,
+    /// Bilateral equal-split Buy Game, MAX distance-cost.
+    BilateralMax,
 }
 
 impl GameFamily {
+    /// Largest `n` the bilateral families accept (their best-response scans
+    /// enumerate every subset of the strategy pool, `|pool| = n - 1`).
+    pub const MAX_BILATERAL_N: usize = 16;
+
     /// Short label used in reports.
     pub fn label(&self) -> &'static str {
         match self {
@@ -139,20 +157,60 @@ impl GameFamily {
             GameFamily::AsgMax => "MAX-ASG",
             GameFamily::GbgSum => "SUM-GBG",
             GameFamily::GbgMax => "MAX-GBG",
+            GameFamily::BilateralSum => "SUM-BIL",
+            GameFamily::BilateralMax => "MAX-BIL",
         }
     }
 
     /// The distance metric of the family.
     pub fn metric(&self) -> DistanceMetric {
         match self {
-            GameFamily::AsgSum | GameFamily::GbgSum => DistanceMetric::Sum,
-            GameFamily::AsgMax | GameFamily::GbgMax => DistanceMetric::Max,
+            GameFamily::AsgSum | GameFamily::GbgSum | GameFamily::BilateralSum => {
+                DistanceMetric::Sum
+            }
+            GameFamily::AsgMax | GameFamily::GbgMax | GameFamily::BilateralMax => {
+                DistanceMetric::Max
+            }
         }
     }
 
     /// True for the buy games (which need an edge price α).
     pub fn needs_alpha(&self) -> bool {
-        matches!(self, GameFamily::GbgSum | GameFamily::GbgMax)
+        matches!(
+            self,
+            GameFamily::GbgSum
+                | GameFamily::GbgMax
+                | GameFamily::BilateralSum
+                | GameFamily::BilateralMax
+        )
+    }
+
+    /// Instantiates the family's game for `n` agents with the resolved α —
+    /// the single construction point shared by experiment points and sweep
+    /// plans.
+    ///
+    /// # Panics
+    /// Panics for a bilateral family with `n > MAX_BILATERAL_N` (the
+    /// exponential best-response enumeration would be unusable anyway).
+    pub fn make_game(&self, n: usize, alpha: f64) -> Box<dyn Game + Send + Sync> {
+        match self {
+            GameFamily::AsgSum => Box::new(AsymSwapGame::sum()),
+            GameFamily::AsgMax => Box::new(AsymSwapGame::max()),
+            GameFamily::GbgSum => Box::new(GreedyBuyGame::sum(alpha)),
+            GameFamily::GbgMax => Box::new(GreedyBuyGame::max(alpha)),
+            GameFamily::BilateralSum | GameFamily::BilateralMax => {
+                assert!(
+                    n <= Self::MAX_BILATERAL_N,
+                    "bilateral best responses enumerate 2^(n-1) strategies; n = {n} exceeds {}",
+                    Self::MAX_BILATERAL_N
+                );
+                if *self == GameFamily::BilateralSum {
+                    Box::new(BilateralBuyGame::sum(alpha))
+                } else {
+                    Box::new(BilateralBuyGame::max(alpha))
+                }
+            }
+        }
     }
 }
 
@@ -262,13 +320,7 @@ pub struct ExperimentPoint {
 impl ExperimentPoint {
     /// Instantiates the game for this point as a boxed trait object.
     pub fn make_game(&self) -> Box<dyn Game + Send + Sync> {
-        let alpha = self.alpha.resolve(self.n);
-        match self.family {
-            GameFamily::AsgSum => Box::new(AsymSwapGame::sum()),
-            GameFamily::AsgMax => Box::new(AsymSwapGame::max()),
-            GameFamily::GbgSum => Box::new(GreedyBuyGame::sum(alpha)),
-            GameFamily::GbgMax => Box::new(GreedyBuyGame::max(alpha)),
-        }
+        self.family.make_game(self.n, self.alpha.resolve(self.n))
     }
 
     /// The step limit of one trial.
@@ -329,6 +381,23 @@ mod tests {
         assert_eq!(GameFamily::GbgMax.metric(), DistanceMetric::Max);
         assert!(GameFamily::GbgSum.needs_alpha());
         assert!(!GameFamily::AsgMax.needs_alpha());
+    }
+
+    #[test]
+    fn bilateral_family_constructs_the_consent_game() {
+        assert_eq!(GameFamily::BilateralSum.label(), "SUM-BIL");
+        assert_eq!(GameFamily::BilateralMax.metric(), DistanceMetric::Max);
+        assert!(GameFamily::BilateralSum.needs_alpha());
+        let game = GameFamily::BilateralSum.make_game(10, 2.5);
+        assert!(game.name().contains("bilateral"));
+        assert!(game.needs_consent());
+        assert_eq!(game.alpha(), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "bilateral best responses")]
+    fn bilateral_family_rejects_large_n() {
+        let _ = GameFamily::BilateralMax.make_game(GameFamily::MAX_BILATERAL_N + 1, 1.0);
     }
 
     #[test]

@@ -1,0 +1,129 @@
+//! Probe: per-engine oracle work counters on the SUM-GBG ablation workload,
+//! for diagnosing where the persistent+dirty engine spends its time at small
+//! `n` (the `BENCH_oracle.json` n = 64 anomaly).
+//!
+//! ```text
+//! cargo run --release --example oracle_probe -- 64 128
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use selfish_ncg::core::dynamics::{Dynamics, DynamicsConfig, ResponseMode};
+use selfish_ncg::core::policy::{Policy, TieBreak};
+use selfish_ncg::core::{GreedyBuyGame, OracleKind};
+use selfish_ncg::graph::generators;
+use std::time::Instant;
+
+fn run(n: usize, oracle: OracleKind, dirty: bool) {
+    let game = GreedyBuyGame::sum(n as f64 / 4.0);
+    let mut rng = StdRng::seed_from_u64(42);
+    let g = generators::random_with_m_edges(n, 2 * n, &mut rng);
+    let config = DynamicsConfig {
+        policy: Policy::MaxCost,
+        tie_break: TieBreak::Random,
+        response_mode: ResponseMode::BestResponse,
+        max_steps: 400 * n,
+        detect_cycles: false,
+        record_trajectory: false,
+        ownership_in_state: true,
+        oracle,
+        oracle_cache_budget: None,
+        dirty_agents: dirty,
+    };
+    let mut dynamics = Dynamics::new(&game, g, config);
+    let start = Instant::now();
+    let mut steps = 0usize;
+    while dynamics.step(&mut rng).is_some() {
+        steps += 1;
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let stats = dynamics.oracle_stats();
+    println!(
+        "n={n:>4} {:<12} dirty={dirty:<5} {secs:>8.3}s steps={steps:>5} bfs={:>7} replays={:>7} evals={:>8} expanded={:>10} csr_patch={:>6} csr_rebuild={:>6}",
+        oracle.label(),
+        stats.full_bfs_runs,
+        stats.replayed_begins,
+        stats.evaluations,
+        stats.nodes_expanded,
+        stats.csr_patches,
+        stats.csr_rebuilds,
+    );
+}
+
+/// Phase split of the eager persistent engine: reimplements the max-cost
+/// step loop with separate timers for the per-agent cost refresh, the
+/// unhappiness scan, and the mover's best-response + apply.
+fn phases(n: usize, family: &str) {
+    use selfish_ncg::core::game::workspace_cost;
+    use selfish_ncg::core::moves::apply_move;
+    use selfish_ncg::core::{AsymSwapGame, Game, Workspace};
+    let mut rng = StdRng::seed_from_u64(42);
+    let (game, mut g): (Box<dyn Game>, _) = match family {
+        "asg" => (
+            Box::new(AsymSwapGame::sum()),
+            generators::budgeted_random(n, 2, &mut rng),
+        ),
+        _ => (
+            Box::new(GreedyBuyGame::sum(n as f64 / 4.0)),
+            generators::random_with_m_edges(n, 2 * n, &mut rng),
+        ),
+    };
+    let game = game.as_ref();
+    let mut ws = Workspace::with_oracle(n, OracleKind::Persistent);
+    let (mut t_cost, mut t_find, mut t_resp) = (0.0f64, 0.0f64, 0.0f64);
+    let mut steps = 0usize;
+    let mut scanned = 0usize;
+    loop {
+        let t0 = Instant::now();
+        let mut order: Vec<usize> = (0..n).collect();
+        let costs: Vec<f64> = (0..n)
+            .map(|u| workspace_cost(game, &g, u, &mut ws))
+            .collect();
+        order.sort_by(|&a, &b| costs[b].partial_cmp(&costs[a]).unwrap());
+        let t1 = Instant::now();
+        let mut mover = None;
+        for &u in &order {
+            scanned += 1;
+            if game.has_improving_move(&g, u, &mut ws) {
+                mover = Some(u);
+                break;
+            }
+        }
+        let t2 = Instant::now();
+        t_cost += (t1 - t0).as_secs_f64();
+        t_find += (t2 - t1).as_secs_f64();
+        let Some(u) = mover else { break };
+        let br = game.best_response(&g, u, &mut ws).expect("unhappy");
+        apply_move(&mut g, u, &br.mv).expect("applies");
+        let _ = &game;
+        t_resp += t2.elapsed().as_secs_f64();
+        steps += 1;
+        if steps > 400 * n {
+            break;
+        }
+    }
+    println!(
+        "n={n:>4} {family} phases: steps={steps} scanned/step={:.1} cost={t_cost:.3}s find={t_find:.3}s resp={t_resp:.3}s stats={:?}",
+        scanned as f64 / steps.max(1) as f64,
+        ws.oracle_stats()
+    );
+}
+
+fn main() {
+    let ns: Vec<usize> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    let ns = if ns.is_empty() { vec![64] } else { ns };
+    for &n in &ns {
+        for (oracle, dirty) in [
+            (OracleKind::Incremental, true),
+            (OracleKind::Persistent, false),
+            (OracleKind::Persistent, true),
+        ] {
+            run(n, oracle, dirty);
+        }
+        phases(n, "gbg");
+        phases(n, "asg");
+    }
+}
