@@ -131,8 +131,12 @@ fn smoke(args: &Args) {
     // and resume bit-identically like every other engine.
     let mut bilateral = sweeps::bilateral_small(10, 3, args.seed);
     bilateral.chunk_size = 1;
+    // Exact Buy Game: the whole-strategy (`strategy_rewrites`) trajectories
+    // go through the same journal/checkpoint machinery.
+    let mut exact_buy = sweeps::exact_buy_small(8, 3, args.seed);
+    exact_buy.chunk_size = 1;
 
-    for plan in [plan, catalog, bilateral] {
+    for plan in [plan, catalog, bilateral, exact_buy] {
         let total_chunks: usize = plan.flatten().iter().map(|p| plan.chunks(p).len()).sum();
         let full = run_sweep(
             &plan,
@@ -208,6 +212,7 @@ fn main() {
         sweeps::fig11_style(args.max_n, args.trials, args.seed),
         sweeps::catalog_showcase(args.max_n.min(64), args.trials, args.seed),
         sweeps::bilateral_small(args.max_n, args.trials, args.seed),
+        sweeps::exact_buy_small(args.max_n, args.trials, args.seed),
     ];
     let mut runs = Vec::new();
     for plan in plans {

@@ -199,6 +199,31 @@ pub mod sweeps {
         plan
     }
 
+    /// Exact Buy Game sweeps (the original NCG of Fabrikant et al.) at tiny
+    /// `n` — best responses enumerate every owned-neighbour subset, so `n` is
+    /// capped at `GameFamily::MAX_EXACT_BUY_N` — with the Gray-code delta
+    /// scoring of the exponential enumeration on the persistent engine. Its
+    /// trajectories are pure `strategy_rewrites`, which is what makes the
+    /// family worth sweeping: the `sw` column of the move-kind reports is
+    /// exercised at every point.
+    pub fn exact_buy_small(max_n: usize, trials: usize, base_seed: u64) -> SweepPlan {
+        let cap = max_n.min(GameFamily::MAX_EXACT_BUY_N);
+        let mut plan = SweepPlan::new("exact-buy-small");
+        plan.scenarios = vec![Scenario::Paper(InitialTopology::RandomEdges { m_per_n: 2 })];
+        plan.families = vec![GameFamily::BuySum];
+        plan.policies = vec![Policy::MaxCost];
+        plan.alphas = vec![AlphaSpec::FractionOfN(0.25), AlphaSpec::FractionOfN(1.0)];
+        plan.ns = [8usize, 10, 12].into_iter().filter(|&n| n <= cap).collect();
+        if plan.ns.is_empty() {
+            plan.ns.push(cap.max(6));
+        }
+        plan.trials = trials;
+        plan.chunk_size = trials.div_ceil(4).max(1);
+        plan.base_seed = base_seed.wrapping_add(0xb6);
+        plan.engine = EngineSpec::persistent();
+        plan
+    }
+
     /// A tour of the new catalog families on the greedy buy game.
     pub fn catalog_showcase(n: usize, trials: usize, base_seed: u64) -> SweepPlan {
         let mut plan = SweepPlan::new("catalog-showcase");

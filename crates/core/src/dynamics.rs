@@ -57,6 +57,18 @@ pub struct DynamicsConfig {
     /// can differ from the eager scan, so trajectories may differ from the
     /// `dirty_agents: false` runs (both are valid sequential-move processes).
     pub dirty_agents: bool,
+    /// If `true` (the default), a dirty-agent run on the persistent oracle
+    /// hands the oracle each committed move's exact change union so every
+    /// parked distance vector is advanced to the new version in one grouped
+    /// pass (replay for changed vectors, a trusted stamp bump for the rest).
+    /// This keeps the cache-arithmetic insertion scoring and the bounded
+    /// best-response scans lit even though the dirty engine re-pins only a
+    /// few sources per step. Purely a performance knob: warming never changes
+    /// scores, mover selection, or trajectories — disabling it ("cold" mode)
+    /// only exists for ablation measurements. Ignored without `dirty_agents`
+    /// (the eager policy scan re-pins every source anyway) and by the
+    /// stateless oracle backends.
+    pub warm_parked: bool,
 }
 
 impl DynamicsConfig {
@@ -74,6 +86,7 @@ impl DynamicsConfig {
             oracle: OracleKind::default(),
             oracle_cache_budget: None,
             dirty_agents: false,
+            warm_parked: true,
         }
     }
 
@@ -91,6 +104,7 @@ impl DynamicsConfig {
             oracle: OracleKind::default(),
             oracle_cache_budget: None,
             dirty_agents: false,
+            warm_parked: true,
         }
     }
 
@@ -127,6 +141,13 @@ impl DynamicsConfig {
     /// Enables or disables dirty-agent tracking.
     pub fn with_dirty_agents(mut self, dirty_agents: bool) -> Self {
         self.dirty_agents = dirty_agents;
+        self
+    }
+
+    /// Enables or disables post-move bulk warming of the persistent oracle's
+    /// parked vectors (see [`DynamicsConfig::warm_parked`]).
+    pub fn with_warm_parked(mut self, warm_parked: bool) -> Self {
+        self.warm_parked = warm_parked;
         self
     }
 }
@@ -201,6 +222,15 @@ pub struct Dynamics<'a, G: Game + ?Sized> {
     /// `verified_happy[u]` means `u` was found to have no improving move and no
     /// later move is suspected to have changed `u`'s distance vector.
     verified_happy: Vec<bool>,
+    /// Which [`Dynamics::select_mover_dirty`] call verified `u`
+    /// (`verified_call[u]` vs `select_call`): scans are deterministic and no
+    /// move applies between the passes of one call, so the final confirmation
+    /// sweep can skip everything verified *in the current call* — re-scanning
+    /// those agents against the identical state would reproduce "happy"
+    /// verbatim. Only verifications surviving from earlier calls (which the
+    /// invalidation heuristic preserved across moves) are re-examined.
+    verified_call: Vec<u64>,
+    select_call: u64,
     /// `cached_cost[u]` is `u`'s cost when `cost_fresh[u]`; used by the
     /// max-cost policy so that only invalidated agents are re-measured.
     cached_cost: Vec<f64>,
@@ -214,6 +244,12 @@ pub struct Dynamics<'a, G: Game + ?Sized> {
     pre_dists: Vec<Vec<u32>>,
     /// Scratch for the persistent oracle's exact changed-vertex export.
     changed_scratch: Vec<NodeId>,
+    /// Scratch for the per-move change union handed to the oracle's bulk
+    /// warming pass (endpoints + mover + every exported changed vertex).
+    warm_scratch: Vec<NodeId>,
+    /// Scratch for the dirty mover-selection scan order (reused across
+    /// steps so the per-pass ordering allocates nothing).
+    order_scratch: Vec<NodeId>,
     /// Reusable per-thread workspaces of the parallel scan (empty until the
     /// first [`Dynamics::step_parallel`] call).
     par_pool: Vec<Workspace>,
@@ -234,11 +270,15 @@ impl<'a, G: Game + ?Sized> Dynamics<'a, G> {
             seen: HashMap::new(),
             trajectory: Vec::new(),
             verified_happy: vec![false; n],
+            verified_call: vec![0; n],
+            select_call: 0,
             cached_cost: vec![f64::INFINITY; n],
             cost_fresh: vec![false; n],
             confirm_pending: false,
             pre_dists: Vec::new(),
             changed_scratch: Vec::new(),
+            warm_scratch: Vec::new(),
+            order_scratch: Vec::new(),
             par_pool: Vec::new(),
         };
         if dyn_.config.detect_cycles {
@@ -354,9 +394,10 @@ impl<'a, G: Game + ?Sized> Dynamics<'a, G> {
             Move::SetOwned { .. } | Move::SetNeighbors { .. } => return None,
         };
         if self.persistent_oracle() {
-            for &e in &endpoints {
-                let _ = self.ws.evaluator.begin_agent(&self.graph, e);
-            }
+            // Lazy pin: under post-move warming every endpoint vector is
+            // already parked at the current version, so this is free; only
+            // cold or stale endpoints pay a repair or a BFS.
+            self.ws.evaluator.pin_sources(&self.graph, &endpoints);
         } else {
             self.pre_dists.resize(endpoints.len(), Vec::new());
             for (i, &e) in endpoints.iter().enumerate() {
@@ -376,7 +417,35 @@ impl<'a, G: Game + ?Sized> Dynamics<'a, G> {
         let n = self.graph.num_nodes();
         match endpoints {
             None => self.invalidate_all(),
+            Some(endpoints) if self.persistent_oracle() && self.config.warm_parked => {
+                // Fused path: one oracle pass replays the endpoint vectors
+                // (exporting the exact invalidation union) and warms every
+                // other parked vector — no per-endpoint re-pins at all.
+                let mut union = std::mem::take(&mut self.warm_scratch);
+                if self
+                    .ws
+                    .evaluator
+                    .warm_after_move(&self.graph, &endpoints, &mut union)
+                {
+                    for &x in &union {
+                        self.verified_happy[x] = false;
+                        self.cost_fresh[x] = false;
+                    }
+                    self.verified_happy[agent] = false;
+                    self.cost_fresh[agent] = false;
+                    self.warm_scratch = union;
+                    self.confirm_pending = true;
+                    return;
+                }
+                // An endpoint window was unreplayable (cold or stale
+                // vector): no diff available — be conservative; the
+                // post-match block warms everything from its own stamp.
+                self.warm_scratch = union;
+                self.invalidate_all();
+            }
             Some(endpoints) if self.persistent_oracle() => {
+                // Cold mode (`warm_parked == false`): per-endpoint diff
+                // re-pins, the pre-warming invalidation path.
                 let mut changed = std::mem::take(&mut self.changed_scratch);
                 for &e in &endpoints {
                     let (_, exact) =
@@ -419,6 +488,16 @@ impl<'a, G: Game + ?Sized> Dynamics<'a, G> {
             }
         }
         self.confirm_pending = true;
+        if self.config.warm_parked && self.persistent_oracle() {
+            // Unknown change set (whole-strategy move or an unreplayable
+            // endpoint): every parked vector is suspect, so the oracle must
+            // repair each from its own stamp rather than trust a bump.
+            let mut all = std::mem::take(&mut self.warm_scratch);
+            all.clear();
+            all.extend(0..n);
+            self.ws.evaluator.warm_sources(&self.graph, &all);
+            self.warm_scratch = all;
+        }
     }
 
     fn invalidate_all(&mut self) {
@@ -431,8 +510,11 @@ impl<'a, G: Game + ?Sized> Dynamics<'a, G> {
     /// one full re-verification sweep runs against the final graph.
     fn select_mover_dirty<R: Rng>(&mut self, rng: &mut R) -> Option<NodeId> {
         let n = self.graph.num_nodes();
+        self.select_call += 1;
         loop {
-            let mut order: Vec<NodeId> = (0..n).collect();
+            let mut order = std::mem::take(&mut self.order_scratch);
+            order.clear();
+            order.extend(0..n);
             match self.config.policy {
                 Policy::MaxCost => {
                     // `workspace_cost` refreshes an invalidated cost through
@@ -463,23 +545,40 @@ impl<'a, G: Game + ?Sized> Dynamics<'a, G> {
                 Policy::MinIndex => {}
                 Policy::RoundRobin => {
                     let start = self.last_mover.map_or(0, |m| (m + 1) % n.max(1));
-                    order = (0..n).map(|i| (start + i) % n).collect();
+                    order.clear();
+                    order.extend((0..n).map(|i| (start + i) % n));
                 }
             }
-            for u in order {
+            let mut found = None;
+            for &u in &order {
                 if self.verified_happy[u] {
                     continue;
                 }
                 if self.game.has_improving_move(&self.graph, u, &mut self.ws) {
-                    return Some(u);
+                    found = Some(u);
+                    break;
                 }
                 self.verified_happy[u] = true;
+                self.verified_call[u] = self.select_call;
+            }
+            self.order_scratch = order;
+            if found.is_some() {
+                return found;
             }
             if self.confirm_pending {
-                // The dirty heuristic found nobody; re-verify everyone once
-                // against the current state before declaring convergence.
+                // The dirty heuristic found nobody; before declaring
+                // convergence, re-verify every agent whose "happy" status
+                // survived from an *earlier* call — a move has happened since,
+                // and an unchanged own distance vector does not pin down the
+                // values of a candidate scan. Agents verified in the current
+                // call were scanned against this exact state already; the
+                // deterministic scan would repeat itself, so they are exempt.
                 self.confirm_pending = false;
-                self.verified_happy.iter_mut().for_each(|f| *f = false);
+                for u in 0..n {
+                    if self.verified_call[u] != self.select_call {
+                        self.verified_happy[u] = false;
+                    }
+                }
                 continue;
             }
             return None;

@@ -182,7 +182,8 @@ impl CostEvaluator {
         // miss) takes the repair machinery.
         if let Some((&EdgeDelta::Insert { u: a, v: b }, prefix)) = self.deltas.split_last() {
             if a == u && (allow_bound || prefix.is_empty()) {
-                if let Some((summary, exact)) = self.oracle.evaluate_insert_via_cache(prefix, a, b)
+                if let Some((summary, exact)) =
+                    self.oracle.evaluate_insert_via_cache(g, prefix, a, b)
                 {
                     return if exact {
                         DeltaScore::Summary(summary)
@@ -207,6 +208,59 @@ impl CostEvaluator {
         let summary = self.oracle.evaluate(&deltas);
         self.deltas = deltas;
         summary
+    }
+
+    /// The agent's distance summary served from the main oracle's parked (or
+    /// pinned) vector at the current version of `g`, without re-pinning —
+    /// `None` when answering would need repair work. See
+    /// [`DistanceOracle::cached_summary`].
+    pub fn cached_summary(&mut self, g: &OwnedGraph, u: NodeId) -> Option<DistanceSummary> {
+        self.oracle.cached_summary(g, u)
+    }
+
+    /// Parks the distance vectors of `sources` in the **main** oracle at the
+    /// current version of `g`, so a later [`CostEvaluator::begin_agent_diff`]
+    /// of the same source can export an exact change diff. Lazy on the
+    /// persistent backend: sources whose vector is already parked (or
+    /// pinned) at the current version cost nothing, and stale parked vectors
+    /// are repaired in place without churning the working pin.
+    pub fn pin_sources(&mut self, g: &OwnedGraph, sources: &[NodeId]) {
+        self.oracle.pin_sources(g, sources);
+    }
+
+    /// The fused post-move pass: replays the move endpoints' vectors on the
+    /// main oracle collecting the exact invalidation union into `changed`,
+    /// then warms every other parked vector (and the consent oracle) in the
+    /// same sweep. `false` = some endpoint window was unreplayable; the
+    /// caller must invalidate conservatively and warm with an all-dirty set.
+    /// See [`DistanceOracle::warm_after_move`].
+    pub fn warm_after_move(
+        &mut self,
+        g: &OwnedGraph,
+        seeds: &[NodeId],
+        changed: &mut Vec<NodeId>,
+    ) -> bool {
+        let ok = self.oracle.warm_after_move(g, seeds, changed);
+        if ok {
+            if let Some(consent) = self.consent.as_mut() {
+                consent.warm_sources(g, changed);
+            }
+        }
+        ok
+    }
+
+    /// Bulk-warms the parked per-source vectors of the main oracle (and the
+    /// consent oracle, when one exists) to the current version of `g` — see
+    /// [`DistanceOracle::warm_sources`] for the contract on `dirty` (every
+    /// source whose distance vector may have changed since the previous
+    /// warming call). The dirty engine calls this once per committed move
+    /// with the move's exact change union, which is what keeps the
+    /// cache-arithmetic scoring path lit under sparse dirty-agent re-pins.
+    pub fn warm_sources(&mut self, g: &OwnedGraph, dirty: &[NodeId]) {
+        self.oracle.warm_sources(g, dirty);
+        if let Some(consent) = self.consent.as_mut() {
+            consent.warm_sources(g, dirty);
+        }
     }
 
     /// Warms the consent oracle's per-source cache for `sources` at the

@@ -253,7 +253,13 @@ pub fn workspace_cost<G: Game + ?Sized>(
 ) -> f64 {
     if ws.oracle_kind() == OracleKind::Persistent && (!game.needs_consent() || game.delta_consent())
     {
-        let summary = ws.evaluator.begin_agent(g, u);
+        // A vector already at the current version (the warmed dirty engine's
+        // steady state, and any within-step second touch) answers without
+        // re-pinning at all; otherwise one `begin` replays it current.
+        let summary = match ws.evaluator.cached_summary(g, u) {
+            Some(summary) => summary,
+            None => ws.evaluator.begin_agent(g, u),
+        };
         game.edge_cost_mode().edge_cost(g, u, game.alpha()) + game.metric().distance_cost(&summary)
     } else {
         game.cost(g, u, &mut ws.bfs)

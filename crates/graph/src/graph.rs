@@ -59,6 +59,19 @@ pub struct GraphVersion {
     pos: u64,
 }
 
+impl GraphVersion {
+    /// Number of structural changes separating this (the later) stamp from
+    /// `earlier`, when both lie on the same lineage and this stamp is not the
+    /// older one; `None` otherwise. This is pure stamp arithmetic — it does
+    /// **not** imply the separating window is still retained in the journal
+    /// (ask [`OwnedGraph::changes_since`] for that). Persistent distance
+    /// oracles use it as the *staleness* measure of a parked vector: foreign
+    /// lineages are infinitely stale.
+    pub fn changes_since(&self, earlier: GraphVersion) -> Option<u64> {
+        (self.lineage == earlier.lineage && self.pos >= earlier.pos).then(|| self.pos - earlier.pos)
+    }
+}
+
 /// A reference to an edge together with its owner.
 ///
 /// `owner` is the endpoint that pays for (and may modify) the edge; `other` is the

@@ -28,6 +28,16 @@
 //! pay the expensive removal repair once per `from`. Correctness of the
 //! incremental repairs against from-scratch BFS is enforced by the randomized
 //! equivalence tests in the facade crate.
+//!
+//! The **persistent** backend synchronizes its parked per-source vectors
+//! *lazily*: each vector carries its own [`GraphVersion`] stamp and is only
+//! repaired — by replaying the journal window between its stamp and the
+//! current version — when it is next needed (`begin`, `pin_sources`, the
+//! cache-arithmetic path) or when the caller bulk-warms it
+//! ([`DistanceOracle::warm_sources`], which also advances provably-unchanged
+//! vectors by a stamp bump alone). The staleness fallback is per-vector: a
+//! window longer than `max(8, n/8)` changes makes *that* vector re-pin with
+//! one full BFS, without touching its neighbours in the cache.
 
 use crate::csr::{CsrAdjacency, PatchOutcome};
 use crate::distances::{DistanceSummary, UNREACHABLE};
@@ -106,6 +116,39 @@ pub struct OracleStats {
     /// version jumps, dense journals, exhausted segment slack, and every
     /// `begin` of the stateless backends.
     pub csr_rebuilds: u64,
+    /// Parked vectors advanced to the current graph version by replaying
+    /// their own journal window *outside* a [`DistanceOracle::begin`] — the
+    /// lazy path: bulk warming ([`DistanceOracle::warm_sources`]) and
+    /// on-demand warming inside
+    /// [`DistanceOracle::evaluate_insert_via_cache`] / `pin_sources`.
+    pub lazy_replays: u64,
+    /// Parked vectors advanced by a trusted *stamp bump* alone: the caller's
+    /// dirty set excluded the source, so the vector is provably unchanged
+    /// over the window and no repair ran at all.
+    pub warm_bumps: u64,
+    /// [`DistanceOracle::warm_sources`] passes that advanced at least one
+    /// vector (one shared CSR sync, many per-vector repairs).
+    pub warm_batches: u64,
+    /// Cache-arithmetic what-if queries that were served only because an
+    /// on-demand lazy warm first brought the target's parked vector to the
+    /// pinned version — queries the eager-sync model would have missed.
+    pub lazy_hits: u64,
+}
+
+impl OracleStats {
+    /// Field-wise sum, for aggregating counters across trials.
+    pub fn merge(&mut self, other: &OracleStats) {
+        self.full_bfs_runs += other.full_bfs_runs;
+        self.evaluations += other.evaluations;
+        self.nodes_expanded += other.nodes_expanded;
+        self.replayed_begins += other.replayed_begins;
+        self.csr_patches += other.csr_patches;
+        self.csr_rebuilds += other.csr_rebuilds;
+        self.lazy_replays += other.lazy_replays;
+        self.warm_bumps += other.warm_bumps;
+        self.warm_batches += other.warm_batches;
+        self.lazy_hits += other.lazy_hits;
+    }
 }
 
 /// A single-source distance engine answering what-if queries about edge deltas.
@@ -126,18 +169,76 @@ pub trait DistanceOracle: Send {
     fn evaluate(&mut self, deltas: &[EdgeDelta]) -> DistanceSummary;
 
     /// Warms the backend's per-source state for every vertex of `sources` at
-    /// the current version of `g`, leaving the last source pinned.
+    /// the current version of `g`.
     ///
     /// For the persistent backend each source's distance vector ends up
     /// parked in the per-source cache stamped with `g`'s current version, so
     /// a later [`DistanceOracle::evaluate_for_source`] (or re-`begin`) of the
     /// same source is served by journal replay in `O(changes)` instead of a
-    /// full BFS. Stateless backends simply run one BFS per source.
+    /// full BFS. Sources whose vector is already parked at an older version
+    /// are repaired *in place* by replaying their own journal window, without
+    /// churning the pinned working vector. Stateless backends simply run one
+    /// BFS per source.
     fn pin_sources(&mut self, g: &OwnedGraph, sources: &[NodeId]) {
         for &src in sources {
             self.begin(g, src);
         }
     }
+
+    /// The source's distance summary served *without pinning*: from its
+    /// parked vector when that is stamped at the current version of `g` (or
+    /// from the working vector when `src` is pinned there). `None` whenever
+    /// answering would require any repair or BFS — the caller then falls
+    /// back to a full [`DistanceOracle::begin`]. Under post-move warming
+    /// this turns the dirty engine's per-step cost refresh into `O(1)` reads
+    /// instead of source-switching re-pins.
+    fn cached_summary(&mut self, _g: &OwnedGraph, _src: NodeId) -> Option<DistanceSummary> {
+        None
+    }
+
+    /// The fused post-move pass of the persistent backend: replays the
+    /// vectors of `seeds` (a committed move's endpoints, which the caller
+    /// pinned at the *pre-move* version) over the move's journal window,
+    /// collecting into `changed` the exact union of the seeds and every
+    /// vertex whose distance to a seed net-changed — precisely the
+    /// invalidation set of the dirty engine — and then advances every other
+    /// parked vector like [`DistanceOracle::warm_sources`] with that union
+    /// as the dirty set, all in one pass over the shared delta window.
+    ///
+    /// Returns `false` (with `changed` unspecified and no warming chain
+    /// advanced past what was already done) when any seed's window cannot be
+    /// replayed — the caller must then invalidate conservatively and call
+    /// `warm_sources` with an all-dirty set. Stateless backends always
+    /// return `false`.
+    fn warm_after_move(
+        &mut self,
+        _g: &OwnedGraph,
+        _seeds: &[NodeId],
+        _changed: &mut Vec<NodeId>,
+    ) -> bool {
+        false
+    }
+
+    /// Bulk warming hook of the persistent backend: advances every parked
+    /// vector to the current version of `g` in one grouped pass over the
+    /// shared delta window (one CSR patch, many per-vector repairs). A no-op
+    /// for the stateless backends.
+    ///
+    /// `dirty` is the caller's promise about what actually moved: it must
+    /// contain **every vertex whose distance vector may have changed** since
+    /// the previous `warm_sources` call on the same graph (for the dynamics
+    /// engine: since the last committed move, whose change union the
+    /// dirty-agent machinery computes anyway). Vectors of dirty sources are
+    /// repaired by replaying their journal window; vectors of sources *not*
+    /// listed are — when the oracle can prove the warming chain is unbroken —
+    /// advanced by a stamp bump alone, which is what keeps the pass
+    /// `O(changes + |dirty| · repair)` instead of `O(parked · changes)`.
+    /// When the chain cannot be trusted (first call, a version gap, a foreign
+    /// graph) every parked vector is repaired from its own stamp instead, so
+    /// a wrong *gap* degrades to extra work, never to wrong distances; a
+    /// dirty set that under-reports the changes of its own window is a
+    /// caller bug the randomized warming tests guard against.
+    fn warm_sources(&mut self, _g: &OwnedGraph, _dirty: &[NodeId]) {}
 
     /// Multi-source what-if query: re-pins `(g, src)` and scores `deltas`
     /// against it, returning the source's `(base, modified)` summaries.
@@ -175,12 +276,19 @@ pub trait DistanceOracle: Send {
     ///   candidates whose lower-bound cost is already not an improvement, and
     ///   must re-score the rest exactly.
     ///
+    /// A stale parked vector of `v` does not miss outright: the persistent
+    /// backend first tries to *lazily warm* it by replaying `v`'s own journal
+    /// window against `g` (which must be the pinned graph, unchanged since
+    /// the last `begin`), so the fast path stays lit even for sources the
+    /// caller has not re-pinned in many steps.
+    ///
     /// `None` whenever the backend cannot serve the query (stateless
-    /// backends; `u` not the pinned source; `v`'s vector not parked at the
-    /// pinned version; `prefix` containing insertions, which would flip the
-    /// bound's direction).
+    /// backends; `u` not the pinned source; `v`'s vector neither parked at
+    /// the pinned version nor lazily warmable to it; `prefix` containing
+    /// insertions, which would flip the bound's direction).
     fn evaluate_insert_via_cache(
         &mut self,
+        _g: &OwnedGraph,
         _prefix: &[EdgeDelta],
         _u: NodeId,
         _v: NodeId,
@@ -664,6 +772,23 @@ pub struct IncrementalOracle {
     /// `true` iff the last `begin` was served by replay, making
     /// [`DistanceOracle::changed_since_begin`] meaningful.
     changed_valid: bool,
+    /// Spare [`DistState`] the lazy-warm path swaps in so a parked vector can
+    /// be repaired without disturbing the pinned working vector (or its
+    /// active candidate deltas).
+    warm_state: DistState,
+    /// Spare overlay of the lazy-warm path (the working overlay may hold the
+    /// pinned source's candidate deltas mid-scan).
+    warm_overlay: DeltaOverlay,
+    /// Version up to which the trusted warming chain is unbroken: every
+    /// parked vector was advanced (bump or replay) by the `warm_sources`
+    /// call that stamped this version, so the *next* call's dirty set fully
+    /// describes the window from here to its own version. `None` until the
+    /// first warming pass (and after any cache reset).
+    warm_floor: Option<GraphVersion>,
+    /// Epoch stamps marking membership in the current warming call's dirty
+    /// set (`dirty_stamp[x] == dirty_epoch`).
+    dirty_stamp: Vec<u32>,
+    dirty_epoch: u32,
 }
 
 impl IncrementalOracle {
@@ -693,6 +818,11 @@ impl IncrementalOracle {
             pinned_version: None,
             csr_version: None,
             changed_valid: false,
+            warm_state: DistState::default(),
+            warm_overlay: DeltaOverlay::default(),
+            warm_floor: None,
+            dirty_stamp: Vec::new(),
+            dirty_epoch: 0,
         };
         oracle.resize_scratch(n);
         oracle
@@ -731,14 +861,28 @@ impl IncrementalOracle {
         })
     }
 
-    /// Evicts the least-recently-used parked vector, freeing its buffers.
-    fn evict_lru(&mut self) {
+    /// Evicts one parked vector, freeing its buffers.
+    ///
+    /// Victim selection is *staleness-aware*: vectors that have drifted the
+    /// furthest behind `current` (measured in journal changes; a foreign
+    /// lineage counts as infinitely stale) go first — they are the ones whose
+    /// next activation is most likely to pay a full BFS anyway, so parking
+    /// them buys the least. Among equally stale vectors the least recently
+    /// used one loses, which reduces to plain LRU when the cache is kept warm
+    /// (every stamp current).
+    fn evict_lru(&mut self, current: Option<GraphVersion>) {
+        let staleness = |slot: &SourceCache| -> u64 {
+            match (current, slot.version) {
+                (Some(cur), Some(v)) => cur.changes_since(v).unwrap_or(u64::MAX),
+                _ => u64::MAX,
+            }
+        };
         let victim = self
             .cache
             .iter()
             .enumerate()
             .filter(|(_, slot)| slot.version.is_some())
-            .min_by_key(|(_, slot)| slot.last_used)
+            .max_by_key(|(_, slot)| (staleness(slot), std::cmp::Reverse(slot.last_used)))
             .map(|(i, _)| i);
         if let Some(i) = victim {
             let slot = &mut self.cache[i];
@@ -1073,10 +1217,10 @@ impl IncrementalOracle {
         slot.version = Some(version);
         slot.last_used = self.lru_tick;
         self.lru_tick += 1;
-        // The just-parked slot carries the newest stamp, so it is never the
-        // victim unless the budget is zero (cache disabled).
+        // The just-parked slot carries the newest stamp and recency, so it is
+        // never the victim unless the budget is zero (cache disabled).
         while self.cached_count > self.cache_budget() {
-            self.evict_lru();
+            self.evict_lru(Some(version));
         }
     }
 
@@ -1114,6 +1258,14 @@ impl IncrementalOracle {
             return false;
         }
         self.sync_csr(g);
+        self.replay_changes(changes);
+        true
+    }
+
+    /// Runs the journal window `changes` through the repair machinery against
+    /// the current working [`DistState`] and overlay. The CSR must already be
+    /// synced to the *post-window* graph; the overlay must be empty.
+    fn replay_changes(&mut self, changes: &[EdgeChange]) {
         debug_assert!(self.overlay.is_empty());
         for change in changes.iter().rev() {
             self.overlay.activate(&invert(change));
@@ -1133,7 +1285,195 @@ impl IncrementalOracle {
         }
         self.state.end_replay();
         debug_assert!(self.overlay.is_empty(), "replay must cancel the rewind");
+    }
+
+    /// Lazily repairs the *parked* vector of `src` to the current version of
+    /// `g` by replaying its own journal window — without disturbing the
+    /// pinned working vector, its candidate delta stack, or the overlay
+    /// (both are swapped aside for the duration, so this is safe to call
+    /// mid-scan from the cache-arithmetic path). Returns `false` — leaving
+    /// the slot exactly as it was — when the window is unavailable (foreign
+    /// lineage, discarded entries) or longer than the per-vector staleness
+    /// limit, in which case the vector's next activation pays the usual full
+    /// BFS.
+    fn warm_slot(&mut self, g: &OwnedGraph, src: usize) -> bool {
+        self.warm_slot_collect(g, src, None)
+    }
+
+    /// [`IncrementalOracle::warm_slot`] with an optional export of the exact
+    /// net-changed vertex set of the replay (the per-seed diff of
+    /// [`DistanceOracle::warm_after_move`]).
+    fn warm_slot_collect(
+        &mut self,
+        g: &OwnedGraph,
+        src: usize,
+        collect: Option<&mut Vec<NodeId>>,
+    ) -> bool {
+        let Some(from) = self.cache[src].version else {
+            return false;
+        };
+        let cur = g.version();
+        if from == cur {
+            return collect.is_none();
+        }
+        let Some(changes) = g.changes_since(from) else {
+            return false;
+        };
+        if changes.len() > self.stale_limit() {
+            return false;
+        }
+        self.sync_csr(g);
+        // Work on the slot's vector through the spare state/overlay pair so
+        // the pinned working vector stays untouched.
+        std::mem::swap(&mut self.state, &mut self.warm_state);
+        std::mem::swap(&mut self.overlay, &mut self.warm_overlay);
+        let slot = &mut self.cache[src];
+        std::mem::swap(&mut slot.dist, &mut self.state.dist);
+        std::mem::swap(&mut slot.level_counts, &mut self.state.level_counts);
+        self.state.sum = slot.sum;
+        self.state.reached = slot.reached;
+        self.state.max_hint = slot.max_hint;
+        self.state.journal.clear();
+        self.replay_changes(changes);
+        if let Some(out) = collect {
+            out.extend(self.state.touched.iter().map(|&x| x as NodeId));
+        }
+        let slot = &mut self.cache[src];
+        std::mem::swap(&mut slot.dist, &mut self.state.dist);
+        std::mem::swap(&mut slot.level_counts, &mut self.state.level_counts);
+        slot.sum = self.state.sum;
+        slot.reached = self.state.reached;
+        slot.max_hint = self.state.max_hint;
+        slot.version = Some(cur);
+        slot.last_used = self.lru_tick;
+        self.lru_tick += 1;
+        std::mem::swap(&mut self.overlay, &mut self.warm_overlay);
+        std::mem::swap(&mut self.state, &mut self.warm_state);
+        self.stats.lazy_replays += 1;
         true
+    }
+
+    /// The fused post-move pass behind [`DistanceOracle::warm_after_move`]:
+    /// replay each seed's vector over the move's window collecting the exact
+    /// per-seed diffs, then run the ordinary warming pass with the collected
+    /// union as the dirty set.
+    fn warm_after_move_persistent(
+        &mut self,
+        g: &OwnedGraph,
+        seeds: &[NodeId],
+        changed: &mut Vec<NodeId>,
+    ) -> bool {
+        if !self.persistent || g.num_nodes() != self.cache.len() {
+            return false;
+        }
+        let cur = g.version();
+        changed.clear();
+        changed.extend_from_slice(seeds);
+        for &e in seeds {
+            if self.pinned_version.is_some() && self.src == e as u32 {
+                let from = self.pinned_version.expect("just checked");
+                if from == cur {
+                    // Someone already advanced the working vector past the
+                    // move: its diff is gone, the caller must be conservative.
+                    return false;
+                }
+                self.rollback_to_prefix(0);
+                self.changed_valid = false;
+                if !self.try_replay(g, from) {
+                    self.pinned_version = None;
+                    return false;
+                }
+                self.pinned_version = Some(cur);
+                self.stats.lazy_replays += 1;
+                changed.extend(self.state.touched.iter().map(|&x| x as NodeId));
+            } else if e >= self.cache.len() || !self.warm_slot_collect(g, e, Some(changed)) {
+                return false;
+            }
+        }
+        self.warm_sources_persistent(g, changed);
+        true
+    }
+
+    /// Marks `dirty` in the epoch-stamped membership scratch.
+    fn mark_dirty_set(&mut self, dirty: &[NodeId]) {
+        let n = self.cache.len();
+        if self.dirty_stamp.len() < n {
+            self.dirty_stamp.resize(n, 0);
+        }
+        self.dirty_epoch = self.dirty_epoch.wrapping_add(1);
+        if self.dirty_epoch == 0 {
+            self.dirty_stamp.fill(0);
+            self.dirty_epoch = 1;
+        }
+        for &d in dirty {
+            if d < n {
+                self.dirty_stamp[d] = self.dirty_epoch;
+            }
+        }
+    }
+
+    /// The bulk warming pass behind [`DistanceOracle::warm_sources`]: see the
+    /// trait documentation for the caller contract on `dirty`.
+    fn warm_sources_persistent(&mut self, g: &OwnedGraph, dirty: &[NodeId]) {
+        let n = g.num_nodes();
+        if n != self.cache.len() || n != self.mark.len() {
+            // A mismatched graph: the next `begin` resets the cache anyway.
+            self.warm_floor = None;
+            return;
+        }
+        let cur = g.version();
+        self.mark_dirty_set(dirty);
+        // Stamp bumps are only sound while the warming chain is unbroken:
+        // a vector stamped exactly at the previous pass's version is covered
+        // by this pass's dirty set. Anything else is repaired from its own
+        // stamp (or left for the full-BFS fallback on demand).
+        let trusted_floor = self.warm_floor.filter(|&f| g.changes_since(f).is_some());
+        let mut worked = false;
+        // The pinned working vector gets the same treatment as the slots.
+        if let Some(pv) = self.pinned_version {
+            if pv != cur {
+                let src = self.src as usize;
+                if self.dirty_stamp[src] != self.dirty_epoch && Some(pv) == trusted_floor {
+                    self.pinned_version = Some(cur);
+                    self.stats.warm_bumps += 1;
+                    worked = true;
+                } else {
+                    self.rollback_to_prefix(0);
+                    self.changed_valid = false;
+                    if self.try_replay(g, pv) {
+                        self.pinned_version = Some(cur);
+                        self.stats.lazy_replays += 1;
+                        worked = true;
+                    } else {
+                        // Unreplayable: drop the pin so the stale working
+                        // vector can never be mistaken for current state.
+                        self.pinned_version = None;
+                    }
+                }
+            }
+        }
+        for src in 0..n {
+            let Some(sv) = self.cache[src].version else {
+                continue;
+            };
+            if sv == cur {
+                continue;
+            }
+            if self.dirty_stamp[src] != self.dirty_epoch && Some(sv) == trusted_floor {
+                self.cache[src].version = Some(cur);
+                self.stats.warm_bumps += 1;
+                worked = true;
+            } else if self.warm_slot(g, src) {
+                worked = true;
+            }
+            // A slot `warm_slot` could not serve keeps its old stamp; it can
+            // never match a future floor, so it is excluded from stamp bumps
+            // for good and re-pins with one full BFS when next needed.
+        }
+        self.warm_floor = Some(cur);
+        if worked {
+            self.stats.warm_batches += 1;
+        }
     }
 
     /// The persistent `begin`: serve from the per-source cache + journal
@@ -1148,6 +1488,7 @@ impl IncrementalOracle {
             self.cached_count = 0;
             self.pinned_version = None;
             self.csr_version = None;
+            self.warm_floor = None;
         }
         self.rollback_to_prefix(0);
         self.changed_valid = false;
@@ -1199,6 +1540,77 @@ impl DistanceOracle for IncrementalOracle {
         }
     }
 
+    fn cached_summary(&mut self, g: &OwnedGraph, src: NodeId) -> Option<DistanceSummary> {
+        if !self.persistent || g.num_nodes() != self.cache.len() || src >= self.cache.len() {
+            return None;
+        }
+        let n = self.cache.len();
+        let cur = g.version();
+        if self.pinned_version == Some(cur) && self.src == src as u32 {
+            self.rollback_to_prefix(0);
+            return Some(self.state.summary(n));
+        }
+        let tick = self.lru_tick;
+        let slot = &mut self.cache[src];
+        if slot.version != Some(cur) {
+            return None;
+        }
+        // A summary read is a use: without the recency bump, the hottest
+        // read path would look LRU-cold to the staleness-aware eviction.
+        slot.last_used = tick;
+        self.lru_tick += 1;
+        if slot.reached < n {
+            return Some(DistanceSummary::DISCONNECTED);
+        }
+        // Tighten the parked max bound exactly like `DistState::summary`.
+        let mut m = slot.max_hint;
+        while m > 0 && slot.level_counts[m as usize] == 0 {
+            m -= 1;
+        }
+        slot.max_hint = m;
+        Some(DistanceSummary {
+            sum: Some(slot.sum),
+            max: Some(m),
+        })
+    }
+
+    fn pin_sources(&mut self, g: &OwnedGraph, sources: &[NodeId]) {
+        if !self.persistent || g.num_nodes() != self.cache.len() {
+            for &src in sources {
+                self.begin(g, src);
+            }
+            return;
+        }
+        let cur = g.version();
+        for &src in sources {
+            // Already current — parked or pinned — costs nothing; a parked
+            // vector at an older stamp is repaired in place by lazy replay;
+            // only cold or unreplayable sources pay the full `begin`.
+            if self.cache[src].version == Some(cur)
+                || (self.pinned_version == Some(cur) && self.src == src as u32)
+                || self.warm_slot(g, src)
+            {
+                continue;
+            }
+            self.begin(g, src);
+        }
+    }
+
+    fn warm_sources(&mut self, g: &OwnedGraph, dirty: &[NodeId]) {
+        if self.persistent {
+            self.warm_sources_persistent(g, dirty);
+        }
+    }
+
+    fn warm_after_move(
+        &mut self,
+        g: &OwnedGraph,
+        seeds: &[NodeId],
+        changed: &mut Vec<NodeId>,
+    ) -> bool {
+        self.warm_after_move_persistent(g, seeds, changed)
+    }
+
     fn evaluate(&mut self, deltas: &[EdgeDelta]) -> DistanceSummary {
         self.run_deltas(deltas);
         self.state.summary(self.csr.num_nodes())
@@ -1206,6 +1618,7 @@ impl DistanceOracle for IncrementalOracle {
 
     fn evaluate_insert_via_cache(
         &mut self,
+        g: &OwnedGraph,
         prefix: &[EdgeDelta],
         u: NodeId,
         v: NodeId,
@@ -1214,10 +1627,24 @@ impl DistanceOracle for IncrementalOracle {
             || u as u32 != self.src
             || self.pinned_version.is_none()
             || v >= self.cache.len()
-            || self.cache[v].version != self.pinned_version
             || prefix.iter().any(|d| matches!(d, EdgeDelta::Insert { .. }))
         {
             return None;
+        }
+        if self.cache[v].version != self.pinned_version {
+            // Lazy on-demand warming: repair `v`'s parked vector by replaying
+            // its own journal window right now (the working state and its
+            // candidate deltas are swapped aside, so the pin is undisturbed).
+            // `g` is the pinned graph, so success lands the slot exactly on
+            // the pinned version.
+            if self.cache[v].version.is_none()
+                || Some(g.version()) != self.pinned_version
+                || !self.warm_slot(g, v)
+            {
+                return None;
+            }
+            debug_assert_eq!(self.cache[v].version, self.pinned_version);
+            self.stats.lazy_hits += 1;
         }
         // Bring the delta stack to exactly `prefix` (for the swap enumeration
         // `(from, to₁), (from, to₂), …` this is a no-op after the first
@@ -1683,6 +2110,159 @@ mod tests {
             oracle.stats().full_bfs_runs,
             cold_bfs,
             "pinned sources are served by journal replay"
+        );
+    }
+
+    #[test]
+    fn warm_sources_bumps_clean_vectors_and_replays_dirty_ones() {
+        // Two components: moves inside one leave the other's vectors
+        // untouched, so the warming pass must stamp-bump the clean side and
+        // replay only the dirty side.
+        let mut g = OwnedGraph::new(12);
+        for u in 0..5 {
+            g.add_edge(u, u + 1); // first component: a path on {0..5}
+        }
+        for v in 7..12 {
+            g.add_edge(6, v); // second component: a star on {6..11}
+        }
+        let mut oracle = IncrementalOracle::persistent(12);
+        let mut buf = BfsBuffer::new(12);
+        let all: Vec<usize> = (0..12).collect();
+        oracle.pin_sources(&g, &all);
+        // First move + warm establishes the trusted floor.
+        g.add_edge(7, 8);
+        oracle.warm_sources(&g, &[6, 7, 8, 9, 10, 11]);
+        let before = oracle.stats();
+        // Second move inside the star: path vectors are clean.
+        g.add_edge(9, 10);
+        oracle.warm_sources(&g, &[6, 7, 8, 9, 10, 11]);
+        let after = oracle.stats();
+        assert!(after.warm_batches > before.warm_batches);
+        assert!(
+            after.warm_bumps >= before.warm_bumps + 6,
+            "the six path vectors must be stamp-bumped: {after:?}"
+        );
+        assert!(
+            after.lazy_replays > before.lazy_replays,
+            "the star vectors must be replayed: {after:?}"
+        );
+        let bfs_before = after.full_bfs_runs;
+        for src in 0..12 {
+            assert_eq!(oracle.begin(&g, src), buf.summary(&g, src), "src {src}");
+            assert_eq!(oracle.base_distances(), &buf.run(&g, src)[..12]);
+        }
+        assert_eq!(
+            oracle.stats().full_bfs_runs,
+            bfs_before,
+            "every re-pin after warming must be an (empty) replay"
+        );
+    }
+
+    #[test]
+    fn cached_summary_answers_without_pinning() {
+        let mut g = generators::cycle(14);
+        let mut oracle = IncrementalOracle::persistent(14);
+        let mut buf = BfsBuffer::new(14);
+        let all: Vec<usize> = (0..14).collect();
+        oracle.pin_sources(&g, &all);
+        let before = oracle.stats();
+        for src in 0..14 {
+            assert_eq!(
+                oracle.cached_summary(&g, src),
+                Some(buf.summary(&g, src)),
+                "src {src}"
+            );
+        }
+        let after = oracle.stats();
+        assert_eq!(after.full_bfs_runs, before.full_bfs_runs);
+        assert_eq!(
+            after.replayed_begins, before.replayed_begins,
+            "summary reads never re-pin"
+        );
+        // A stale vector refuses — answering would need repair work…
+        g.add_edge(0, 7);
+        assert_eq!(oracle.cached_summary(&g, 3), None);
+        // …and warming restores the O(1) answers.
+        oracle.warm_sources(&g, &all);
+        assert_eq!(oracle.cached_summary(&g, 3), Some(buf.summary(&g, 3)));
+    }
+
+    #[test]
+    fn warm_sources_is_sound_without_a_trusted_floor() {
+        // The first warming call has no floor: nothing may be stamp-bumped;
+        // every parked vector must be repaired from its own stamp instead.
+        let mut g = generators::cycle(10);
+        let mut oracle = IncrementalOracle::persistent(10);
+        let mut buf = BfsBuffer::new(10);
+        oracle.pin_sources(&g, &[0, 3, 7]);
+        g.add_edge(0, 5);
+        // Deliberately empty dirty set — still exact, because an untrusted
+        // pass never bumps, it replays.
+        oracle.warm_sources(&g, &[]);
+        assert_eq!(oracle.stats().warm_bumps, 0, "no floor, no bumps");
+        assert!(oracle.stats().lazy_replays >= 3);
+        for src in [0usize, 3, 7] {
+            assert_eq!(oracle.begin(&g, src), buf.summary(&g, src), "src {src}");
+        }
+    }
+
+    #[test]
+    fn eviction_prefers_stale_vectors_over_plain_lru() {
+        // Components {0,1}, {2,3} and a burst area {4..11}. Source 0 is
+        // parked *first* (oldest recency) but kept current by stamp bumps;
+        // source 2 is parked later (newer recency) but left behind by a
+        // burst longer than the staleness limit. Budget pressure must evict
+        // the stale vector 2, not the least-recently-used 0.
+        let mut g = OwnedGraph::new(12);
+        g.add_edge(0, 1);
+        g.add_edge(2, 3);
+        for v in 5..12 {
+            g.add_edge(4, v);
+        }
+        let mut oracle = IncrementalOracle::persistent_budgeted(12, Some(2));
+        oracle.begin(&g, 0);
+        oracle.begin(&g, 2); // parks 0
+        oracle.begin(&g, 4); // parks 2; cache = {0, 2}, working 4
+        oracle.warm_sources(&g, &[]); // establish the floor
+                                      // One small window: both parked vectors are clean → bumped.
+        g.add_edge(5, 6);
+        oracle.warm_sources(&g, &[4, 5, 6]);
+        assert!(oracle.stats().warm_bumps >= 2);
+        // A burst past max(8, n/8) = 8 changes, all inside the star; claim 2
+        // dirty (a legal over-approximation) so its replay is attempted and
+        // fails on the window length, leaving it stale — while 0 (clean,
+        // stamped at the floor) is bumped for free.
+        for (a, b) in [
+            (5, 7),
+            (6, 8),
+            (7, 9),
+            (8, 10),
+            (9, 11),
+            (5, 8),
+            (6, 9),
+            (7, 10),
+            (8, 11),
+        ] {
+            g.add_edge(a, b);
+        }
+        let mut dirty: Vec<usize> = (4..12).collect();
+        dirty.push(2);
+        oracle.warm_sources(&g, &dirty);
+        assert!(oracle.cache[0].version == Some(g.version()), "0 bumped");
+        assert!(
+            oracle.cache[2].version.is_some() && oracle.cache[2].version != Some(g.version()),
+            "2 left stale (window too long to replay)"
+        );
+        // Now force an eviction: park a third vector.
+        oracle.begin(&g, 5);
+        oracle.begin(&g, 6); // parks 5 → budget 2 exceeded → evict
+        assert!(
+            oracle.cache[0].version.is_some(),
+            "the least-recently-used but *current* vector survives"
+        );
+        assert!(
+            oracle.cache[2].version.is_none(),
+            "the stale vector is the eviction victim"
         );
     }
 

@@ -23,6 +23,7 @@ use ncg_core::dynamics::{Dynamics, DynamicsConfig, ResponseMode};
 use ncg_core::moves::Move;
 use ncg_core::policy::{Policy, TieBreak};
 use ncg_core::Game;
+use ncg_graph::oracle::OracleStats;
 use ncg_graph::OwnedGraph;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -264,6 +265,20 @@ pub fn run_dynamics_trial(
     max_steps: usize,
     rng: &mut StdRng,
 ) -> TrialResult {
+    run_dynamics_trial_probed(game, initial, policy, engine, max_steps, rng).0
+}
+
+/// Like [`run_dynamics_trial`], additionally returning the oracle's work
+/// counters for the whole trial (ablation probes; the counters never
+/// influence the trajectory).
+pub fn run_dynamics_trial_probed(
+    game: &(dyn Game + Send + Sync),
+    initial: OwnedGraph,
+    policy: Policy,
+    engine: EngineSpec,
+    max_steps: usize,
+    rng: &mut StdRng,
+) -> (TrialResult, OracleStats) {
     let config = DynamicsConfig {
         policy,
         tie_break: TieBreak::Random,
@@ -277,6 +292,7 @@ pub fn run_dynamics_trial(
         // The parallel scan is a full rescan; maintaining the dirty set next
         // to it would only burn endpoint BFS runs nobody reads.
         dirty_agents: engine.dirty_agents && engine.parallel_scan.is_none(),
+        warm_parked: engine.warm_parked,
     };
     let mut dynamics = Dynamics::new(game, initial, config);
     let mut kinds = MoveKindCounts::default();
@@ -297,11 +313,15 @@ pub fn run_dynamics_trial(
             None => break true,
         }
     };
-    TrialResult {
-        steps,
-        converged,
-        kinds,
-    }
+    let stats = dynamics.oracle_stats();
+    (
+        TrialResult {
+            steps,
+            converged,
+            kinds,
+        },
+        stats,
+    )
 }
 
 /// Runs a single trial of `point` with the given trial index.
@@ -324,9 +344,33 @@ pub fn run_seeded_trial(
     trial_index: usize,
     generate: impl FnOnce(&mut StdRng) -> OwnedGraph,
 ) -> TrialResult {
+    run_seeded_trial_probed(
+        game,
+        policy,
+        engine,
+        max_steps,
+        base_seed,
+        trial_index,
+        generate,
+    )
+    .0
+}
+
+/// Like [`run_seeded_trial`], additionally returning the trial's oracle work
+/// counters — the single place the trial-seeding convention is implemented.
+#[allow(clippy::too_many_arguments)]
+pub fn run_seeded_trial_probed(
+    game: &(dyn Game + Send + Sync),
+    policy: Policy,
+    engine: EngineSpec,
+    max_steps: usize,
+    base_seed: u64,
+    trial_index: usize,
+    generate: impl FnOnce(&mut StdRng) -> OwnedGraph,
+) -> (TrialResult, OracleStats) {
     let mut rng = StdRng::seed_from_u64(base_seed.wrapping_add(trial_index as u64));
     let initial = generate(&mut rng);
-    run_dynamics_trial(game, initial, policy, engine, max_steps, &mut rng)
+    run_dynamics_trial_probed(game, initial, policy, engine, max_steps, &mut rng)
 }
 
 /// Runs a single trial re-using an already constructed game (avoids the per-trial
@@ -336,7 +380,17 @@ pub fn run_trial_with_game(
     game: &(dyn Game + Send + Sync),
     trial_index: usize,
 ) -> TrialResult {
-    run_seeded_trial(
+    run_trial_with_game_probed(point, game, trial_index).0
+}
+
+/// Like [`run_trial_with_game`], additionally returning the trial's oracle
+/// work counters (the `oracle_ablation` snapshot records them per engine).
+pub fn run_trial_with_game_probed(
+    point: &ExperimentPoint,
+    game: &(dyn Game + Send + Sync),
+    trial_index: usize,
+) -> (TrialResult, OracleStats) {
+    run_seeded_trial_probed(
         game,
         point.policy,
         point.engine,

@@ -1,7 +1,9 @@
 //! Declarative experiment descriptions.
 
 use ncg_core::policy::Policy;
-use ncg_core::{AsymSwapGame, BilateralBuyGame, DistanceMetric, Game, GreedyBuyGame, OracleKind};
+use ncg_core::{
+    AsymSwapGame, BilateralBuyGame, BuyGame, DistanceMetric, Game, GreedyBuyGame, OracleKind,
+};
 use ncg_graph::{generators, OwnedGraph};
 use rand::Rng;
 
@@ -31,6 +33,12 @@ pub struct EngineSpec {
     /// unlimited at `n ≤ 4096`, capped at 4096 sources beyond. Ignored by the
     /// stateless backends.
     pub oracle_cache_budget: Option<usize>,
+    /// Post-move bulk warming of the persistent oracle's parked vectors
+    /// under dirty-agent tracking (on by default; warming never changes
+    /// trajectories). `false` is the "cold" ablation mode that reproduces
+    /// the pre-warming dirty engine. Only meaningful with `dirty_agents` on
+    /// the persistent backend.
+    pub warm_parked: bool,
 }
 
 impl Default for EngineSpec {
@@ -40,6 +48,7 @@ impl Default for EngineSpec {
             dirty_agents: false,
             parallel_scan: None,
             oracle_cache_budget: None,
+            warm_parked: true,
         }
     }
 }
@@ -82,17 +91,32 @@ impl EngineSpec {
 
     /// The persistent oracle feeding its exact changed-vertex export into
     /// dirty-agent tracking, so a step re-examines only agents the applied
-    /// move actually affected. Termination is exact (final confirmation
-    /// sweep); mover order may deviate like [`EngineSpec::fast`], and the
-    /// sparse re-pins leave most parked vectors stale, forfeiting the
-    /// cache-arithmetic scoring path — ahead of [`EngineSpec::persistent`]
-    /// only where skipped scans dominate (large-n SUM-GBG).
+    /// move actually affected, while post-move bulk warming keeps every
+    /// parked vector at the current version — the dirty engine gets the
+    /// same cache-arithmetic scoring fast path as the eager scan on top of
+    /// the skipped re-scans. Termination is exact (final confirmation
+    /// sweep); mover order may deviate like [`EngineSpec::fast`].
     pub fn fastest() -> Self {
         EngineSpec {
             oracle: OracleKind::Persistent,
             dirty_agents: true,
             ..EngineSpec::default()
         }
+    }
+
+    /// [`EngineSpec::fastest`] with warming disabled — the pre-warming dirty
+    /// engine, kept as an ablation reference (label suffix `+cold`).
+    pub fn fastest_cold() -> Self {
+        EngineSpec {
+            warm_parked: false,
+            ..EngineSpec::fastest()
+        }
+    }
+
+    /// Sets the warming knob (see [`EngineSpec::warm_parked`]).
+    pub fn with_warm_parked(mut self, warm_parked: bool) -> Self {
+        self.warm_parked = warm_parked;
+        self
     }
 
     /// Sets the persistent-cache budget (see [`EngineSpec::oracle_cache_budget`]).
@@ -119,6 +143,9 @@ impl EngineSpec {
         if let Some(b) = self.oracle_cache_budget {
             parts.push(format!("lru{b}"));
         }
+        if self.dirty_agents && self.oracle == OracleKind::Persistent && !self.warm_parked {
+            parts.push("cold".to_string());
+        }
         parts.join("+")
     }
 }
@@ -143,12 +170,25 @@ pub enum GameFamily {
     BilateralSum,
     /// Bilateral equal-split Buy Game, MAX distance-cost.
     BilateralMax,
+    /// The exact Buy Game of Fabrikant et al. (best responses enumerate every
+    /// owned-neighbour subset, so sweeps stay at tiny `n` ≤
+    /// [`GameFamily::MAX_EXACT_BUY_N`] — exactly like the bilateral family);
+    /// SUM distance-cost. Its trajectories are the only ones whose
+    /// `strategy_rewrites` move counts are non-trivial at scale, which is
+    /// what the trajectory sweeps use it for.
+    BuySum,
+    /// The exact Buy Game, MAX distance-cost.
+    BuyMax,
 }
 
 impl GameFamily {
     /// Largest `n` the bilateral families accept (their best-response scans
     /// enumerate every subset of the strategy pool, `|pool| = n - 1`).
     pub const MAX_BILATERAL_N: usize = 16;
+
+    /// Largest `n` the exact Buy Game families accept (same exponential
+    /// best-response enumeration as the bilateral game).
+    pub const MAX_EXACT_BUY_N: usize = 16;
 
     /// Short label used in reports.
     pub fn label(&self) -> &'static str {
@@ -159,18 +199,22 @@ impl GameFamily {
             GameFamily::GbgMax => "MAX-GBG",
             GameFamily::BilateralSum => "SUM-BIL",
             GameFamily::BilateralMax => "MAX-BIL",
+            GameFamily::BuySum => "SUM-BG",
+            GameFamily::BuyMax => "MAX-BG",
         }
     }
 
     /// The distance metric of the family.
     pub fn metric(&self) -> DistanceMetric {
         match self {
-            GameFamily::AsgSum | GameFamily::GbgSum | GameFamily::BilateralSum => {
-                DistanceMetric::Sum
-            }
-            GameFamily::AsgMax | GameFamily::GbgMax | GameFamily::BilateralMax => {
-                DistanceMetric::Max
-            }
+            GameFamily::AsgSum
+            | GameFamily::GbgSum
+            | GameFamily::BilateralSum
+            | GameFamily::BuySum => DistanceMetric::Sum,
+            GameFamily::AsgMax
+            | GameFamily::GbgMax
+            | GameFamily::BilateralMax
+            | GameFamily::BuyMax => DistanceMetric::Max,
         }
     }
 
@@ -182,6 +226,8 @@ impl GameFamily {
                 | GameFamily::GbgMax
                 | GameFamily::BilateralSum
                 | GameFamily::BilateralMax
+                | GameFamily::BuySum
+                | GameFamily::BuyMax
         )
     }
 
@@ -190,14 +236,26 @@ impl GameFamily {
     /// plans.
     ///
     /// # Panics
-    /// Panics for a bilateral family with `n > MAX_BILATERAL_N` (the
-    /// exponential best-response enumeration would be unusable anyway).
+    /// Panics for a bilateral or exact-Buy family with `n` above its cap
+    /// (the exponential best-response enumeration would be unusable anyway).
     pub fn make_game(&self, n: usize, alpha: f64) -> Box<dyn Game + Send + Sync> {
         match self {
             GameFamily::AsgSum => Box::new(AsymSwapGame::sum()),
             GameFamily::AsgMax => Box::new(AsymSwapGame::max()),
             GameFamily::GbgSum => Box::new(GreedyBuyGame::sum(alpha)),
             GameFamily::GbgMax => Box::new(GreedyBuyGame::max(alpha)),
+            GameFamily::BuySum | GameFamily::BuyMax => {
+                assert!(
+                    n <= Self::MAX_EXACT_BUY_N,
+                    "exact Buy Game best responses enumerate 2^|pool| strategies; n = {n} exceeds {}",
+                    Self::MAX_EXACT_BUY_N
+                );
+                if *self == GameFamily::BuySum {
+                    Box::new(BuyGame::sum(alpha))
+                } else {
+                    Box::new(BuyGame::max(alpha))
+                }
+            }
             GameFamily::BilateralSum | GameFamily::BilateralMax => {
                 assert!(
                     n <= Self::MAX_BILATERAL_N,
@@ -352,6 +410,36 @@ mod tests {
         assert_eq!(EngineSpec::fast().label(), "incremental+dirty");
         assert_eq!(EngineSpec::persistent().label(), "persistent");
         assert_eq!(EngineSpec::fastest().label(), "persistent+dirty");
+        assert!(EngineSpec::fastest().warm_parked, "warming is the default");
+        assert_eq!(EngineSpec::fastest_cold().label(), "persistent+dirty+cold");
+        // The cold suffix only marks configurations where warming would have
+        // been active: eager or non-persistent engines never show it.
+        assert_eq!(
+            EngineSpec::persistent().with_warm_parked(false).label(),
+            "persistent"
+        );
+        assert_eq!(
+            EngineSpec::fast().with_warm_parked(false).label(),
+            "incremental+dirty"
+        );
+    }
+
+    #[test]
+    fn exact_buy_family_constructs_the_buy_game() {
+        assert_eq!(GameFamily::BuySum.label(), "SUM-BG");
+        assert_eq!(GameFamily::BuyMax.label(), "MAX-BG");
+        assert_eq!(GameFamily::BuyMax.metric(), DistanceMetric::Max);
+        assert!(GameFamily::BuySum.needs_alpha());
+        let game = GameFamily::BuySum.make_game(8, 2.0);
+        assert_eq!(game.name(), "SUM-BG");
+        assert_eq!(game.alpha(), 2.0);
+        assert!(!game.needs_consent());
+    }
+
+    #[test]
+    #[should_panic(expected = "exact Buy Game best responses")]
+    fn exact_buy_family_rejects_large_n() {
+        let _ = GameFamily::BuySum.make_game(GameFamily::MAX_EXACT_BUY_N + 1, 1.0);
     }
 
     #[test]

@@ -14,10 +14,20 @@ use selfish_ncg::core::{GreedyBuyGame, OracleKind};
 use selfish_ncg::graph::generators;
 use std::time::Instant;
 
-fn run(n: usize, oracle: OracleKind, dirty: bool) {
-    let game = GreedyBuyGame::sum(n as f64 / 4.0);
+fn run(n: usize, family: &str, oracle: OracleKind, dirty: bool, warm: bool) {
+    use selfish_ncg::core::{AsymSwapGame, Game};
     let mut rng = StdRng::seed_from_u64(42);
-    let g = generators::random_with_m_edges(n, 2 * n, &mut rng);
+    let (game, g): (Box<dyn Game>, _) = match family {
+        "asg" => (
+            Box::new(AsymSwapGame::sum()),
+            generators::budgeted_random(n, 2, &mut rng),
+        ),
+        _ => (
+            Box::new(GreedyBuyGame::sum(n as f64 / 4.0)),
+            generators::random_with_m_edges(n, 2 * n, &mut rng),
+        ),
+    };
+    let game = game.as_ref();
     let config = DynamicsConfig {
         policy: Policy::MaxCost,
         tie_break: TieBreak::Random,
@@ -29,8 +39,9 @@ fn run(n: usize, oracle: OracleKind, dirty: bool) {
         oracle,
         oracle_cache_budget: None,
         dirty_agents: dirty,
+        warm_parked: warm,
     };
-    let mut dynamics = Dynamics::new(&game, g, config);
+    let mut dynamics = Dynamics::new(game, g, config);
     let start = Instant::now();
     let mut steps = 0usize;
     while dynamics.step(&mut rng).is_some() {
@@ -39,10 +50,13 @@ fn run(n: usize, oracle: OracleKind, dirty: bool) {
     let secs = start.elapsed().as_secs_f64();
     let stats = dynamics.oracle_stats();
     println!(
-        "n={n:>4} {:<12} dirty={dirty:<5} {secs:>8.3}s steps={steps:>5} bfs={:>7} replays={:>7} evals={:>8} expanded={:>10} csr_patch={:>6} csr_rebuild={:>6}",
+        "n={n:>4} {family} {:<12} dirty={dirty:<5} warm={warm:<5} {secs:>8.3}s steps={steps:>5} bfs={:>7} replays={:>7} lazy={:>7} bumps={:>8} hits={:>7} evals={:>8} expanded={:>10} csr_patch={:>6} csr_rebuild={:>6}",
         oracle.label(),
         stats.full_bfs_runs,
         stats.replayed_begins,
+        stats.lazy_replays,
+        stats.warm_bumps,
+        stats.lazy_hits,
         stats.evaluations,
         stats.nodes_expanded,
         stats.csr_patches,
@@ -116,12 +130,15 @@ fn main() {
         .collect();
     let ns = if ns.is_empty() { vec![64] } else { ns };
     for &n in &ns {
-        for (oracle, dirty) in [
-            (OracleKind::Incremental, true),
-            (OracleKind::Persistent, false),
-            (OracleKind::Persistent, true),
-        ] {
-            run(n, oracle, dirty);
+        for family in ["gbg", "asg"] {
+            for (oracle, dirty, warm) in [
+                (OracleKind::Incremental, true, false),
+                (OracleKind::Persistent, false, false),
+                (OracleKind::Persistent, true, false),
+                (OracleKind::Persistent, true, true),
+            ] {
+                run(n, family, oracle, dirty, warm);
+            }
         }
         phases(n, "gbg");
         phases(n, "asg");
