@@ -35,6 +35,11 @@ struct Scale {
     /// incremental pair) still run at; beyond it only the persistent engines
     /// are measured, which is what lets the sweep reach n = 1024 on one core.
     full_max_n: usize,
+    /// Largest `n` the *eager* persistent engine still runs at; beyond it
+    /// only `persistent+dirty` is measured — the eager engine rescans all
+    /// agents per step and falls behind by an order of magnitude at
+    /// n ≥ 2048, while the dirty engine carries the sweep to n = 4096.
+    pers_max_n: usize,
     trials: usize,
     smoke: bool,
     json: Option<String>,
@@ -44,6 +49,7 @@ fn parse_scale() -> Scale {
     let mut scale = Scale {
         max_n: 256,
         full_max_n: 256,
+        pers_max_n: 1024,
         trials: 3,
         smoke: false,
         json: None,
@@ -55,6 +61,7 @@ fn parse_scale() -> Scale {
         match key {
             "max_n" => scale.max_n = value.parse().unwrap_or(scale.max_n),
             "full_max_n" => scale.full_max_n = value.parse().unwrap_or(scale.full_max_n),
+            "pers_max_n" => scale.pers_max_n = value.parse().unwrap_or(scale.pers_max_n),
             "trials" => scale.trials = value.parse().unwrap_or(scale.trials),
             "smoke" => scale.smoke = value == "1" || value == "true",
             "json" => scale.json = Some(value.to_string()),
@@ -65,6 +72,7 @@ fn parse_scale() -> Scale {
         scale.max_n = scale.max_n.min(64);
         scale.trials = 1;
     }
+    scale.pers_max_n = scale.pers_max_n.max(scale.full_max_n);
     scale
 }
 
@@ -173,7 +181,8 @@ fn assert_dirty_trajectories_match_full_bfs(n: usize) {
             let mut cfg = DynamicsConfig::simulation(p.max_steps())
                 .with_oracle(engine.oracle)
                 .with_dirty_agents(true)
-                .with_warm_parked(engine.warm_parked);
+                .with_warm_parked(engine.warm_parked)
+                .with_warm_batching(engine.warm_batching);
             cfg.record_trajectory = true;
             run_dynamics(game.as_ref(), &initial, &cfg, &mut rng)
         };
@@ -182,6 +191,7 @@ fn assert_dirty_trajectories_match_full_bfs(n: usize) {
         for engine in [
             EngineSpec::fast(),
             EngineSpec::fastest(),
+            EngineSpec::fastest().with_warm_batching(false),
             EngineSpec::fastest_cold(),
         ] {
             let out = run(engine);
@@ -196,11 +206,47 @@ fn assert_dirty_trajectories_match_full_bfs(n: usize) {
         }
         println!(
             "dirty trajectory identity OK: {} n={n} ({} steps, full-bfs ≡ incremental ≡ \
-             persistent warm/cold)",
+             persistent warm/cold, batched ≡ scalar)",
             family.label(),
             reference.steps
         );
     }
+}
+
+/// Per-cell batched ≡ scalar identity of the word-parallel waves: on the
+/// exact `(family, n, seed)` of an ablation cell, `persistent+dirty` with
+/// batching on and off must walk identical move sequences and land on the
+/// same final graph — the waves compute the same exact distances the scalar
+/// path does, so nothing downstream may diverge.
+fn assert_batch_identity(family: GameFamily, n: usize, trials: usize) {
+    use ncg_core::dynamics::{run_dynamics, DynamicsConfig};
+    let p = point(family, n, EngineSpec::fastest(), trials);
+    let game = p.make_game();
+    let mut seed_rng = StdRng::seed_from_u64(p.base_seed);
+    let initial = p.topology.generate(n, &mut seed_rng);
+    let run = |batch: bool| {
+        let mut rng = StdRng::seed_from_u64(0xba7c);
+        let mut cfg = DynamicsConfig::simulation(p.max_steps())
+            .with_oracle(OracleKind::Persistent)
+            .with_dirty_agents(true)
+            .with_warm_batching(batch);
+        cfg.record_trajectory = true;
+        run_dynamics(game.as_ref(), &initial, &cfg, &mut rng)
+    };
+    let batched = run(true);
+    let scalar = run(false);
+    assert_eq!(
+        batched.trajectory,
+        scalar.trajectory,
+        "{} n={n}: batched waves diverged from the scalar replay baseline",
+        family.label()
+    );
+    assert_eq!(batched.final_graph, scalar.final_graph);
+    println!(
+        "batch identity OK: {} n={n} ({} steps, batched ≡ scalar)",
+        family.label(),
+        batched.steps
+    );
 }
 
 struct SetOwnedRow {
@@ -320,10 +366,12 @@ fn main() {
         EngineSpec::fastest(),
         EngineSpec::fastest_cold(),
     ];
-    // Which engines still run at a given n: the persistent warm pair always,
-    // the re-scanning baselines and the cold ablation only up to `full_max_n`.
-    let engine_runs_at =
-        |idx: usize, n: usize| -> bool { n <= scale.full_max_n || matches!(idx, 2 | 4) };
+    // Which engines still run at a given n: `persistent+dirty` always, the
+    // eager persistent engine up to `pers_max_n`, the re-scanning baselines
+    // and the cold ablation only up to `full_max_n`.
+    let engine_runs_at = |idx: usize, n: usize| -> bool {
+        idx == 4 || (idx == 2 && n <= scale.pers_max_n) || n <= scale.full_max_n
+    };
     let mut ns = Vec::new();
     let mut n = 64usize;
     while n <= scale.max_n {
@@ -361,6 +409,11 @@ fn main() {
             "steps e/d"
         );
         for &n in &ns {
+            // The big-n extension cells run one trial (a single n = 4096
+            // trial already integrates minutes of work — the repeat/min
+            // machinery is what fights noise at the small sizes).
+            let cell_trials = if n >= 2048 { 1 } else { scale.trials };
+            assert_batch_identity(family, n, cell_trials);
             let mut times: Vec<Option<f64>> = Vec::new();
             let mut stats: Vec<Option<OracleStats>> = Vec::new();
             let mut steps = 0usize;
@@ -377,11 +430,11 @@ fn main() {
                     stats.push(None);
                     continue;
                 }
-                let p = point(family, n, engine, scale.trials);
+                let p = point(family, n, engine, cell_trials);
                 let (secs, s, st) = if scale.smoke {
                     measure(&p, 1)
                 } else if idx == 2 {
-                    let p4 = point(family, n, engines[4], scale.trials);
+                    let p4 = point(family, n, engines[4], cell_trials);
                     // The swap-game cells sit at true parity (a swap dirties
                     // ~90% of all vectors, so there is little for the dirty
                     // engine to skip); they need more repeats than the
@@ -401,7 +454,12 @@ fn main() {
                     stashed_pd = Some(r4);
                     r2
                 } else if idx == 4 {
-                    stashed_pd.take().expect("pair measured at idx 2")
+                    // Past `pers_max_n` the pair partner is skipped and
+                    // `persistent+dirty` is measured on its own.
+                    match stashed_pd.take() {
+                        Some(cell) => cell,
+                        None => measure(&p, if n >= 2048 { 1 } else { 3 }),
+                    }
                 } else {
                     measure(&p, 1)
                 };
@@ -532,10 +590,14 @@ fn main() {
                 .zip(&row.stats)
                 .filter_map(|(l, st)| {
                     st.map(|st| {
+                        let widths: Vec<String> =
+                            st.warm_batch_width.iter().map(|w| w.to_string()).collect();
                         format!(
                             "\"{l}\": {{\"full_bfs_runs\": {}, \"replayed_begins\": {}, \
                              \"lazy_replays\": {}, \"warm_bumps\": {}, \"warm_batches\": {}, \
-                             \"lazy_hits\": {}, \"csr_patches\": {}, \"csr_rebuilds\": {}}}",
+                             \"lazy_hits\": {}, \"csr_patches\": {}, \"csr_rebuilds\": {}, \
+                             \"batched_repins\": {}, \"peak_parked_bytes\": {}, \
+                             \"warm_batch_width\": [{}]}}",
                             st.full_bfs_runs,
                             st.replayed_begins,
                             st.lazy_replays,
@@ -543,7 +605,10 @@ fn main() {
                             st.warm_batches,
                             st.lazy_hits,
                             st.csr_patches,
-                            st.csr_rebuilds
+                            st.csr_rebuilds,
+                            st.batched_repins,
+                            st.peak_parked_bytes,
+                            widths.join(", ")
                         )
                     })
                 })

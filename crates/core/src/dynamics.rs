@@ -69,6 +69,14 @@ pub struct DynamicsConfig {
     /// (the eager policy scan re-pins every source anyway) and by the
     /// stateless oracle backends.
     pub warm_parked: bool,
+    /// If `true` (the default), the persistent oracle serves bulk (re)pins —
+    /// the trial-start cold fill and parked vectors whose journal window
+    /// outgrew the replay limit — with word-parallel 64-wide bitset BFS
+    /// waves instead of one scalar traversal per source. Purely a
+    /// performance knob: both paths compute identical exact distances, so
+    /// trajectories are bit-identical either way; `false` keeps the scalar
+    /// verification baseline. Ignored by the stateless oracle backends.
+    pub warm_batching: bool,
 }
 
 impl DynamicsConfig {
@@ -87,6 +95,7 @@ impl DynamicsConfig {
             oracle_cache_budget: None,
             dirty_agents: false,
             warm_parked: true,
+            warm_batching: true,
         }
     }
 
@@ -105,6 +114,7 @@ impl DynamicsConfig {
             oracle_cache_budget: None,
             dirty_agents: false,
             warm_parked: true,
+            warm_batching: true,
         }
     }
 
@@ -148,6 +158,13 @@ impl DynamicsConfig {
     /// parked vectors (see [`DynamicsConfig::warm_parked`]).
     pub fn with_warm_parked(mut self, warm_parked: bool) -> Self {
         self.warm_parked = warm_parked;
+        self
+    }
+
+    /// Enables or disables the persistent oracle's word-parallel bulk waves
+    /// (see [`DynamicsConfig::warm_batching`]).
+    pub fn with_warm_batching(mut self, warm_batching: bool) -> Self {
+        self.warm_batching = warm_batching;
         self
     }
 }
@@ -241,7 +258,7 @@ pub struct Dynamics<'a, G: Game + ?Sized> {
     confirm_pending: bool,
     /// Scratch distance vectors of the move endpoints (pre-move state; only
     /// used with non-persistent oracles, which cannot export a diff).
-    pre_dists: Vec<Vec<u32>>,
+    pre_dists: Vec<Vec<u16>>,
     /// Scratch for the persistent oracle's exact changed-vertex export.
     changed_scratch: Vec<NodeId>,
     /// Scratch for the per-move change union handed to the oracle's bulk
@@ -259,7 +276,17 @@ impl<'a, G: Game + ?Sized> Dynamics<'a, G> {
     /// Creates a process in the given initial state.
     pub fn new(game: &'a G, initial: OwnedGraph, config: DynamicsConfig) -> Self {
         let n = initial.num_nodes();
-        let ws = Workspace::with_engine(n, config.oracle, config.oracle_cache_budget);
+        let mut ws = Workspace::with_engine(n, config.oracle, config.oracle_cache_budget);
+        ws.set_warm_batching(config.warm_batching);
+        if config.oracle == OracleKind::Persistent {
+            // Bulk-pin every agent's vector up front: the first policy scan
+            // needs all n summaries anyway, and with batching on the cold
+            // fill costs ⌈n/64⌉ shared bitset waves instead of n scalar
+            // traversals (with batching off this is the same n `begin`s the
+            // first scan would have issued, just grouped here).
+            let all: Vec<NodeId> = (0..n).collect();
+            ws.evaluator.pin_sources(&initial, &all);
+        }
         let mut dyn_ = Dynamics {
             game,
             graph: initial,

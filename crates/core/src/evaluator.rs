@@ -51,6 +51,10 @@ pub enum DeltaScore {
 pub struct CostEvaluator {
     kind: OracleKind,
     cache_budget: Option<usize>,
+    /// Word-parallel bulk waves on the persistent backend (see
+    /// [`DistanceOracle::set_warm_batching`]); applied to both oracles,
+    /// including a consent oracle created after the flag is set.
+    warm_batching: bool,
     oracle: Box<dyn DistanceOracle>,
     deltas: Vec<EdgeDelta>,
     /// Second oracle of the same backend answering *counterpart* queries
@@ -74,10 +78,28 @@ impl CostEvaluator {
         CostEvaluator {
             kind,
             cache_budget,
+            warm_batching: true,
             oracle: make_oracle_budgeted(kind, n, cache_budget),
             deltas: Vec::with_capacity(4),
             consent: None,
         }
+    }
+
+    /// Enables or disables the persistent backend's word-parallel bulk
+    /// (re)pin waves on both oracles — a pure performance knob, the scalar
+    /// path computes identical distances (see
+    /// [`DistanceOracle::set_warm_batching`]).
+    pub fn set_warm_batching(&mut self, on: bool) {
+        self.warm_batching = on;
+        self.oracle.set_warm_batching(on);
+        if let Some(consent) = self.consent.as_mut() {
+            consent.set_warm_batching(on);
+        }
+    }
+
+    /// Whether the word-parallel bulk waves are enabled.
+    pub fn warm_batching(&self) -> bool {
+        self.warm_batching
     }
 
     /// The configured backend.
@@ -267,9 +289,18 @@ impl CostEvaluator {
     /// current version of `g`, so the counterpart queries of the following
     /// scans are served by journal replay instead of full BFS re-pins.
     pub fn pin_consent_sources(&mut self, g: &OwnedGraph, sources: &[NodeId]) {
-        let (kind, budget, n) = (self.kind, self.cache_budget, g.num_nodes());
+        let (kind, budget, n, wb) = (
+            self.kind,
+            self.cache_budget,
+            g.num_nodes(),
+            self.warm_batching,
+        );
         self.consent
-            .get_or_insert_with(|| make_oracle_budgeted(kind, n, budget))
+            .get_or_insert_with(|| {
+                let mut oracle = make_oracle_budgeted(kind, n, budget);
+                oracle.set_warm_batching(wb);
+                oracle
+            })
             .pin_sources(g, sources);
     }
 
@@ -287,10 +318,17 @@ impl CostEvaluator {
         g: &OwnedGraph,
         v: NodeId,
     ) -> (DistanceSummary, DistanceSummary) {
-        let (kind, budget, n) = (self.kind, self.cache_budget, g.num_nodes());
-        let consent = self
-            .consent
-            .get_or_insert_with(|| make_oracle_budgeted(kind, n, budget));
+        let (kind, budget, n, wb) = (
+            self.kind,
+            self.cache_budget,
+            g.num_nodes(),
+            self.warm_batching,
+        );
+        let consent = self.consent.get_or_insert_with(|| {
+            let mut oracle = make_oracle_budgeted(kind, n, budget);
+            oracle.set_warm_batching(wb);
+            oracle
+        });
         consent.evaluate_for_source(g, v, &self.deltas)
     }
 

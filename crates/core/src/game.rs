@@ -54,6 +54,13 @@ impl Workspace {
         }
     }
 
+    /// Enables or disables the persistent oracle's word-parallel bulk
+    /// (re)pin waves (see [`CostEvaluator::set_warm_batching`]); preserved
+    /// across clones.
+    pub fn set_warm_batching(&mut self, on: bool) {
+        self.evaluator.set_warm_batching(on);
+    }
+
     /// The configured distance-oracle backend.
     pub fn oracle_kind(&self) -> OracleKind {
         self.evaluator.kind()
@@ -69,11 +76,13 @@ impl Clone for Workspace {
     /// Clones the workspace configuration; the oracle state is scratch and is
     /// recreated fresh.
     fn clone(&self) -> Self {
-        Workspace::with_engine(
+        let mut ws = Workspace::with_engine(
             self.scratch.num_nodes(),
             self.evaluator.kind(),
             self.evaluator.cache_budget(),
-        )
+        );
+        ws.set_warm_batching(self.evaluator.warm_batching());
+        ws
     }
 }
 

@@ -8,7 +8,17 @@
 use crate::graph::{NodeId, OwnedGraph};
 
 /// Marker distance for unreachable vertices.
-pub const UNREACHABLE: u32 = u32::MAX;
+///
+/// Distances are stored as `u16` end-to-end (BFS buffers, the all-pairs
+/// matrix, and the oracle's parked per-source vectors): a hop count is at
+/// most `n - 1`, so graphs up to [`MAX_NODES`] vertices fit with room for
+/// the marker, and the halved storage doubles how many per-source vectors
+/// fit in cache for the same memory.
+pub const UNREACHABLE: u16 = u16::MAX;
+
+/// Largest supported vertex count of the `u16` distance representation
+/// (every finite distance is `≤ MAX_NODES - 1 = 65534 < UNREACHABLE`).
+pub const MAX_NODES: usize = u16::MAX as usize;
 
 /// Aggregate of a single-source distance vector: the SUM and MAX distance cost.
 ///
@@ -42,13 +52,17 @@ impl DistanceSummary {
 /// it when the graph size changes.
 #[derive(Debug, Clone)]
 pub struct BfsBuffer {
-    dist: Vec<u32>,
+    dist: Vec<u16>,
     queue: Vec<NodeId>,
 }
 
 impl BfsBuffer {
     /// Creates a workspace for graphs on `n` vertices.
     pub fn new(n: usize) -> Self {
+        debug_assert!(
+            n <= MAX_NODES,
+            "u16 distances support at most {MAX_NODES} vertices"
+        );
         BfsBuffer {
             dist: vec![UNREACHABLE; n],
             queue: Vec::with_capacity(n),
@@ -69,7 +83,7 @@ impl BfsBuffer {
 
     /// Runs a BFS from `src` and returns the distance vector
     /// (`UNREACHABLE` for vertices in other components).
-    pub fn run<'a>(&'a mut self, g: &OwnedGraph, src: NodeId) -> &'a [u32] {
+    pub fn run<'a>(&'a mut self, g: &OwnedGraph, src: NodeId) -> &'a [u16] {
         let n = g.num_nodes();
         self.resize(n);
         for d in self.dist.iter_mut().take(n) {
@@ -98,7 +112,7 @@ impl BfsBuffer {
         let n = g.num_nodes();
         let dist = self.run(g, src);
         let mut sum: u64 = 0;
-        let mut max: u32 = 0;
+        let mut max: u16 = 0;
         let mut reached = 0usize;
         for &d in dist {
             if d != UNREACHABLE {
@@ -112,13 +126,13 @@ impl BfsBuffer {
         } else {
             DistanceSummary {
                 sum: Some(sum),
-                max: Some(max),
+                max: Some(u32::from(max)),
             }
         }
     }
 
     /// The distance vector computed by the most recent [`run`](Self::run).
-    pub fn last_distances(&self) -> &[u32] {
+    pub fn last_distances(&self) -> &[u16] {
         &self.dist
     }
 }
@@ -127,7 +141,7 @@ impl BfsBuffer {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DistanceMatrix {
     n: usize,
-    d: Vec<u32>,
+    d: Vec<u16>,
 }
 
 impl DistanceMatrix {
@@ -151,13 +165,13 @@ impl DistanceMatrix {
 
     /// Distance from `u` to `v` (`UNREACHABLE` if disconnected).
     #[inline]
-    pub fn dist(&self, u: NodeId, v: NodeId) -> u32 {
+    pub fn dist(&self, u: NodeId, v: NodeId) -> u16 {
         self.d[u * self.n + v]
     }
 
     /// The full distance row of vertex `u`.
     #[inline]
-    pub fn row(&self, u: NodeId) -> &[u32] {
+    pub fn row(&self, u: NodeId) -> &[u16] {
         &self.d[u * self.n..(u + 1) * self.n]
     }
 
@@ -175,14 +189,14 @@ impl DistanceMatrix {
 
     /// Eccentricity (MAX cost) of vertex `u`, `None` if `u` cannot reach everyone.
     pub fn eccentricity(&self, u: NodeId) -> Option<u32> {
-        let mut max = 0u32;
+        let mut max = 0u16;
         for &d in self.row(u) {
             if d == UNREACHABLE {
                 return None;
             }
             max = max.max(d);
         }
-        Some(max)
+        Some(u32::from(max))
     }
 }
 

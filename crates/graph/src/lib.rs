@@ -31,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod canonical;
 pub mod csr;
 pub mod distances;
@@ -41,6 +42,7 @@ pub mod isomorphism;
 pub mod oracle;
 pub mod properties;
 
+pub use batch::{BatchSummary, MultiSourceBfs, BATCH_WIDTH};
 pub use canonical::{canonical_state_key, canonical_unlabeled_key, StateKey};
 pub use csr::{CsrAdjacency, PatchOutcome};
 pub use distances::{BfsBuffer, DistanceMatrix, DistanceSummary, UNREACHABLE};

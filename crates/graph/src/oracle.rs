@@ -39,6 +39,7 @@
 //! window longer than `max(8, n/8)` changes makes *that* vector re-pin with
 //! one full BFS, without touching its neighbours in the cache.
 
+use crate::batch::{BatchSummary, MultiSourceBfs, BATCH_WIDTH};
 use crate::csr::{CsrAdjacency, PatchOutcome};
 use crate::distances::{DistanceSummary, UNREACHABLE};
 use crate::graph::{EdgeChange, GraphVersion, NodeId, OwnedGraph};
@@ -133,6 +134,32 @@ pub struct OracleStats {
     /// on-demand lazy warm first brought the target's parked vector to the
     /// pinned version — queries the eager-sync model would have missed.
     pub lazy_hits: u64,
+    /// Parked vectors recomputed by the word-parallel bulk waves (up to
+    /// [`BATCH_WIDTH`] sources per shared bitset BFS) instead of one scalar
+    /// traversal each: cold bulk pins and vectors whose journal window grew
+    /// past the replay limit.
+    pub batched_repins: u64,
+    /// High-water mark of the parked per-source cache, in bytes (`u16`
+    /// distance vector + level counters per slot, `4n + 4` bytes each; the
+    /// former `u32` layout cost exactly twice as much).
+    pub peak_parked_bytes: u64,
+    /// Histogram of warm-pass widths: how many parked vectors each
+    /// [`DistanceOracle::warm_sources`] pass had to *repair* (scalar replays
+    /// plus batched recomputes; trusted stamp bumps are free and excluded).
+    /// Bucket `i` counts passes of width `w` with `ceil(log2(w)) == i`
+    /// (bucket 0: `w == 1`, bucket 1: `w == 2`, bucket 2: `3..=4`, …,
+    /// bucket 6: `33..=64`, bucket 7: `w > 64`).
+    pub warm_batch_width: [u64; 8],
+}
+
+/// Histogram bucket of a warm-pass width (see
+/// [`OracleStats::warm_batch_width`]).
+fn width_bucket(w: usize) -> usize {
+    if w <= 1 {
+        0
+    } else {
+        ((usize::BITS - (w - 1).leading_zeros()) as usize).min(7)
+    }
 }
 
 impl OracleStats {
@@ -148,6 +175,15 @@ impl OracleStats {
         self.warm_bumps += other.warm_bumps;
         self.warm_batches += other.warm_batches;
         self.lazy_hits += other.lazy_hits;
+        self.batched_repins += other.batched_repins;
+        self.peak_parked_bytes = self.peak_parked_bytes.max(other.peak_parked_bytes);
+        for (a, b) in self
+            .warm_batch_width
+            .iter_mut()
+            .zip(&other.warm_batch_width)
+        {
+            *a += b;
+        }
     }
 }
 
@@ -308,10 +344,19 @@ pub trait DistanceOracle: Send {
 
     /// Like [`DistanceOracle::evaluate`], additionally copying the full
     /// modified distance vector into `out` (used by equivalence tests).
-    fn evaluate_into(&mut self, deltas: &[EdgeDelta], out: &mut Vec<u32>) -> DistanceSummary;
+    fn evaluate_into(&mut self, deltas: &[EdgeDelta], out: &mut Vec<u16>) -> DistanceSummary;
 
     /// The base distance vector pinned by the last [`DistanceOracle::begin`].
-    fn base_distances(&mut self) -> &[u32];
+    fn base_distances(&mut self) -> &[u16];
+
+    /// Enables or disables the word-parallel bulk (re)pin waves of the
+    /// persistent backend (on by default). Purely a performance knob: the
+    /// batched and scalar paths compute identical exact distances, so every
+    /// score — and therefore every dynamics trajectory — is bit-identical
+    /// either way; the scalar path remains as the verification baseline and
+    /// the fallback for single-source lazy replays. No-op for the stateless
+    /// backends.
+    fn set_warm_batching(&mut self, _on: bool) {}
 
     /// Work counters accumulated since the last reset.
     fn stats(&self) -> OracleStats;
@@ -432,8 +477,8 @@ fn for_each_neighbor<F: FnMut(u32)>(csr: &CsrAdjacency, overlay: &DeltaOverlay, 
 pub struct FullBfsOracle {
     csr: CsrAdjacency,
     src: u32,
-    base: Vec<u32>,
-    scratch: Vec<u32>,
+    base: Vec<u16>,
+    scratch: Vec<u16>,
     queue: Vec<u32>,
     overlay: DeltaOverlay,
     stats: OracleStats,
@@ -458,7 +503,7 @@ impl FullBfsOracle {
         csr: &CsrAdjacency,
         overlay: &DeltaOverlay,
         src: u32,
-        dist: &mut Vec<u32>,
+        dist: &mut Vec<u16>,
         queue: &mut Vec<u32>,
         stats: &mut OracleStats,
     ) -> DistanceSummary {
@@ -470,7 +515,7 @@ impl FullBfsOracle {
         queue.push(src);
         let mut head = 0usize;
         let mut sum = 0u64;
-        let mut max = 0u32;
+        let mut max = 0u16;
         while head < queue.len() {
             let x = queue[head];
             head += 1;
@@ -491,7 +536,7 @@ impl FullBfsOracle {
         } else {
             DistanceSummary {
                 sum: Some(sum),
-                max: Some(max),
+                max: Some(u32::from(max)),
             }
         }
     }
@@ -534,14 +579,14 @@ impl DistanceOracle for FullBfsOracle {
         summary
     }
 
-    fn evaluate_into(&mut self, deltas: &[EdgeDelta], out: &mut Vec<u32>) -> DistanceSummary {
+    fn evaluate_into(&mut self, deltas: &[EdgeDelta], out: &mut Vec<u16>) -> DistanceSummary {
         let summary = self.evaluate(deltas);
         out.clear();
         out.extend_from_slice(&self.scratch);
         summary
     }
 
-    fn base_distances(&mut self) -> &[u32] {
+    fn base_distances(&mut self) -> &[u16] {
         &self.base
     }
 
@@ -558,17 +603,17 @@ impl DistanceOracle for FullBfsOracle {
 /// undo journal.
 #[derive(Debug, Clone, Default)]
 struct DistState {
-    dist: Vec<u32>,
+    dist: Vec<u16>,
     /// Sum of all finite distances.
     sum: u64,
     /// Number of vertices with finite distance (including the source).
     reached: usize,
     /// `level_counts[d]` = number of vertices at distance `d`.
-    level_counts: Vec<u32>,
+    level_counts: Vec<u16>,
     /// Upper bound on the current maximum finite distance.
-    max_hint: u32,
+    max_hint: u16,
     /// `(vertex, previous distance)` pairs for rollback.
-    journal: Vec<(u32, u32)>,
+    journal: Vec<(u32, u16)>,
     /// When `true`, assignments are applied *permanently*: the undo journal is
     /// bypassed even when the caller requests journaling. Used while replaying
     /// applied graph changes in persistent mode.
@@ -577,7 +622,7 @@ struct DistState {
     /// its pre-replay distance, for the exact changed-vertex export.
     touched: Vec<u32>,
     touch_stamp: Vec<u32>,
-    touch_old: Vec<u32>,
+    touch_old: Vec<u16>,
     touch_epoch: u32,
 }
 
@@ -623,7 +668,7 @@ impl DistState {
     }
 
     #[inline]
-    fn get(&self, x: u32) -> u32 {
+    fn get(&self, x: u32) -> u16 {
         self.dist[x as usize]
     }
 
@@ -632,7 +677,7 @@ impl DistState {
     /// which case the assignment is permanent and the vertex is tracked as
     /// touched instead).
     #[inline]
-    fn assign(&mut self, x: u32, new: u32, journal: bool) {
+    fn assign(&mut self, x: u32, new: u16, journal: bool) {
         let old = self.dist[x as usize];
         if self.replaying {
             if self.touch_stamp[x as usize] != self.touch_epoch {
@@ -659,7 +704,7 @@ impl DistState {
 
     /// Reverts journaled assignments down to `journal_len` entries;
     /// `max_hint` restores the max bound recorded at that point.
-    fn rollback_to(&mut self, journal_len: usize, max_hint: u32) {
+    fn rollback_to(&mut self, journal_len: usize, max_hint: u16) {
         while self.journal.len() > journal_len {
             let (x, old) = self.journal.pop().expect("journal length checked");
             self.assign(x, old, false);
@@ -679,7 +724,7 @@ impl DistState {
         self.max_hint = m;
         DistanceSummary {
             sum: Some(self.sum),
-            max: Some(m),
+            max: Some(u32::from(m)),
         }
     }
 }
@@ -689,7 +734,7 @@ impl DistState {
 #[derive(Debug, Clone, Copy)]
 struct Checkpoint {
     journal_len: usize,
-    max_hint: u32,
+    max_hint: u16,
 }
 
 /// A cached per-source distance vector of the persistent backend, valid at
@@ -698,11 +743,11 @@ struct Checkpoint {
 /// buffer swaps rather than an `O(n)` rebuild.
 #[derive(Debug, Clone, Default)]
 struct SourceCache {
-    dist: Vec<u32>,
-    level_counts: Vec<u32>,
+    dist: Vec<u16>,
+    level_counts: Vec<u16>,
     sum: u64,
     reached: usize,
-    max_hint: u32,
+    max_hint: u16,
     version: Option<GraphVersion>,
     /// Monotonic recency stamp of the last park/activate, for LRU eviction.
     last_used: u64,
@@ -743,7 +788,7 @@ pub struct IncrementalOracle {
     /// Tentative distances of affected vertices; entries are (re)initialised
     /// for every vertex marked affected in the current repair, so validity is
     /// implied by `mark[x] == epoch`.
-    tent: Vec<u32>,
+    tent: Vec<u16>,
     /// Affected vertices of the current delete repair.
     affected: Vec<u32>,
     /// Neighbour scratch buffer of the delete repair's phase 1.
@@ -789,6 +834,13 @@ pub struct IncrementalOracle {
     /// set (`dirty_stamp[x] == dirty_epoch`).
     dirty_stamp: Vec<u32>,
     dirty_epoch: u32,
+    /// Word-parallel bulk waves enabled (the default; see
+    /// [`DistanceOracle::set_warm_batching`]).
+    warm_batching: bool,
+    /// Shared bitset-frontier workspace of the bulk waves.
+    wave: MultiSourceBfs,
+    /// Sources queued for the next bulk wave (cold or past the replay limit).
+    batch_pending: Vec<u32>,
 }
 
 impl IncrementalOracle {
@@ -823,6 +875,9 @@ impl IncrementalOracle {
             warm_floor: None,
             dirty_stamp: Vec::new(),
             dirty_epoch: 0,
+            warm_batching: true,
+            wave: MultiSourceBfs::new(),
+            batch_pending: Vec::new(),
         };
         oracle.resize_scratch(n);
         oracle
@@ -837,10 +892,11 @@ impl IncrementalOracle {
 
     /// Like [`IncrementalOracle::persistent`], with an explicit LRU budget on
     /// the number of sources whose vectors may stay parked in the per-source
-    /// cache at once. Each parked vector costs `O(n)` u32s (distances + level
-    /// counters, so `O(n²)` over an unbounded cache); `None` applies the
-    /// default rule — unlimited at `n ≤ 4096`, capped at 4096 sources beyond,
-    /// bounding the cache at the memory of one `n = 4096` workspace.
+    /// cache at once. Each parked vector costs `O(n)` u16s (distances + level
+    /// counters, so `O(n²)` over an unbounded cache — half the memory of the
+    /// former u32 layout); `None` applies the default rule — unlimited at
+    /// `n ≤ 8192`, capped at 8192 sources beyond, bounding the cache at the
+    /// bytes the u32 layout spent on one `n = 4096` workspace.
     pub fn persistent_budgeted(n: usize, cache_budget: Option<usize>) -> Self {
         let mut oracle = IncrementalOracle::new(n);
         oracle.persistent = true;
@@ -849,9 +905,11 @@ impl IncrementalOracle {
         oracle
     }
 
-    /// The effective cache budget for the current graph size.
+    /// The effective cache budget for the current graph size. The u16 layout
+    /// halves the per-slot bytes, so the default unlimited range doubles
+    /// relative to the old u32 layout at the same memory ceiling.
     fn cache_budget(&self) -> usize {
-        const DEFAULT_UNLIMITED_UP_TO: usize = 4096;
+        const DEFAULT_UNLIMITED_UP_TO: usize = 8192;
         self.requested_cache_budget.unwrap_or({
             if self.cache.len() <= DEFAULT_UNLIMITED_UP_TO {
                 usize::MAX
@@ -1005,7 +1063,7 @@ impl IncrementalOracle {
 
         // Phase 2: re-settle the orphans from their unaffected boundary.
         let mut min_t = UNREACHABLE;
-        let mut max_t = 0u32;
+        let mut max_t = 0u16;
         for i in 0..self.affected.len() {
             let x = self.affected[i];
             let mut best = UNREACHABLE;
@@ -1222,6 +1280,83 @@ impl IncrementalOracle {
         while self.cached_count > self.cache_budget() {
             self.evict_lru(Some(version));
         }
+        self.note_parked_peak();
+    }
+
+    /// Updates the parked-cache high-water mark (every parked slot holds `n`
+    /// u16 distances plus `n + 2` u16 level counters).
+    fn note_parked_peak(&mut self) {
+        let n = self.cache.len() as u64;
+        let bytes = self.cached_count as u64 * (2 * (2 * n + 2));
+        if bytes > self.stats.peak_parked_bytes {
+            self.stats.peak_parked_bytes = bytes;
+        }
+    }
+
+    /// Recomputes the parked vectors of `pending` (distinct, not-currently-
+    /// pinned sources) from scratch in word-parallel waves of up to
+    /// [`BATCH_WIDTH`] sources, parking each at the current version of `g`.
+    /// The CSR snapshot must already be synced to `g`. This replaces one
+    /// scalar BFS *per source* with one shared bitset wave per 64 sources —
+    /// the batch-parallel path for cold bulk pins and vectors whose journal
+    /// window outgrew the replay limit.
+    fn batch_repin(&mut self, g: &OwnedGraph, pending: &[u32]) {
+        debug_assert_eq!(self.csr_version, Some(g.version()));
+        let n = g.num_nodes();
+        let cur = g.version();
+        for chunk in pending.chunks(BATCH_WIDTH) {
+            let mut rows: Vec<Vec<u16>> = Vec::with_capacity(chunk.len());
+            let mut counts: Vec<Vec<u16>> = Vec::with_capacity(chunk.len());
+            for &src in chunk {
+                debug_assert_ne!(
+                    self.cache[src as usize].version,
+                    Some(cur),
+                    "batching a source that is already current"
+                );
+                let slot = &mut self.cache[src as usize];
+                let mut row = std::mem::take(&mut slot.dist);
+                let mut lc = std::mem::take(&mut slot.level_counts);
+                MultiSourceBfs::prepare_row(&mut row, &mut lc, n);
+                rows.push(row);
+                counts.push(lc);
+            }
+            let sources: Vec<NodeId> = chunk.iter().map(|&s| s as NodeId).collect();
+            let mut summaries = vec![BatchSummary::default(); chunk.len()];
+            let mut row_refs: Vec<&mut [u16]> = rows.iter_mut().map(|r| r.as_mut_slice()).collect();
+            let mut count_refs: Vec<&mut [u16]> =
+                counts.iter_mut().map(|c| c.as_mut_slice()).collect();
+            let expanded = self.wave.run(
+                &self.csr,
+                &sources,
+                &mut row_refs,
+                &mut count_refs,
+                &mut summaries,
+            );
+            self.stats.nodes_expanded += expanded;
+            self.stats.batched_repins += chunk.len() as u64;
+            for ((&src, row), (lc, summary)) in chunk
+                .iter()
+                .zip(rows)
+                .zip(counts.into_iter().zip(summaries))
+            {
+                let slot = &mut self.cache[src as usize];
+                slot.dist = row;
+                slot.level_counts = lc;
+                slot.sum = summary.sum;
+                slot.reached = summary.reached;
+                slot.max_hint = summary.max_hint;
+                if slot.version.is_none() {
+                    self.cached_count += 1;
+                }
+                slot.version = Some(cur);
+                slot.last_used = self.lru_tick;
+                self.lru_tick += 1;
+            }
+            while self.cached_count > self.cache_budget() {
+                self.evict_lru(Some(cur));
+            }
+            self.note_parked_peak();
+        }
     }
 
     /// Activates the cached vector of `src` as the working state — two buffer
@@ -1429,6 +1564,7 @@ impl IncrementalOracle {
         // stamp (or left for the full-BFS fallback on demand).
         let trusted_floor = self.warm_floor.filter(|&f| g.changes_since(f).is_some());
         let mut worked = false;
+        let mut width = 0usize;
         // The pinned working vector gets the same treatment as the slots.
         if let Some(pv) = self.pinned_version {
             if pv != cur {
@@ -1444,6 +1580,7 @@ impl IncrementalOracle {
                         self.pinned_version = Some(cur);
                         self.stats.lazy_replays += 1;
                         worked = true;
+                        width += 1;
                     } else {
                         // Unreplayable: drop the pin so the stale working
                         // vector can never be mistaken for current state.
@@ -1452,6 +1589,8 @@ impl IncrementalOracle {
                 }
             }
         }
+        let mut pending = std::mem::take(&mut self.batch_pending);
+        pending.clear();
         for src in 0..n {
             let Some(sv) = self.cache[src].version else {
                 continue;
@@ -1465,14 +1604,30 @@ impl IncrementalOracle {
                 worked = true;
             } else if self.warm_slot(g, src) {
                 worked = true;
+                width += 1;
+            } else if self.warm_batching {
+                // Unreplayable window: queue the slot for the shared bitset
+                // wave instead of leaving it stale.
+                pending.push(src as u32);
             }
-            // A slot `warm_slot` could not serve keeps its old stamp; it can
-            // never match a future floor, so it is excluded from stamp bumps
-            // for good and re-pins with one full BFS when next needed.
+            // With batching off, a slot `warm_slot` could not serve keeps its
+            // old stamp; it can never match a future floor, so it is excluded
+            // from stamp bumps for good and re-pins with one full BFS when
+            // next needed.
         }
+        if !pending.is_empty() {
+            self.sync_csr(g);
+            self.batch_repin(g, &pending);
+            worked = true;
+            width += pending.len();
+        }
+        self.batch_pending = pending;
         self.warm_floor = Some(cur);
         if worked {
             self.stats.warm_batches += 1;
+        }
+        if width > 0 {
+            self.stats.warm_batch_width[width_bucket(width)] += 1;
         }
     }
 
@@ -1512,6 +1667,44 @@ impl IncrementalOracle {
         }
         self.pinned_version = Some(g.version());
         self.state.summary(n)
+    }
+}
+
+/// Fused `min(src, far + 1)` SUM/MAX/reached pass of the cache-arithmetic
+/// insertion scorer — the hot kernel of the persistent engine (one `O(n)`
+/// pass per scored candidate). Branchless and chunked so it autovectorizes
+/// over the u16 vectors: each 4096-entry chunk accumulates into u32 lanes
+/// (`4096 · 65535 < 2³²`), and unreachable entries are *counted* rather than
+/// branched around per element (`UNREACHABLE` saturates through the `+ 1`,
+/// so `d == UNREACHABLE` exactly marks vertices neither side reaches).
+fn fused_insert_summary(src_dist: &[u16], far_dist: &[u16]) -> DistanceSummary {
+    debug_assert_eq!(src_dist.len(), far_dist.len());
+    let n = src_dist.len();
+    const CHUNK: usize = 4096;
+    let mut unreach = 0u64;
+    let mut sum = 0u64;
+    let mut max = 0u16;
+    let mut i = 0;
+    while i < n {
+        let end = (i + CHUNK).min(n);
+        let mut csum = 0u32;
+        let mut cunr = 0u32;
+        for (&a, &b) in src_dist[i..end].iter().zip(&far_dist[i..end]) {
+            let d = a.min(b.saturating_add(1));
+            csum += u32::from(d);
+            cunr += u32::from(d == UNREACHABLE);
+            max = max.max(d);
+        }
+        sum += u64::from(csum);
+        unreach += u64::from(cunr);
+        i = end;
+    }
+    if unreach > 0 {
+        return DistanceSummary::DISCONNECTED;
+    }
+    DistanceSummary {
+        sum: Some(sum),
+        max: Some(u32::from(max)),
     }
 }
 
@@ -1570,7 +1763,7 @@ impl DistanceOracle for IncrementalOracle {
         slot.max_hint = m;
         Some(DistanceSummary {
             sum: Some(slot.sum),
-            max: Some(m),
+            max: Some(u32::from(m)),
         })
     }
 
@@ -1582,18 +1775,45 @@ impl DistanceOracle for IncrementalOracle {
             return;
         }
         let cur = g.version();
+        let limit = self.stale_limit();
+        let mut pending = std::mem::take(&mut self.batch_pending);
+        pending.clear();
         for &src in sources {
             // Already current — parked or pinned — costs nothing; a parked
-            // vector at an older stamp is repaired in place by lazy replay;
-            // only cold or unreplayable sources pay the full `begin`.
+            // vector at an older stamp within the replay limit is repaired in
+            // place by scalar lazy replay (cheaper than a fresh traversal for
+            // the short windows this path sees). Cold or unreplayable sources
+            // are queued for the shared 64-wide bitset waves — or pay the
+            // scalar `begin` when batching is off (and always for the
+            // currently pinned source, whose working vector `begin` reuses).
             if self.cache[src].version == Some(cur)
                 || (self.pinned_version == Some(cur) && self.src == src as u32)
-                || self.warm_slot(g, src)
             {
                 continue;
             }
-            self.begin(g, src);
+            let replayable = self.cache[src]
+                .version
+                .is_some_and(|v| g.changes_since(v).is_some_and(|c| c.len() <= limit));
+            if replayable && self.warm_slot(g, src) {
+                continue;
+            }
+            if self.warm_batching && !(self.pinned_version.is_some() && self.src == src as u32) {
+                pending.push(src as u32);
+            } else {
+                self.begin(g, src);
+            }
         }
+        if !pending.is_empty() {
+            pending.sort_unstable();
+            pending.dedup();
+            self.sync_csr(g);
+            self.batch_repin(g, &pending);
+        }
+        self.batch_pending = pending;
+    }
+
+    fn set_warm_batching(&mut self, on: bool) {
+        self.warm_batching = on;
     }
 
     fn warm_sources(&mut self, g: &OwnedGraph, dirty: &[NodeId]) {
@@ -1652,39 +1872,19 @@ impl DistanceOracle for IncrementalOracle {
         // ever pushed or rolled back).
         self.run_deltas(prefix);
         let n = self.csr.num_nodes();
-        let src_dist = &self.state.dist[..n];
-        let far_dist = &self.cache[v].dist[..n];
-        let mut sum = 0u64;
-        let mut max = 0u32;
-        let mut reached = 0usize;
-        for (&a, &b) in src_dist.iter().zip(far_dist) {
-            let d = a.min(b.saturating_add(1));
-            if d != UNREACHABLE {
-                sum += u64::from(d);
-                max = max.max(d);
-                reached += 1;
-            }
-        }
+        let summary = fused_insert_summary(&self.state.dist[..n], &self.cache[v].dist[..n]);
         self.stats.nodes_expanded += n as u64;
-        let summary = if reached < n {
-            DistanceSummary::DISCONNECTED
-        } else {
-            DistanceSummary {
-                sum: Some(sum),
-                max: Some(max),
-            }
-        };
         Some((summary, prefix.is_empty()))
     }
 
-    fn evaluate_into(&mut self, deltas: &[EdgeDelta], out: &mut Vec<u32>) -> DistanceSummary {
+    fn evaluate_into(&mut self, deltas: &[EdgeDelta], out: &mut Vec<u16>) -> DistanceSummary {
         self.run_deltas(deltas);
         out.clear();
         out.extend_from_slice(&self.state.dist);
         self.state.summary(self.csr.num_nodes())
     }
 
-    fn base_distances(&mut self) -> &[u32] {
+    fn base_distances(&mut self) -> &[u16] {
         self.rollback_to_prefix(0);
         &self.state.dist
     }
@@ -1705,7 +1905,7 @@ mod tests {
     use crate::generators;
 
     /// Ground truth via a fresh BFS on a mutated clone of the graph.
-    fn truth(g: &OwnedGraph, src: NodeId, deltas: &[EdgeDelta]) -> (Vec<u32>, DistanceSummary) {
+    fn truth(g: &OwnedGraph, src: NodeId, deltas: &[EdgeDelta]) -> (Vec<u16>, DistanceSummary) {
         let mut h = g.clone();
         for delta in deltas {
             match *delta {
@@ -2220,6 +2420,11 @@ mod tests {
             g.add_edge(4, v);
         }
         let mut oracle = IncrementalOracle::persistent_budgeted(12, Some(2));
+        // This test pins down the *scalar* stale-slot behaviour (an
+        // unreplayable slot keeps its old stamp); with batching on the slot
+        // would be recomputed by a bulk wave instead — see
+        // `batched_warm_recomputes_unreplayable_slots`.
+        oracle.set_warm_batching(false);
         oracle.begin(&g, 0);
         oracle.begin(&g, 2); // parks 0
         oracle.begin(&g, 4); // parks 2; cache = {0, 2}, working 4
@@ -2264,6 +2469,79 @@ mod tests {
             oracle.cache[2].version.is_none(),
             "the stale vector is the eviction victim"
         );
+    }
+
+    #[test]
+    fn batched_warm_recomputes_unreplayable_slots() {
+        // Same shape as `eviction_prefers_stale_vectors_over_plain_lru`, but
+        // with batching on (the default): the slot whose journal window grew
+        // past the replay limit is recomputed by a shared bitset wave and
+        // lands on the current version with exact contents, instead of being
+        // left behind stale.
+        let mut g = OwnedGraph::new(12);
+        g.add_edge(0, 1);
+        g.add_edge(2, 3);
+        for v in 5..12 {
+            g.add_edge(4, v);
+        }
+        let mut oracle = IncrementalOracle::persistent_budgeted(12, None);
+        oracle.begin(&g, 0);
+        oracle.begin(&g, 2);
+        oracle.begin(&g, 4);
+        oracle.warm_sources(&g, &[]);
+        for (a, b) in [
+            (5, 7),
+            (6, 8),
+            (7, 9),
+            (8, 10),
+            (9, 11),
+            (5, 8),
+            (6, 9),
+            (7, 10),
+            (8, 11),
+        ] {
+            g.add_edge(a, b);
+        }
+        let mut dirty: Vec<usize> = (4..12).collect();
+        dirty.push(2);
+        oracle.warm_sources(&g, &dirty);
+        assert_eq!(
+            oracle.cache[2].version,
+            Some(g.version()),
+            "unreplayable slot recomputed by the bulk wave"
+        );
+        assert!(oracle.stats().batched_repins >= 1);
+        assert!(oracle.stats().peak_parked_bytes > 0);
+        let mut buf = BfsBuffer::new(12);
+        let expect = buf.run(&g, 2).to_vec();
+        assert_eq!(&oracle.cache[2].dist[..12], &expect[..]);
+        assert_eq!(oracle.cached_summary(&g, 2), Some(buf.summary(&g, 2)));
+    }
+
+    #[test]
+    fn batched_bulk_pin_matches_scalar_bulk_pin() {
+        // Cold bulk pin: every source recomputed. The batched waves and the
+        // scalar begins must park identical vectors and identical summaries,
+        // and the batched oracle must report the wave work in its counters.
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = generators::random_with_m_edges(100, 180, &mut rng);
+        let all: Vec<NodeId> = (0..100).collect();
+        let mut batched = IncrementalOracle::persistent_budgeted(100, None);
+        let mut scalar = IncrementalOracle::persistent_budgeted(100, None);
+        scalar.set_warm_batching(false);
+        batched.pin_sources(&g, &all);
+        scalar.pin_sources(&g, &all);
+        assert!(batched.stats().batched_repins >= 100 - 1);
+        assert_eq!(batched.stats().full_bfs_runs, 0, "no scalar traversals");
+        assert!(scalar.stats().batched_repins == 0);
+        let mut buf = BfsBuffer::new(100);
+        for &src in &all {
+            let expect = buf.summary(&g, src);
+            assert_eq!(batched.cached_summary(&g, src), Some(expect), "src {src}");
+            assert_eq!(scalar.cached_summary(&g, src), Some(expect), "src {src}");
+        }
     }
 
     #[test]

@@ -293,6 +293,7 @@ pub fn run_dynamics_trial_probed(
         // to it would only burn endpoint BFS runs nobody reads.
         dirty_agents: engine.dirty_agents && engine.parallel_scan.is_none(),
         warm_parked: engine.warm_parked,
+        warm_batching: engine.warm_batching,
     };
     let mut dynamics = Dynamics::new(game, initial, config);
     let mut kinds = MoveKindCounts::default();

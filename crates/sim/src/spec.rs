@@ -29,8 +29,8 @@ pub struct EngineSpec {
     /// (useful for large `n`); `None` scans sequentially.
     pub parallel_scan: Option<usize>,
     /// Cap on the persistent oracle's per-source distance cache (number of
-    /// parked vectors, each `O(n)` u32s). `None` applies the backend default:
-    /// unlimited at `n ≤ 4096`, capped at 4096 sources beyond. Ignored by the
+    /// parked vectors, each `O(n)` u16s). `None` applies the backend default:
+    /// unlimited at `n ≤ 8192`, capped at 8192 sources beyond. Ignored by the
     /// stateless backends.
     pub oracle_cache_budget: Option<usize>,
     /// Post-move bulk warming of the persistent oracle's parked vectors
@@ -39,6 +39,11 @@ pub struct EngineSpec {
     /// the pre-warming dirty engine. Only meaningful with `dirty_agents` on
     /// the persistent backend.
     pub warm_parked: bool,
+    /// Word-parallel 64-wide bitset BFS waves for the persistent oracle's
+    /// bulk (re)pins (on by default). Purely a performance knob — batched and
+    /// scalar runs produce bit-identical trajectories; `false` is the scalar
+    /// verification baseline (label suffix `+scalar`).
+    pub warm_batching: bool,
 }
 
 impl Default for EngineSpec {
@@ -49,6 +54,7 @@ impl Default for EngineSpec {
             parallel_scan: None,
             oracle_cache_budget: None,
             warm_parked: true,
+            warm_batching: true,
         }
     }
 }
@@ -119,6 +125,12 @@ impl EngineSpec {
         self
     }
 
+    /// Sets the word-parallel wave knob (see [`EngineSpec::warm_batching`]).
+    pub fn with_warm_batching(mut self, warm_batching: bool) -> Self {
+        self.warm_batching = warm_batching;
+        self
+    }
+
     /// Sets the persistent-cache budget (see [`EngineSpec::oracle_cache_budget`]).
     pub fn with_cache_budget(mut self, budget: Option<usize>) -> Self {
         self.oracle_cache_budget = budget;
@@ -145,6 +157,9 @@ impl EngineSpec {
         }
         if self.dirty_agents && self.oracle == OracleKind::Persistent && !self.warm_parked {
             parts.push("cold".to_string());
+        }
+        if self.oracle == OracleKind::Persistent && !self.warm_batching {
+            parts.push("scalar".to_string());
         }
         parts.join("+")
     }

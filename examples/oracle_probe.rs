@@ -14,7 +14,7 @@ use selfish_ncg::core::{GreedyBuyGame, OracleKind};
 use selfish_ncg::graph::generators;
 use std::time::Instant;
 
-fn run(n: usize, family: &str, oracle: OracleKind, dirty: bool, warm: bool) {
+fn run(n: usize, family: &str, oracle: OracleKind, dirty: bool, warm: bool, batch: bool) {
     use selfish_ncg::core::{AsymSwapGame, Game};
     let mut rng = StdRng::seed_from_u64(42);
     let (game, g): (Box<dyn Game>, _) = match family {
@@ -40,6 +40,7 @@ fn run(n: usize, family: &str, oracle: OracleKind, dirty: bool, warm: bool) {
         oracle_cache_budget: None,
         dirty_agents: dirty,
         warm_parked: warm,
+        warm_batching: batch,
     };
     let mut dynamics = Dynamics::new(game, g, config);
     let start = Instant::now();
@@ -50,7 +51,7 @@ fn run(n: usize, family: &str, oracle: OracleKind, dirty: bool, warm: bool) {
     let secs = start.elapsed().as_secs_f64();
     let stats = dynamics.oracle_stats();
     println!(
-        "n={n:>4} {family} {:<12} dirty={dirty:<5} warm={warm:<5} {secs:>8.3}s steps={steps:>5} bfs={:>7} replays={:>7} lazy={:>7} bumps={:>8} hits={:>7} evals={:>8} expanded={:>10} csr_patch={:>6} csr_rebuild={:>6}",
+        "n={n:>4} {family} {:<12} dirty={dirty:<5} warm={warm:<5} batch={batch:<5} {secs:>8.3}s steps={steps:>5} bfs={:>7} replays={:>7} lazy={:>7} bumps={:>8} hits={:>7} evals={:>8} expanded={:>10} csr_patch={:>6} csr_rebuild={:>6} batched={:>6} peak_parked={:>9}B widths={:?}",
         oracle.label(),
         stats.full_bfs_runs,
         stats.replayed_begins,
@@ -61,6 +62,9 @@ fn run(n: usize, family: &str, oracle: OracleKind, dirty: bool, warm: bool) {
         stats.nodes_expanded,
         stats.csr_patches,
         stats.csr_rebuilds,
+        stats.batched_repins,
+        stats.peak_parked_bytes,
+        stats.warm_batch_width,
     );
 }
 
@@ -131,13 +135,14 @@ fn main() {
     let ns = if ns.is_empty() { vec![64] } else { ns };
     for &n in &ns {
         for family in ["gbg", "asg"] {
-            for (oracle, dirty, warm) in [
-                (OracleKind::Incremental, true, false),
-                (OracleKind::Persistent, false, false),
-                (OracleKind::Persistent, true, false),
-                (OracleKind::Persistent, true, true),
+            for (oracle, dirty, warm, batch) in [
+                (OracleKind::Incremental, true, false, true),
+                (OracleKind::Persistent, false, false, true),
+                (OracleKind::Persistent, true, false, true),
+                (OracleKind::Persistent, true, true, false),
+                (OracleKind::Persistent, true, true, true),
             ] {
-                run(n, family, oracle, dirty, warm);
+                run(n, family, oracle, dirty, warm, batch);
             }
         }
         phases(n, "gbg");

@@ -61,7 +61,7 @@ fn apply_random_change<R: Rng>(g: &mut OwnedGraph, rng: &mut R) -> bool {
 
 /// The exact set of sources whose distance vector differs from `pre`,
 /// refreshing `pre` in place — the ground-truth dirty set of one window.
-fn changed_vectors(g: &OwnedGraph, pre: &mut [Vec<u32>], buf: &mut BfsBuffer) -> Vec<usize> {
+fn changed_vectors(g: &OwnedGraph, pre: &mut [Vec<u16>], buf: &mut BfsBuffer) -> Vec<usize> {
     let n = g.num_nodes();
     let mut dirty = Vec::new();
     for (x, pre_x) in pre.iter_mut().enumerate() {
@@ -97,7 +97,7 @@ fn lazy_warming_matches_eager_sync_and_full_bfs() {
         lazy.pin_sources(&g, &all);
         capped.pin_sources(&g, &all);
         eager.pin_sources(&g, &all);
-        let mut pre: Vec<Vec<u32>> = (0..n).map(|x| buf.run(&g, x)[..n].to_vec()).collect();
+        let mut pre: Vec<Vec<u16>> = (0..n).map(|x| buf.run(&g, x)[..n].to_vec()).collect();
         for step in 0..18 {
             // Mostly small windows (the per-move regime); occasionally a
             // burst past the staleness limit max(8, n/8) so replay fails
@@ -141,6 +141,85 @@ fn lazy_warming_matches_eager_sync_and_full_bfs() {
     assert!(lazy_replays > 0, "no dirty vector was lazily replayed");
 }
 
+/// Tentpole property of the word-parallel waves: a batched oracle (64-wide
+/// bitset BFS bulk repins, the default), a scalar twin (batching off) and
+/// fresh BFS must agree on every distance vector and summary over random
+/// move sequences — including burst windows past the replay limit, which is
+/// exactly when the batched path recomputes whole slot groups in shared
+/// waves while the scalar twin leaves them for per-source full-BFS re-pins.
+#[test]
+fn batched_warm_replay_matches_scalar_and_full_bfs() {
+    let mut rng = StdRng::seed_from_u64(0xb175);
+    let mut batched_repins = 0u64;
+    for case in 0..6 * SCALE {
+        let mut g = random_graph(&mut rng);
+        let n = g.num_nodes();
+        let all: Vec<usize> = (0..n).collect();
+        let mut batched = IncrementalOracle::persistent(n);
+        let mut scalar = IncrementalOracle::persistent(n);
+        scalar.set_warm_batching(false);
+        let mut buf = BfsBuffer::new(n);
+        batched.pin_sources(&g, &all);
+        scalar.pin_sources(&g, &all);
+        let mut pre: Vec<Vec<u16>> = (0..n).map(|x| buf.run(&g, x)[..n].to_vec()).collect();
+        for step in 0..14 {
+            // Mostly small windows; frequent bursts past the replay limit
+            // max(8, n/8), which is what routes slots into the waves.
+            let window = if rng.gen_bool(0.3) {
+                (n / 8).max(8) + 2
+            } else {
+                rng.gen_range(1usize..3)
+            };
+            for _ in 0..window {
+                apply_random_change(&mut g, &mut rng);
+            }
+            let dirty = changed_vectors(&g, &mut pre, &mut buf);
+            batched.warm_sources(&g, &dirty);
+            scalar.warm_sources(&g, &dirty);
+            if step % 4 == 3 {
+                // Periodic bulk re-pin: cold and unreplayable sources go
+                // through the shared waves on the batched oracle.
+                batched.pin_sources(&g, &all);
+                scalar.pin_sources(&g, &all);
+                for &src in &all {
+                    let expect = buf.summary(&g, src);
+                    let ctx = format!("case {case} step {step} src {src}");
+                    assert_eq!(
+                        batched.cached_summary(&g, src),
+                        Some(expect),
+                        "batched {ctx}"
+                    );
+                    assert_eq!(scalar.cached_summary(&g, src), Some(expect), "scalar {ctx}");
+                }
+            }
+            for probe in 0..4 {
+                let src = rng.gen_range(0..n);
+                let expect = buf.summary(&g, src);
+                let ctx = format!("case {case} step {step} probe {probe} src {src}");
+                assert_eq!(batched.begin(&g, src), expect, "batched {ctx}");
+                assert_eq!(
+                    batched.base_distances(),
+                    &buf.run(&g, src)[..n],
+                    "batched {ctx}"
+                );
+                assert_eq!(scalar.begin(&g, src), expect, "scalar {ctx}");
+                assert_eq!(
+                    scalar.base_distances(),
+                    &buf.run(&g, src)[..n],
+                    "scalar {ctx}"
+                );
+            }
+        }
+        batched_repins += batched.stats().batched_repins;
+        assert_eq!(
+            scalar.stats().batched_repins,
+            0,
+            "case {case}: the scalar twin must never batch"
+        );
+    }
+    assert!(batched_repins > 0, "the word-parallel waves never ran");
+}
+
 /// The warming contract tolerates gaps: when several windows pass between
 /// warming calls, handing the union of their changed sets must stay exact
 /// (the floor check only trusts stamp bumps across an unbroken chain).
@@ -154,7 +233,7 @@ fn warming_with_gaps_and_unions_stays_exact() {
         let mut oracle = IncrementalOracle::persistent(n);
         let mut buf = BfsBuffer::new(n);
         oracle.pin_sources(&g, &all);
-        let mut pre: Vec<Vec<u32>> = (0..n).map(|x| buf.run(&g, x)[..n].to_vec()).collect();
+        let mut pre: Vec<Vec<u16>> = (0..n).map(|x| buf.run(&g, x)[..n].to_vec()).collect();
         for step in 0..10 {
             // 1–3 windows between warming calls; the dirty set below is the
             // union over the whole gap because `changed_vectors` diffs
@@ -235,26 +314,28 @@ fn dirty_trajectory_identity_at_the_old_crossover() {
         let mut seed_rng = StdRng::seed_from_u64(0xc055);
         let g = generators::random_with_m_edges(n, 2 * n, &mut seed_rng);
         let game = GreedyBuyGame::sum(n as f64 / 4.0);
-        let run = |oracle: OracleKind, warm: bool| {
+        let run = |oracle: OracleKind, warm: bool, batch: bool| {
             let mut rng = StdRng::seed_from_u64(0x7ea5);
             let mut cfg = DynamicsConfig::simulation(400 * n)
                 .with_oracle(oracle)
                 .with_dirty_agents(true)
-                .with_warm_parked(warm);
+                .with_warm_parked(warm)
+                .with_warm_batching(batch);
             cfg.record_trajectory = true;
             run_dynamics(&game, &g, &cfg, &mut rng)
         };
-        let reference = run(OracleKind::Incremental, false);
+        let reference = run(OracleKind::Incremental, false, true);
         assert!(reference.converged(), "n={n}: reference must converge");
-        for (oracle, warm) in [
-            (OracleKind::Persistent, true),
-            (OracleKind::Persistent, false),
+        for (oracle, warm, batch) in [
+            (OracleKind::Persistent, true, true),
+            (OracleKind::Persistent, true, false),
+            (OracleKind::Persistent, false, true),
         ] {
-            let out = run(oracle, warm);
+            let out = run(oracle, warm, batch);
             assert_eq!(
                 out.trajectory,
                 reference.trajectory,
-                "n={n} {} warm={warm}: dirty trajectory diverged",
+                "n={n} {} warm={warm} batch={batch}: dirty trajectory diverged",
                 oracle.label()
             );
             assert_eq!(out.final_graph, reference.final_graph, "n={n}");

@@ -75,7 +75,7 @@ fn random_deltas<R: Rng>(g: &OwnedGraph, rng: &mut R) -> Vec<EdgeDelta> {
 }
 
 /// Ground truth: apply the deltas to a clone, run a fresh BFS.
-fn truth(g: &OwnedGraph, src: usize, deltas: &[EdgeDelta]) -> (Vec<u32>, DistanceSummary) {
+fn truth(g: &OwnedGraph, src: usize, deltas: &[EdgeDelta]) -> (Vec<u16>, DistanceSummary) {
     let mut h = g.clone();
     for delta in deltas {
         match *delta {
@@ -374,6 +374,57 @@ fn scans_identical_across_engines_along_random_playouts() {
             }
         }
     }
+}
+
+/// u16 boundary: distances up to exactly `UNREACHABLE - 1` (65534, realised
+/// by a path on `MAX_NODES` = 65535 vertices) are representable, and the
+/// cache-arithmetic kernel's saturating `far + 1` cannot alias a real
+/// distance into the `UNREACHABLE` marker: a chord scored from one path end
+/// drives `far + 1` to exactly 65535 at the far endpoint, where the `min`
+/// with the source side must still win.
+#[test]
+fn u16_boundary_distances_at_unreachable_minus_one() {
+    use selfish_ncg::graph::distances::{MAX_NODES, UNREACHABLE};
+    let n = MAX_NODES;
+    let g = generators::path(n);
+    let mut buf = BfsBuffer::new(n);
+    let summary = buf.summary(&g, 0);
+    let dist = buf.last_distances();
+    assert_eq!(
+        dist[n - 1],
+        UNREACHABLE - 1,
+        "diameter endpoint sits at exactly UNREACHABLE - 1"
+    );
+    assert_eq!(summary.max, Some(u32::from(UNREACHABLE) - 1));
+    assert_eq!(summary.sum, Some((n as u64 - 1) * n as u64 / 2));
+    // Cache arithmetic across the boundary: park the far end, pin the near
+    // end, score the chord (0, n-1). `dist_far(0) = 65534`, so the kernel's
+    // `far.saturating_add(1)` saturates to exactly `UNREACHABLE` there — the
+    // vertex must still be served by the source side (distance 0), not
+    // counted unreachable.
+    let mut oracle = IncrementalOracle::persistent(n);
+    oracle.pin_sources(&g, &[n - 1]);
+    oracle.begin(&g, 0);
+    let (got, exact) = oracle
+        .evaluate_insert_via_cache(&g, &[], 0, n - 1)
+        .expect("cache-arithmetic path must serve the parked far end");
+    assert!(exact, "a pure purchase is scored exactly");
+    let mut h = g.clone();
+    assert!(h.add_edge(0, n - 1));
+    assert_eq!(got, buf.summary(&h, 0));
+    // And a genuinely unreachable vertex stays DISCONNECTED through the
+    // saturating arithmetic.
+    let mut g2 = OwnedGraph::new(n);
+    for i in 0..n - 2 {
+        g2.add_edge(i, i + 1);
+    }
+    let mut oracle2 = IncrementalOracle::persistent(n);
+    oracle2.pin_sources(&g2, &[n - 2]);
+    oracle2.begin(&g2, 0);
+    let (got2, _) = oracle2
+        .evaluate_insert_via_cache(&g2, &[], 0, n - 2)
+        .expect("cache-arithmetic path");
+    assert_eq!(got2, DistanceSummary::DISCONNECTED);
 }
 
 /// Satellite property: dirty-agent tracking fed by the persistent oracle's
