@@ -2,7 +2,11 @@
 //! oracle vs. the cross-step **persistent** oracle (each with and without
 //! dirty-agent tracking) on the swap-game and greedy-buy-game dynamics hot
 //! paths, plus a Buy-Game `SetOwned` series comparing whole-strategy delta
-//! scoring against the historical apply → BFS → undo cycle.
+//! scoring against the historical apply → BFS → undo cycle, plus a
+//! **ball-sparse parking** series running the same seeded trial under parked
+//! byte budgets (dense / 128 MiB default / an eighth of the dense envelope)
+//! and asserting bit-identical trajectories with a high-water mark strictly
+//! below the dense-u16 `n · (2n+2) · 2` envelope.
 //!
 //! ```text
 //! cargo run -p ncg-bench --release --bin oracle_ablation -- max_n=512 trials=5
@@ -40,6 +44,9 @@ struct Scale {
     /// agents per step and falls behind by an order of magnitude at
     /// n ≥ 2048, while the dirty engine carries the sweep to n = 4096.
     pers_max_n: usize,
+    /// Largest `n` of the ball-sparse parking series (its headline cell is
+    /// n = 8192, past the dense layout's memory envelope).
+    sparse_max_n: usize,
     trials: usize,
     smoke: bool,
     json: Option<String>,
@@ -50,6 +57,7 @@ fn parse_scale() -> Scale {
         max_n: 256,
         full_max_n: 256,
         pers_max_n: 1024,
+        sparse_max_n: 8192,
         trials: 3,
         smoke: false,
         json: None,
@@ -62,6 +70,7 @@ fn parse_scale() -> Scale {
             "max_n" => scale.max_n = value.parse().unwrap_or(scale.max_n),
             "full_max_n" => scale.full_max_n = value.parse().unwrap_or(scale.full_max_n),
             "pers_max_n" => scale.pers_max_n = value.parse().unwrap_or(scale.pers_max_n),
+            "sparse_max_n" => scale.sparse_max_n = value.parse().unwrap_or(scale.sparse_max_n),
             "trials" => scale.trials = value.parse().unwrap_or(scale.trials),
             "smoke" => scale.smoke = value == "1" || value == "true",
             "json" => scale.json = Some(value.to_string()),
@@ -342,6 +351,208 @@ fn measure_bilateral(n: usize, reps: usize) -> BilateralRow {
     }
 }
 
+struct SparseRow {
+    family: &'static str,
+    n: usize,
+    label: &'static str,
+    seconds: f64,
+    steps: usize,
+    peak_parked_bytes: u64,
+    dense_envelope: u64,
+    sparse_demotions: u64,
+    sparse_hits: u64,
+    bounded_repairs: u64,
+}
+
+/// The documented default parked-cache ceiling of the persistent oracle
+/// (what a `None` byte budget resolves to); mirrored here so the series can
+/// decide which rows are *actually* budget-bound.
+const DEFAULT_BYTE_BUDGET: u64 = 128 * 1024 * 1024;
+
+/// Ball-sparse parking series: the same seeded trial under up to three
+/// parked-cache byte budgets — effectively unbounded ("dense"), the 128 MiB
+/// default ("auto"), and half the dense envelope ("tight", an eighth in
+/// smoke; dropped where it would duplicate "auto"). Demotion, eviction and
+/// the sparse-miss fallback are representation changes only, so all runs
+/// must walk **identical** move sequences (over a shared 1024-step prefix at
+/// full scale) and land on the same state; every budget-bound run's parked
+/// high-water mark must sit strictly below the dense-u16 envelope
+/// `n · (2n+2) · 2` — the footprint that made `n = 8192` unreachable for the
+/// all-dense layout (≈ 268 MB).
+fn measure_sparse_parking(scale: &Scale) -> Vec<SparseRow> {
+    use ncg_core::dynamics::{Dynamics, DynamicsConfig};
+    let all_ns: &[usize] = if scale.smoke {
+        &[256]
+    } else {
+        &[2048, 4096, 8192]
+    };
+    let mut ns: Vec<usize> = all_ns
+        .iter()
+        .copied()
+        .filter(|&n| scale.smoke || n <= scale.sparse_max_n)
+        .collect();
+    if ns.is_empty() {
+        // A sub-2048 `sparse_max_n` probes that single size directly.
+        ns.push(scale.sparse_max_n);
+    }
+    // The buy game, not the swap game: greedy-buy moves are local, so most
+    // demoted slots ride trusted stamp bumps across steps and the budget-bound
+    // runs stay within a small factor of dense. A swap dirties ~90% of all
+    // vectors per move, which would re-densify (and re-demote) nearly the
+    // whole cache every step — a thrash benchmark, not a memory benchmark.
+    let family = GameFamily::GbgSum;
+    let mut rows = Vec::new();
+    println!("\nball-sparse parking (same seed across parked byte budgets)");
+    println!(
+        "{:>6} {:>7} {:>13} {:>7} {:>15} {:>15} {:>9} {:>9} {:>9}",
+        "n",
+        "budget",
+        "seconds",
+        "steps",
+        "peak bytes",
+        "dense env",
+        "demote",
+        "sp hits",
+        "bounded"
+    );
+    for &n in &ns {
+        let p = point(family, n, EngineSpec::fastest(), 1);
+        let game = p.make_game();
+        let mut seed_rng = StdRng::seed_from_u64(p.base_seed);
+        let initial = p.topology.generate(n, &mut seed_rng);
+        let envelope = n as u64 * (2 * n as u64 + 2) * 2;
+        // The smoke variant squeezes the cache to an eighth of the envelope —
+        // maximum demote/evict churn on a tiny cell, which is what CI wants
+        // to cover. The full-scale series uses half the envelope: still
+        // strictly budget-bound at every n, without turning the big cells
+        // into multi-hour thrash benchmarks.
+        let tight = if scale.smoke {
+            envelope / 8
+        } else {
+            envelope / 2
+        };
+        let mut budgets: Vec<(&'static str, Option<u64>)> =
+            vec![("dense", Some(u64::MAX)), ("auto", None)];
+        // At n = 8192 half the envelope ≈ the 128 MiB default — the "tight"
+        // run would just repeat "auto", so it is only kept while it is
+        // meaningfully tighter.
+        if tight < DEFAULT_BYTE_BUDGET * 9 / 10 {
+            budgets.push(("tight", Some(tight)));
+        }
+        // Budget-bound runs trade memory for recompute waves; at large n that
+        // trade is steep (the budget holds less than one step's working set),
+        // so the non-smoke series compares a fixed 1024-step prefix instead
+        // of running every budget to convergence. Identity over the executed
+        // prefix is exactly as strong per step, and the peak is reached in
+        // the very first steps (the cold bulk pin parks everything).
+        let step_cap = if scale.smoke {
+            p.max_steps()
+        } else {
+            p.max_steps().min(1024)
+        };
+        let mut reference: Option<(Vec<ncg_core::dynamics::MoveRecord>, ncg_graph::OwnedGraph)> =
+            None;
+        for &(label, budget) in &budgets {
+            let mut cfg = DynamicsConfig::simulation(step_cap)
+                .with_oracle(OracleKind::Persistent)
+                .with_dirty_agents(true)
+                .with_oracle_byte_budget(budget);
+            cfg.record_trajectory = true;
+            let mut rng = StdRng::seed_from_u64(0x5bb1);
+            let start = Instant::now();
+            let mut dynamics = Dynamics::new(game.as_ref(), initial.clone(), cfg);
+            let mut steps = 0usize;
+            let converged = loop {
+                if steps >= step_cap {
+                    break false;
+                }
+                match dynamics.step(&mut rng) {
+                    Some(_) => steps += 1,
+                    None => break true,
+                }
+            };
+            let seconds = start.elapsed().as_secs_f64();
+            assert!(
+                converged || steps == step_cap,
+                "sparse parking n={n} {label}: must converge or fill the prefix"
+            );
+            let stats = dynamics.oracle_stats();
+            match &reference {
+                None => {
+                    reference = Some((dynamics.trajectory().to_vec(), dynamics.graph().clone()))
+                }
+                Some((traj, final_graph)) => {
+                    assert_eq!(
+                        dynamics.trajectory(),
+                        &traj[..],
+                        "n={n}: {label} trajectory diverged from the dense reference"
+                    );
+                    assert_eq!(dynamics.graph(), final_graph, "n={n}: {label} final graph");
+                }
+            }
+            let effective = budget.unwrap_or(DEFAULT_BYTE_BUDGET);
+            if effective >= envelope {
+                // Nothing to demote: the dense layout fits, and its
+                // accounting must land exactly on the envelope (n slots of
+                // `2·(2n+2)` bytes each, all pinned by the bulk cold fill).
+                assert_eq!(
+                    stats.peak_parked_bytes, envelope,
+                    "n={n} {label}: un-bound run must park the full dense envelope"
+                );
+            } else {
+                assert!(
+                    stats.peak_parked_bytes < envelope,
+                    "n={n} {label}: peak {} must sit strictly below the dense envelope {envelope}",
+                    stats.peak_parked_bytes
+                );
+                assert!(
+                    stats.peak_parked_bytes <= effective,
+                    "n={n} {label}: peak {} exceeds the byte budget {effective}",
+                    stats.peak_parked_bytes
+                );
+                assert!(
+                    stats.sparse_demotions > 0,
+                    "n={n} {label}: a budget-bound run must demote at least one slot"
+                );
+            }
+            println!(
+                "{:>6} {:>7} {:>13.4} {:>7} {:>15} {:>15} {:>9} {:>9} {:>9}",
+                n,
+                label,
+                seconds,
+                steps,
+                stats.peak_parked_bytes,
+                envelope,
+                stats.sparse_demotions,
+                stats.sparse_hits,
+                stats.bounded_repairs
+            );
+            if std::env::var_os("SPARSE_DEBUG").is_some() {
+                eprintln!("  {label}: {stats:?}");
+            }
+            rows.push(SparseRow {
+                family: family.label(),
+                n,
+                label,
+                seconds,
+                steps,
+                peak_parked_bytes: stats.peak_parked_bytes,
+                dense_envelope: envelope,
+                sparse_demotions: stats.sparse_demotions,
+                sparse_hits: stats.sparse_hits,
+                bounded_repairs: stats.bounded_repairs,
+            });
+        }
+        let labels: Vec<&str> = budgets.iter().map(|&(l, _)| l).collect();
+        println!(
+            "sparse parking identity OK: {} n={n} ({})",
+            family.label(),
+            labels.join(" ≡ ")
+        );
+    }
+    rows
+}
+
 struct SweepRow {
     family: &'static str,
     n: usize,
@@ -572,6 +783,9 @@ fn main() {
         bilateral_rows.push(row);
     }
 
+    // Ball-sparse parking series: byte budgets vs. the dense envelope.
+    let sparse_rows = measure_sparse_parking(&scale);
+
     if let Some(path) = &scale.json {
         let mut out = String::new();
         out.push_str("{\n");
@@ -596,8 +810,9 @@ fn main() {
                             "\"{l}\": {{\"full_bfs_runs\": {}, \"replayed_begins\": {}, \
                              \"lazy_replays\": {}, \"warm_bumps\": {}, \"warm_batches\": {}, \
                              \"lazy_hits\": {}, \"csr_patches\": {}, \"csr_rebuilds\": {}, \
-                             \"batched_repins\": {}, \"peak_parked_bytes\": {}, \
-                             \"warm_batch_width\": [{}]}}",
+                             \"batched_repins\": {}, \"bounded_repairs\": {}, \
+                             \"sparse_demotions\": {}, \"sparse_hits\": {}, \
+                             \"peak_parked_bytes\": {}, \"warm_batch_width\": [{}]}}",
                             st.full_bfs_runs,
                             st.replayed_begins,
                             st.lazy_replays,
@@ -607,6 +822,9 @@ fn main() {
                             st.csr_patches,
                             st.csr_rebuilds,
                             st.batched_repins,
+                            st.bounded_repairs,
+                            st.sparse_demotions,
+                            st.sparse_hits,
                             st.peak_parked_bytes,
                             widths.join(", ")
                         )
@@ -659,6 +877,31 @@ fn main() {
                 row.apply_undo_s / row.delta_s.max(1e-9)
             );
             out.push_str(if i + 1 < set_owned_rows.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"sparse_parking\": [\n");
+        for (i, row) in sparse_rows.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"family\": \"{}\", \"n\": {}, \"budget\": \"{}\", \"seconds\": {:.6}, \
+                 \"steps\": {}, \"peak_parked_bytes\": {}, \"dense_envelope\": {}, \
+                 \"sparse_demotions\": {}, \"sparse_hits\": {}, \"bounded_repairs\": {}}}",
+                row.family,
+                row.n,
+                row.label,
+                row.seconds,
+                row.steps,
+                row.peak_parked_bytes,
+                row.dense_envelope,
+                row.sparse_demotions,
+                row.sparse_hits,
+                row.bounded_repairs
+            );
+            out.push_str(if i + 1 < sparse_rows.len() {
                 ",\n"
             } else {
                 "\n"

@@ -47,8 +47,16 @@ pub struct DynamicsConfig {
     /// Which distance-oracle backend scores candidate moves.
     pub oracle: OracleKind,
     /// Cap on the persistent oracle's per-source distance cache (number of
-    /// parked vectors; `None` = backend default: unlimited at `n ≤ 4096`).
+    /// parked vectors; `None` = backend default: unlimited slots at
+    /// `n ≤ 8192`, capped at 8192 beyond — the byte budget below binds
+    /// first in practice).
     pub oracle_cache_budget: Option<usize>,
+    /// Cap on the persistent oracle's parked-vector **bytes** (`None` =
+    /// backend default: 128 MiB). Over budget, parked vectors are demoted to
+    /// their ball-sparse representation and then evicted, oldest-stalest
+    /// first. Purely a memory knob — scoring stays exact, so trajectories
+    /// are bit-identical under any budget.
+    pub oracle_byte_budget: Option<u64>,
     /// If `true`, the engine keeps a dirty-agent set: after a move only agents
     /// whose distance vectors could have changed are re-examined, instead of
     /// re-scanning all `n` agents per step. Termination stays exact — before
@@ -93,6 +101,7 @@ impl DynamicsConfig {
             ownership_in_state: true,
             oracle: OracleKind::default(),
             oracle_cache_budget: None,
+            oracle_byte_budget: None,
             dirty_agents: false,
             warm_parked: true,
             warm_batching: true,
@@ -112,6 +121,7 @@ impl DynamicsConfig {
             ownership_in_state: true,
             oracle: OracleKind::default(),
             oracle_cache_budget: None,
+            oracle_byte_budget: None,
             dirty_agents: false,
             warm_parked: true,
             warm_batching: true,
@@ -145,6 +155,13 @@ impl DynamicsConfig {
     /// Sets the persistent oracle's per-source cache budget.
     pub fn with_oracle_cache_budget(mut self, budget: Option<usize>) -> Self {
         self.oracle_cache_budget = budget;
+        self
+    }
+
+    /// Sets the persistent oracle's parked-vector byte budget (see
+    /// [`DynamicsConfig::oracle_byte_budget`]).
+    pub fn with_oracle_byte_budget(mut self, budget: Option<u64>) -> Self {
+        self.oracle_byte_budget = budget;
         self
     }
 
@@ -276,7 +293,12 @@ impl<'a, G: Game + ?Sized> Dynamics<'a, G> {
     /// Creates a process in the given initial state.
     pub fn new(game: &'a G, initial: OwnedGraph, config: DynamicsConfig) -> Self {
         let n = initial.num_nodes();
-        let mut ws = Workspace::with_engine(n, config.oracle, config.oracle_cache_budget);
+        let mut ws = Workspace::with_engine_budgets(
+            n,
+            config.oracle,
+            config.oracle_cache_budget,
+            config.oracle_byte_budget,
+        );
         ws.set_warm_batching(config.warm_batching);
         if config.oracle == OracleKind::Persistent {
             // Bulk-pin every agent's vector up front: the first policy scan
@@ -707,6 +729,7 @@ impl<'a, G: Game + Sync + ?Sized> Dynamics<'a, G> {
             &self.graph,
             kind,
             self.config.oracle_cache_budget,
+            self.config.oracle_byte_budget,
             threads,
             &mut self.par_pool,
             |game, g, u, ws| {
@@ -1010,6 +1033,34 @@ mod tests {
         let unlimited = run(None);
         assert!(unlimited.converged());
         for budget in [Some(0), Some(1), Some(4)] {
+            let capped = run(budget);
+            assert_eq!(capped.trajectory, unlimited.trajectory, "{budget:?}");
+            assert_eq!(capped.final_graph, unlimited.final_graph, "{budget:?}");
+        }
+    }
+
+    #[test]
+    fn oracle_byte_budget_never_changes_trajectories() {
+        // Byte budgets demote parked vectors to their sparse balls and then
+        // evict them; both are invisible to scoring, so harshly capped runs
+        // must walk exactly the unlimited move sequence.
+        let mut seed_rng = StdRng::seed_from_u64(67);
+        let n = 16;
+        let g = generators::random_with_m_edges(n, 2 * n, &mut seed_rng);
+        let game = GreedyBuyGame::sum(n as f64 / 4.0);
+        let run = |budget: Option<u64>| {
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut cfg = DynamicsConfig::simulation(400 * n)
+                .with_oracle(OracleKind::Persistent)
+                .with_oracle_byte_budget(budget);
+            cfg.record_trajectory = true;
+            run_dynamics(&game, &g, &cfg, &mut rng)
+        };
+        let unlimited = run(Some(u64::MAX));
+        assert!(unlimited.converged());
+        // One dense slot at n = 16 is 68 bytes: 40 forces every park through
+        // demotion and eviction, 200 keeps a couple of balls alive.
+        for budget in [None, Some(40), Some(200)] {
             let capped = run(budget);
             assert_eq!(capped.trajectory, unlimited.trajectory, "{budget:?}");
             assert_eq!(capped.final_graph, unlimited.final_graph, "{budget:?}");

@@ -19,11 +19,13 @@ pub fn unhappy_agents<G: Game + ?Sized>(
 /// `per_agent` for every agent `0..n`, distributing the agents over scoped
 /// worker threads. Workspaces are reused from (and lazily added to) `pool`,
 /// one per thread, so repeated scans allocate nothing.
+#[allow(clippy::too_many_arguments)] // internal plumbing: every arg is a workspace knob
 pub(crate) fn scan_agents_parallel<G, T, F>(
     game: &G,
     g: &OwnedGraph,
     kind: OracleKind,
     cache_budget: Option<usize>,
+    byte_budget: Option<u64>,
     threads: usize,
     pool: &mut Vec<Workspace>,
     per_agent: F,
@@ -40,7 +42,12 @@ where
     let threads = threads.clamp(1, n);
     let chunk = n.div_ceil(threads);
     while pool.len() < threads {
-        pool.push(Workspace::with_engine(n, kind, cache_budget));
+        pool.push(Workspace::with_engine_budgets(
+            n,
+            kind,
+            cache_budget,
+            byte_budget,
+        ));
     }
     let mut results = vec![T::default(); n];
     std::thread::scope(|scope| {
@@ -67,10 +74,16 @@ pub fn unhappy_agents_parallel<G: Game + Sync + ?Sized>(
     threads: usize,
 ) -> Vec<NodeId> {
     let mut pool = Vec::new();
-    let unhappy =
-        scan_agents_parallel(game, g, kind, None, threads, &mut pool, |game, g, u, ws| {
-            game.has_improving_move(g, u, ws)
-        });
+    let unhappy = scan_agents_parallel(
+        game,
+        g,
+        kind,
+        None,
+        None,
+        threads,
+        &mut pool,
+        |game, g, u, ws| game.has_improving_move(g, u, ws),
+    );
     unhappy
         .into_iter()
         .enumerate()

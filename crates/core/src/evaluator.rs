@@ -22,7 +22,9 @@
 
 use crate::cost::EdgeCostMode;
 use crate::moves::Move;
-use ncg_graph::oracle::{make_oracle_budgeted, DistanceOracle, EdgeDelta, OracleKind, OracleStats};
+use ncg_graph::oracle::{
+    make_oracle_with_budgets, DistanceOracle, EdgeDelta, OracleKind, OracleStats,
+};
 use ncg_graph::{DistanceSummary, NodeId, OwnedGraph};
 
 /// Outcome of a delta-based candidate evaluation.
@@ -51,6 +53,7 @@ pub enum DeltaScore {
 pub struct CostEvaluator {
     kind: OracleKind,
     cache_budget: Option<usize>,
+    byte_budget: Option<u64>,
     /// Word-parallel bulk waves on the persistent backend (see
     /// [`DistanceOracle::set_warm_batching`]); applied to both oracles,
     /// including a consent oracle created after the flag is set.
@@ -73,13 +76,30 @@ impl CostEvaluator {
 
     /// Like [`CostEvaluator::new`], with an explicit cap on the persistent
     /// backend's per-source distance cache (`None` = the backend default:
-    /// unlimited at `n ≤ 4096`). Ignored by the stateless backends.
+    /// a byte budget that is unlimited at `n ≤ 4096`). Ignored by the
+    /// stateless backends.
     pub fn with_budget(kind: OracleKind, n: usize, cache_budget: Option<usize>) -> Self {
+        CostEvaluator::with_budgets(kind, n, cache_budget, None)
+    }
+
+    /// Like [`CostEvaluator::with_budget`], additionally capping the
+    /// persistent backend's parked-vector **bytes** (`None` = the backend's
+    /// 128 MiB default). Over the byte budget, parked vectors are first
+    /// demoted to their ball-sparse representation and then evicted — both
+    /// oracles (main and consent) share the same caps. Pure memory knob:
+    /// trajectories are bit-identical under any budget.
+    pub fn with_budgets(
+        kind: OracleKind,
+        n: usize,
+        cache_budget: Option<usize>,
+        byte_budget: Option<u64>,
+    ) -> Self {
         CostEvaluator {
             kind,
             cache_budget,
+            byte_budget,
             warm_batching: true,
-            oracle: make_oracle_budgeted(kind, n, cache_budget),
+            oracle: make_oracle_with_budgets(kind, n, cache_budget, byte_budget),
             deltas: Vec::with_capacity(4),
             consent: None,
         }
@@ -110,6 +130,11 @@ impl CostEvaluator {
     /// The configured persistent-cache budget (`None` = backend default).
     pub fn cache_budget(&self) -> Option<usize> {
         self.cache_budget
+    }
+
+    /// The configured parked-vector byte budget (`None` = backend default).
+    pub fn byte_budget(&self) -> Option<u64> {
+        self.byte_budget
     }
 
     /// Work counters of the underlying oracle.
@@ -250,6 +275,12 @@ impl CostEvaluator {
         self.oracle.pin_sources(g, sources);
     }
 
+    /// Number of the main oracle's parked vectors currently demoted to the
+    /// ball-sparse representation — see [`DistanceOracle::sparse_parked`].
+    pub fn sparse_parked(&self) -> usize {
+        self.oracle.sparse_parked()
+    }
+
     /// The fused post-move pass: replays the move endpoints' vectors on the
     /// main oracle collecting the exact invalidation union into `changed`,
     /// then warms every other parked vector (and the consent oracle) in the
@@ -289,15 +320,16 @@ impl CostEvaluator {
     /// current version of `g`, so the counterpart queries of the following
     /// scans are served by journal replay instead of full BFS re-pins.
     pub fn pin_consent_sources(&mut self, g: &OwnedGraph, sources: &[NodeId]) {
-        let (kind, budget, n, wb) = (
+        let (kind, budget, bytes, n, wb) = (
             self.kind,
             self.cache_budget,
+            self.byte_budget,
             g.num_nodes(),
             self.warm_batching,
         );
         self.consent
             .get_or_insert_with(|| {
-                let mut oracle = make_oracle_budgeted(kind, n, budget);
+                let mut oracle = make_oracle_with_budgets(kind, n, budget, bytes);
                 oracle.set_warm_batching(wb);
                 oracle
             })
@@ -318,14 +350,15 @@ impl CostEvaluator {
         g: &OwnedGraph,
         v: NodeId,
     ) -> (DistanceSummary, DistanceSummary) {
-        let (kind, budget, n, wb) = (
+        let (kind, budget, bytes, n, wb) = (
             self.kind,
             self.cache_budget,
+            self.byte_budget,
             g.num_nodes(),
             self.warm_batching,
         );
         let consent = self.consent.get_or_insert_with(|| {
-            let mut oracle = make_oracle_budgeted(kind, n, budget);
+            let mut oracle = make_oracle_with_budgets(kind, n, budget, bytes);
             oracle.set_warm_batching(wb);
             oracle
         });

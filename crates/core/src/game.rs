@@ -43,11 +43,25 @@ impl Workspace {
     }
 
     /// Creates a workspace with an explicit backend and persistent-cache
-    /// budget (`None` = the backend default: unlimited at `n ≤ 4096`).
+    /// budget (`None` = the backend default: a byte budget unlimited at
+    /// `n ≤ 4096`).
     pub fn with_engine(n: usize, kind: OracleKind, cache_budget: Option<usize>) -> Self {
+        Workspace::with_engine_budgets(n, kind, cache_budget, None)
+    }
+
+    /// Creates a workspace with explicit backend, slot-count and parked-byte
+    /// budgets for the persistent oracle (see
+    /// [`CostEvaluator::with_budgets`]); `None` = backend defaults. Pure
+    /// memory knobs — trajectories are identical under any budget.
+    pub fn with_engine_budgets(
+        n: usize,
+        kind: OracleKind,
+        cache_budget: Option<usize>,
+        byte_budget: Option<u64>,
+    ) -> Self {
         Workspace {
             bfs: BfsBuffer::new(n),
-            evaluator: CostEvaluator::with_budget(kind, n, cache_budget),
+            evaluator: CostEvaluator::with_budgets(kind, n, cache_budget, byte_budget),
             scratch: OwnedGraph::new(n),
             candidates: Vec::new(),
             parties: Vec::new(),
@@ -76,10 +90,11 @@ impl Clone for Workspace {
     /// Clones the workspace configuration; the oracle state is scratch and is
     /// recreated fresh.
     fn clone(&self) -> Self {
-        let mut ws = Workspace::with_engine(
+        let mut ws = Workspace::with_engine_budgets(
             self.scratch.num_nodes(),
             self.evaluator.kind(),
             self.evaluator.cache_budget(),
+            self.evaluator.byte_budget(),
         );
         ws.set_warm_batching(self.evaluator.warm_batching());
         ws

@@ -18,7 +18,7 @@
 //! buffer swap.
 
 use crate::csr::CsrAdjacency;
-use crate::distances::UNREACHABLE;
+use crate::distances::{MAX_NODES, UNREACHABLE};
 use crate::graph::NodeId;
 
 /// Width of one wave: one bit per source in a `u64` frontier word.
@@ -75,6 +75,10 @@ impl MultiSourceBfs {
         summaries: &mut [BatchSummary],
     ) -> u64 {
         let n = csr.num_nodes();
+        assert!(
+            n <= MAX_NODES,
+            "u16 distances support at most {MAX_NODES} vertices (got {n})"
+        );
         let k = sources.len();
         assert!(k <= BATCH_WIDTH, "at most {BATCH_WIDTH} sources per wave");
         debug_assert_eq!(rows.len(), k);

@@ -58,10 +58,14 @@ pub struct BfsBuffer {
 
 impl BfsBuffer {
     /// Creates a workspace for graphs on `n` vertices.
+    ///
+    /// Panics when `n > MAX_NODES` — a hard assert, not a debug one: past
+    /// the u16 range distances would silently truncate, and wrong-but-
+    /// plausible distances are far worse than a loud failure.
     pub fn new(n: usize) -> Self {
-        debug_assert!(
+        assert!(
             n <= MAX_NODES,
-            "u16 distances support at most {MAX_NODES} vertices"
+            "u16 distances support at most {MAX_NODES} vertices (got {n})"
         );
         BfsBuffer {
             dist: vec![UNREACHABLE; n],
@@ -70,7 +74,13 @@ impl BfsBuffer {
     }
 
     /// Adapts the workspace to a graph on `n` vertices.
+    ///
+    /// Panics when `n > MAX_NODES`, like [`BfsBuffer::new`].
     pub fn resize(&mut self, n: usize) {
+        assert!(
+            n <= MAX_NODES,
+            "u16 distances support at most {MAX_NODES} vertices (got {n})"
+        );
         self.dist.resize(n, UNREACHABLE);
         if self.queue.capacity() < n {
             // `reserve` takes the *additional* head-room relative to `len`;

@@ -153,7 +153,17 @@ impl Hash for OwnedGraph {
 
 impl OwnedGraph {
     /// Creates an empty graph (no edges) on `n` agents.
+    ///
+    /// Panics when `n` exceeds [`crate::distances::MAX_NODES`]: every
+    /// distance pipeline downstream (BFS buffers, the multi-source waves,
+    /// the oracle's parked vectors) stores distances as `u16`, and an
+    /// oversized graph would silently truncate them.
     pub fn new(n: usize) -> Self {
+        assert!(
+            n <= crate::distances::MAX_NODES,
+            "u16 distances support at most {} vertices (got {n})",
+            crate::distances::MAX_NODES
+        );
         OwnedGraph {
             n,
             adj: vec![Vec::new(); n],

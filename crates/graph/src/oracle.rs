@@ -41,7 +41,7 @@
 
 use crate::batch::{BatchSummary, MultiSourceBfs, BATCH_WIDTH};
 use crate::csr::{CsrAdjacency, PatchOutcome};
-use crate::distances::{DistanceSummary, UNREACHABLE};
+use crate::distances::{DistanceSummary, MAX_NODES, UNREACHABLE};
 use crate::graph::{EdgeChange, GraphVersion, NodeId, OwnedGraph};
 
 /// A single undirected edge change relative to the base graph.
@@ -139,10 +139,23 @@ pub struct OracleStats {
     /// traversal each: cold bulk pins and vectors whose journal window grew
     /// past the replay limit.
     pub batched_repins: u64,
-    /// High-water mark of the parked per-source cache, in bytes (`u16`
-    /// distance vector + level counters per slot, `4n + 4` bytes each; the
-    /// former `u32` layout cost exactly twice as much).
+    /// High-water mark of the parked per-source cache, in bytes. Dense slots
+    /// cost `4n + 4` bytes (`u16` distance vector + level counters; the
+    /// former `u32` layout cost exactly twice as much); ball-sparse slots
+    /// cost `4` bytes per stored ball entry, so the mark reflects the actual
+    /// mixed-representation footprint, not the dense envelope.
     pub peak_parked_bytes: u64,
+    /// Stale journal windows longer than the per-vector replay limit that
+    /// were nonetheless served incrementally, by replaying the window's
+    /// *net* edge diff (touching only the region whose distances actually
+    /// changed) instead of joining a full `O(n)` recompute wave.
+    pub bounded_repairs: u64,
+    /// Dense parked vectors demoted to the ball-sparse representation under
+    /// byte-budget pressure.
+    pub sparse_demotions: u64,
+    /// Cache-arithmetic insertion queries served from a ball-sparse parked
+    /// vector (`O(|ball|)` instead of the dense kernel's `O(n)` pass).
+    pub sparse_hits: u64,
     /// Histogram of warm-pass widths: how many parked vectors each
     /// [`DistanceOracle::warm_sources`] pass had to *repair* (scalar replays
     /// plus batched recomputes; trusted stamp bumps are free and excluded).
@@ -176,6 +189,9 @@ impl OracleStats {
         self.warm_batches += other.warm_batches;
         self.lazy_hits += other.lazy_hits;
         self.batched_repins += other.batched_repins;
+        self.bounded_repairs += other.bounded_repairs;
+        self.sparse_demotions += other.sparse_demotions;
+        self.sparse_hits += other.sparse_hits;
         self.peak_parked_bytes = self.peak_parked_bytes.max(other.peak_parked_bytes);
         for (a, b) in self
             .warm_batch_width
@@ -358,6 +374,15 @@ pub trait DistanceOracle: Send {
     /// backends.
     fn set_warm_batching(&mut self, _on: bool) {}
 
+    /// Number of parked vectors currently held in the demoted ball-sparse
+    /// representation (0 for stateless backends and unbudgeted caches). A
+    /// scan loop that is about to activate many sources one by one can use
+    /// this to decide whether a bulk [`DistanceOracle::pin_sources`]
+    /// re-promotion pays for itself.
+    fn sparse_parked(&self) -> usize {
+        0
+    }
+
     /// Work counters accumulated since the last reset.
     fn stats(&self) -> OracleStats;
 
@@ -372,17 +397,38 @@ pub fn make_oracle(kind: OracleKind, n: usize) -> Box<dyn DistanceOracle> {
 
 /// Like [`make_oracle`], with an explicit budget on the number of per-source
 /// distance vectors the persistent backend may keep cached (`None` applies
-/// the default rule: unlimited at `n ≤ 4096`, capped at 4096 sources beyond).
+/// the default rule: unlimited at `n ≤ 8192`, capped at 8192 sources beyond).
 /// The budget is ignored by the stateless backends.
 pub fn make_oracle_budgeted(
     kind: OracleKind,
     n: usize,
     cache_budget: Option<usize>,
 ) -> Box<dyn DistanceOracle> {
+    make_oracle_with_budgets(kind, n, cache_budget, None)
+}
+
+/// Like [`make_oracle_budgeted`], additionally capping the persistent
+/// backend's parked cache in **bytes**: when the mixed dense/sparse footprint
+/// exceeds `byte_budget` (`None` = the 128 MiB default), the stalest cold
+/// dense vectors are demoted to the ball-sparse representation, and sparse
+/// vectors are evicted outright under further pressure. Purely a memory
+/// knob: every representation switch preserves exact summaries, so
+/// trajectories are bit-identical across budgets. Ignored by the stateless
+/// backends.
+pub fn make_oracle_with_budgets(
+    kind: OracleKind,
+    n: usize,
+    cache_budget: Option<usize>,
+    byte_budget: Option<u64>,
+) -> Box<dyn DistanceOracle> {
     match kind {
         OracleKind::FullBfs => Box::new(FullBfsOracle::new(n)),
         OracleKind::Incremental => Box::new(IncrementalOracle::new(n)),
-        OracleKind::Persistent => Box::new(IncrementalOracle::persistent_budgeted(n, cache_budget)),
+        OracleKind::Persistent => Box::new(IncrementalOracle::persistent_with_budgets(
+            n,
+            cache_budget,
+            byte_budget,
+        )),
     }
 }
 
@@ -487,6 +533,10 @@ pub struct FullBfsOracle {
 impl FullBfsOracle {
     /// Creates a full-BFS oracle for graphs on `n` vertices.
     pub fn new(n: usize) -> Self {
+        assert!(
+            n <= MAX_NODES,
+            "u16 distances support at most {MAX_NODES} vertices (got {n})"
+        );
         FullBfsOracle {
             csr: CsrAdjacency::new(),
             src: 0,
@@ -751,6 +801,27 @@ struct SourceCache {
     version: Option<GraphVersion>,
     /// Monotonic recency stamp of the last park/activate, for LRU eviction.
     last_used: u64,
+    /// Ball-sparse representation, populated when the slot is demoted under
+    /// byte-budget pressure: the vertices within `ball_radius` of the source
+    /// (as `u16` ids — `MAX_NODES` fits) paired with their distances in
+    /// `ball_dist`. The dense buffers are freed on demotion; the frozen
+    /// aggregates (`sum` / `reached` / `max_hint`, with the max tightened at
+    /// demotion time) keep serving `cached_summary` in `O(1)`, and the
+    /// insertion kernel reads the ball directly whenever the pinned source's
+    /// eccentricity proves every out-of-ball vertex irrelevant.
+    ball_verts: Vec<u16>,
+    ball_dist: Vec<u16>,
+    ball_radius: u16,
+}
+
+impl SourceCache {
+    /// True when the slot holds a demoted ball-sparse vector: no dense buffer
+    /// to replay or activate — only `cached_summary` and the insertion kernel
+    /// read it until a bulk wave re-promotes it to dense.
+    #[inline]
+    fn is_sparse(&self) -> bool {
+        !self.ball_verts.is_empty()
+    }
 }
 
 /// Incremental backend: journaled truncated-BFS repair of the base vector.
@@ -803,8 +874,36 @@ pub struct IncrementalOracle {
     /// Per-source cached vectors (persistent mode; lazily populated).
     cache: Vec<SourceCache>,
     /// Requested cap on the number of occupied cache slots (`None` = the
-    /// default rule: unlimited at `n ≤ 4096`, capped at 4096 beyond).
+    /// default rule: unlimited at `n ≤ 8192`, capped at 8192 beyond).
     requested_cache_budget: Option<usize>,
+    /// Requested cap on the parked cache's total footprint in **bytes**
+    /// (`None` = the 128 MiB default). Enforced after every park: cold dense
+    /// vectors are demoted to the ball-sparse representation first, and slots
+    /// are evicted outright only under further pressure.
+    requested_byte_budget: Option<u64>,
+    /// Current footprint of the parked cache in bytes, maintained
+    /// incrementally across every park / activate / demote / evict (an `O(n)`
+    /// rescan per transition would dwarf the `O(1)` park it accounts for).
+    parked_bytes: u64,
+    /// Monotone record of the largest ball radius the insertion kernel has
+    /// actually needed so far (the pinned source's tightened eccentricity
+    /// minus 2); demotions keep at least this radius so sparse slots keep
+    /// serving the kernel. Purely a hit-rate heuristic — the kernel re-checks
+    /// the exactness condition against the slot's own radius on every query.
+    demand_radius: u16,
+    /// Scratch of the sparse insertion kernel: per-level count deltas and the
+    /// touched levels, so recomputing the post-insert max costs
+    /// `O(levels touched)` instead of `O(n)`.
+    level_delta: Vec<i32>,
+    level_touched: Vec<u16>,
+    /// Memoized parity-compressed *net* journal window for the
+    /// bounded-incremental staleness repair, keyed by `(net_from, net_cur)`
+    /// so the many per-vector repairs of one warming pass share a single
+    /// compression.
+    net_window: Vec<EdgeChange>,
+    net_scratch: Vec<(u32, u32, u32)>,
+    net_from: Option<GraphVersion>,
+    net_cur: Option<GraphVersion>,
     /// Number of cache slots currently holding a parked vector.
     cached_count: usize,
     /// Monotonic clock driving the LRU recency stamps.
@@ -846,6 +945,10 @@ pub struct IncrementalOracle {
 impl IncrementalOracle {
     /// Creates an incremental oracle for graphs on `n` vertices.
     pub fn new(n: usize) -> Self {
+        assert!(
+            n <= MAX_NODES,
+            "u16 distances support at most {MAX_NODES} vertices (got {n})"
+        );
         let mut oracle = IncrementalOracle {
             csr: CsrAdjacency::new(),
             src: 0,
@@ -865,6 +968,15 @@ impl IncrementalOracle {
             persistent: false,
             cache: Vec::new(),
             requested_cache_budget: None,
+            requested_byte_budget: None,
+            parked_bytes: 0,
+            demand_radius: 2,
+            level_delta: Vec::new(),
+            level_touched: Vec::new(),
+            net_window: Vec::new(),
+            net_scratch: Vec::new(),
+            net_from: None,
+            net_cur: None,
             cached_count: 0,
             lru_tick: 0,
             pinned_version: None,
@@ -905,6 +1017,21 @@ impl IncrementalOracle {
         oracle
     }
 
+    /// Like [`IncrementalOracle::persistent_budgeted`], additionally capping
+    /// the parked cache in bytes (`None` = the 128 MiB default): over the
+    /// cap, the stalest cold dense vectors are demoted to ball-sparse, then
+    /// evicted outright. Purely a memory knob — summaries and trajectories
+    /// are bit-identical across byte budgets.
+    pub fn persistent_with_budgets(
+        n: usize,
+        cache_budget: Option<usize>,
+        byte_budget: Option<u64>,
+    ) -> Self {
+        let mut oracle = IncrementalOracle::persistent_budgeted(n, cache_budget);
+        oracle.requested_byte_budget = byte_budget;
+        oracle
+    }
+
     /// The effective cache budget for the current graph size. The u16 layout
     /// halves the per-slot bytes, so the default unlimited range doubles
     /// relative to the old u32 layout at the same memory ceiling.
@@ -917,6 +1044,38 @@ impl IncrementalOracle {
                 DEFAULT_UNLIMITED_UP_TO
             }
         })
+    }
+
+    /// Default parked-cache byte ceiling. 128 MiB keeps every configuration
+    /// up to `n = 4096` all-dense (≈ 67 MB, the historical behaviour,
+    /// bit-for-bit) while forcing the sparse demotion path at `n = 8192`
+    /// (all-dense would be ≈ 268 MB) and beyond.
+    const DEFAULT_BYTE_BUDGET: u64 = 128 * 1024 * 1024;
+
+    /// The effective byte budget of the parked cache.
+    fn byte_budget(&self) -> u64 {
+        self.requested_byte_budget
+            .unwrap_or(Self::DEFAULT_BYTE_BUDGET)
+    }
+
+    /// Bytes one dense parked slot occupies: `n` u16 distances plus `n + 2`
+    /// u16 level counters.
+    fn dense_slot_bytes(&self) -> u64 {
+        let n = self.cache.len() as u64;
+        2 * (2 * n + 2)
+    }
+
+    /// Bytes the parked slot of `src` currently occupies (0 when empty,
+    /// 4 per ball entry when demoted).
+    fn slot_parked_bytes(&self, src: usize) -> u64 {
+        let slot = &self.cache[src];
+        if slot.version.is_none() {
+            0
+        } else if slot.is_sparse() {
+            4 * slot.ball_verts.len() as u64
+        } else {
+            self.dense_slot_bytes()
+        }
     }
 
     /// Evicts one parked vector, freeing its buffers.
@@ -943,12 +1102,124 @@ impl IncrementalOracle {
             .max_by_key(|(_, slot)| (staleness(slot), std::cmp::Reverse(slot.last_used)))
             .map(|(i, _)| i);
         if let Some(i) = victim {
-            let slot = &mut self.cache[i];
-            slot.version = None;
-            slot.dist = Vec::new();
-            slot.level_counts = Vec::new();
-            self.cached_count -= 1;
+            self.evict_at(i);
         }
+    }
+
+    /// Drops the parked payload of slot `i` (dense or sparse), keeping the
+    /// byte accounting and occupancy count in step.
+    fn evict_at(&mut self, i: usize) {
+        self.parked_bytes -= self.slot_parked_bytes(i);
+        let slot = &mut self.cache[i];
+        slot.version = None;
+        slot.dist = Vec::new();
+        slot.level_counts = Vec::new();
+        slot.ball_verts = Vec::new();
+        slot.ball_dist = Vec::new();
+        slot.ball_radius = 0;
+        self.cached_count -= 1;
+    }
+
+    /// Demotes one parked dense vector to the ball-sparse representation,
+    /// preferring the stalest, then least recently used, victim (the same
+    /// order as eviction, so the byte budget degrades the cache gracefully:
+    /// shrink first, drop only under further pressure). The kept radius is
+    /// the demand radius when the deficit allows it, and is otherwise cut to
+    /// the largest one whose ball frees `need` bytes — down to radius 0
+    /// (just the source, 4 bytes) under heavy pressure; on small-diameter
+    /// graphs the demand ball is most of the vertex set, so this adaptive
+    /// cut is what makes demotion free memory at all there. A shrunken ball
+    /// only makes the insertion kernel fall back to an exact evaluation more
+    /// often; the frozen aggregates and version stamp survive, so
+    /// `cached_summary` stays `O(1)` and stamp-bump warming keeps the slot
+    /// current. Evicting here instead would cold the slot and turn every
+    /// later summary read into a scalar full BFS — the budget would destroy
+    /// the cache it was meant to bound. Returns `false` when no dense slot
+    /// is parked.
+    fn demote_one(&mut self, current: Option<GraphVersion>, need: u64) -> bool {
+        let staleness = |slot: &SourceCache| -> u64 {
+            match (current, slot.version) {
+                (Some(cur), Some(v)) => cur.changes_since(v).unwrap_or(u64::MAX),
+                _ => u64::MAX,
+            }
+        };
+        let victim = self
+            .cache
+            .iter()
+            .enumerate()
+            .filter(|(_, slot)| slot.version.is_some() && !slot.is_sparse())
+            .max_by_key(|(_, slot)| (staleness(slot), std::cmp::Reverse(slot.last_used)))
+            .map(|(i, _)| i);
+        let Some(i) = victim else {
+            return false;
+        };
+        let dense_bytes = self.dense_slot_bytes();
+        let demand = self.demand_radius;
+        let slot = &mut self.cache[i];
+        // Tighten the parked max bound so the kept radius is as small as the
+        // data allows; the frozen aggregates serve `cached_summary` as-is.
+        let mut m = slot.max_hint;
+        while m > 0 && slot.level_counts[m as usize] == 0 {
+            m -= 1;
+        }
+        slot.max_hint = m;
+        // Keep the levels the insertion kernel can ever read: a pinned source
+        // of eccentricity `mu` never distinguishes vertices past `mu - 2`
+        // hops from the inserted endpoint (`1 + d_v ≥ mu` there already), and
+        // `demand` records the largest such `mu - 2` observed so far.
+        let mut radius = demand.max(m.saturating_sub(2));
+        let ball_at = |r: u16| -> usize {
+            slot.level_counts
+                .iter()
+                .take(r as usize + 1)
+                .map(|&c| usize::from(c))
+                .sum()
+        };
+        let mut ball = ball_at(radius);
+        // Free what the deficit asks for, no more: cut the radius (4 bytes
+        // per kept entry) only while this victim still falls short of `need`.
+        // Radius 0 keeps one entry — the source itself — so the floor frees
+        // all but 4 of the dense footprint.
+        let goal = need.min(dense_bytes - 4);
+        while radius > 0 && dense_bytes.saturating_sub(4 * ball as u64) < goal {
+            radius -= 1;
+            ball = ball_at(radius);
+        }
+        let mut verts = Vec::with_capacity(ball);
+        let mut dists = Vec::with_capacity(ball);
+        for (x, &d) in slot.dist.iter().enumerate() {
+            if d <= radius {
+                verts.push(x as u16);
+                dists.push(d);
+            }
+        }
+        slot.dist = Vec::new();
+        slot.level_counts = Vec::new();
+        slot.ball_verts = verts;
+        slot.ball_dist = dists;
+        slot.ball_radius = radius;
+        self.parked_bytes -= dense_bytes;
+        self.parked_bytes += 4 * ball as u64;
+        self.stats.sparse_demotions += 1;
+        true
+    }
+
+    /// Brings the parked cache under both budgets after a park: the
+    /// slot-count budget by eviction (the legacy knob, semantics unchanged),
+    /// the byte budget by demoting dense vectors to ball-sparse first and
+    /// evicting only when even the sparse footprint is too large. Each
+    /// iteration strictly shrinks `parked_bytes` or empties a slot, so both
+    /// loops terminate.
+    fn enforce_budgets(&mut self, current: Option<GraphVersion>) {
+        while self.cached_count > self.cache_budget() {
+            self.evict_lru(current);
+        }
+        let budget = self.byte_budget();
+        while self.parked_bytes > budget && self.demote_one(current, self.parked_bytes - budget) {}
+        while self.parked_bytes > budget && self.cached_count > 0 {
+            self.evict_lru(current);
+        }
+        self.note_parked_peak();
     }
 
     /// Maximum number of journal entries worth replaying before a full BFS is
@@ -1263,7 +1534,12 @@ impl IncrementalOracle {
         if src >= self.cache.len() {
             return;
         }
+        let dense_bytes = self.dense_slot_bytes();
         let slot = &mut self.cache[src];
+        // The pinned source's slot is always empty: activating it cleared the
+        // slot (dense) or dropped it (sparse), and no warming path re-parks
+        // the pinned source.
+        debug_assert!(slot.version.is_none(), "parking over an occupied slot");
         std::mem::swap(&mut slot.dist, &mut self.state.dist);
         std::mem::swap(&mut slot.level_counts, &mut self.state.level_counts);
         slot.sum = self.state.sum;
@@ -1271,25 +1547,22 @@ impl IncrementalOracle {
         slot.max_hint = self.state.max_hint;
         if slot.version.is_none() {
             self.cached_count += 1;
+            self.parked_bytes += dense_bytes;
         }
         slot.version = Some(version);
         slot.last_used = self.lru_tick;
         self.lru_tick += 1;
         // The just-parked slot carries the newest stamp and recency, so it is
-        // never the victim unless the budget is zero (cache disabled).
-        while self.cached_count > self.cache_budget() {
-            self.evict_lru(Some(version));
-        }
-        self.note_parked_peak();
+        // never the victim unless the budget is zero (cache disabled) or it
+        // is the only slot left over the byte budget.
+        self.enforce_budgets(Some(version));
     }
 
-    /// Updates the parked-cache high-water mark (every parked slot holds `n`
-    /// u16 distances plus `n + 2` u16 level counters).
+    /// Updates the parked-cache high-water mark from the incrementally
+    /// maintained mixed-representation byte count.
     fn note_parked_peak(&mut self) {
-        let n = self.cache.len() as u64;
-        let bytes = self.cached_count as u64 * (2 * (2 * n + 2));
-        if bytes > self.stats.peak_parked_bytes {
-            self.stats.peak_parked_bytes = bytes;
+        if self.parked_bytes > self.stats.peak_parked_bytes {
+            self.stats.peak_parked_bytes = self.parked_bytes;
         }
     }
 
@@ -1304,16 +1577,24 @@ impl IncrementalOracle {
         debug_assert_eq!(self.csr_version, Some(g.version()));
         let n = g.num_nodes();
         let cur = g.version();
+        let dense_bytes = self.dense_slot_bytes();
         for chunk in pending.chunks(BATCH_WIDTH) {
             let mut rows: Vec<Vec<u16>> = Vec::with_capacity(chunk.len());
             let mut counts: Vec<Vec<u16>> = Vec::with_capacity(chunk.len());
             for &src in chunk {
-                debug_assert_ne!(
-                    self.cache[src as usize].version,
-                    Some(cur),
-                    "batching a source that is already current"
+                debug_assert!(
+                    self.cache[src as usize].version != Some(cur)
+                        || self.cache[src as usize].is_sparse(),
+                    "batching a dense source that is already current"
                 );
+                // Release whatever representation the slot held (a stale
+                // dense vector, or a sparse ball being re-promoted); the
+                // restore below re-adds the dense footprint.
+                self.parked_bytes -= self.slot_parked_bytes(src as usize);
                 let slot = &mut self.cache[src as usize];
+                slot.ball_verts = Vec::new();
+                slot.ball_dist = Vec::new();
+                slot.ball_radius = 0;
                 let mut row = std::mem::take(&mut slot.dist);
                 let mut lc = std::mem::take(&mut slot.level_counts);
                 MultiSourceBfs::prepare_row(&mut row, &mut lc, n);
@@ -1351,18 +1632,19 @@ impl IncrementalOracle {
                 slot.version = Some(cur);
                 slot.last_used = self.lru_tick;
                 self.lru_tick += 1;
+                self.parked_bytes += dense_bytes;
             }
-            while self.cached_count > self.cache_budget() {
-                self.evict_lru(Some(cur));
-            }
-            self.note_parked_peak();
+            self.enforce_budgets(Some(cur));
         }
     }
 
     /// Activates the cached vector of `src` as the working state — two buffer
     /// swaps and three scalar copies, no per-vertex work at all.
     fn load_cached(&mut self, src: usize, n: usize) {
+        let dense_bytes = self.dense_slot_bytes();
+        self.parked_bytes -= dense_bytes;
         let slot = &mut self.cache[src];
+        debug_assert!(!slot.is_sparse(), "a demoted slot cannot be activated");
         debug_assert_eq!(slot.dist.len(), n, "cached vectors track the graph size");
         debug_assert_eq!(slot.level_counts.len(), n + 2);
         std::mem::swap(&mut slot.dist, &mut self.state.dist);
@@ -1389,11 +1671,71 @@ impl IncrementalOracle {
         let Some(changes) = g.changes_since(from) else {
             return false;
         };
-        if changes.len() > self.stale_limit() {
+        let limit = self.stale_limit();
+        if changes.len() <= limit {
+            self.sync_csr(g);
+            self.replay_changes(changes);
+            return true;
+        }
+        // Bounded-incremental staleness repair: a long raw window often nets
+        // to a handful of distinct edges (best-response dynamics flips the
+        // same edges back and forth), and replaying the parity-compressed
+        // net diff touches only the region whose distances actually changed
+        // — instead of dragging the vector through a full recompute wave.
+        if !self.net_window_for(g, from) || self.net_window.len() > limit {
             return false;
         }
         self.sync_csr(g);
-        self.replay_changes(changes);
+        let net = std::mem::take(&mut self.net_window);
+        self.replay_changes(&net);
+        self.net_window = net;
+        self.stats.bounded_repairs += 1;
+        true
+    }
+
+    /// Computes (and memoizes, keyed on the version pair) the
+    /// parity-compressed **net** edge diff of the journal window
+    /// `from → g.version()`: on an undirected edge the journal must
+    /// alternate `Added` / `Removed`, so an edge toggled an even number of
+    /// times cancels out entirely and an odd count nets to its *last*
+    /// toggle. The result is the exact edge-set difference between the two
+    /// graph versions, so replaying it through the ordinary repair machinery
+    /// is equivalent to replaying the raw window. Returns `false` when the
+    /// journal no longer serves the window.
+    fn net_window_for(&mut self, g: &OwnedGraph, from: GraphVersion) -> bool {
+        let cur = g.version();
+        if self.net_from == Some(from) && self.net_cur == Some(cur) {
+            return true;
+        }
+        let Some(changes) = g.changes_since(from) else {
+            return false;
+        };
+        let mut keyed = std::mem::take(&mut self.net_scratch);
+        keyed.clear();
+        keyed.extend(changes.iter().enumerate().map(|(i, c)| {
+            let (u, v) = match *c {
+                EdgeChange::Added { u, v } | EdgeChange::Removed { u, v } => (u as u32, v as u32),
+            };
+            (u.min(v), u.max(v), i as u32)
+        }));
+        keyed.sort_unstable();
+        self.net_window.clear();
+        let mut i = 0;
+        while i < keyed.len() {
+            let mut j = i + 1;
+            while j < keyed.len() && (keyed[j].0, keyed[j].1) == (keyed[i].0, keyed[i].1) {
+                j += 1;
+            }
+            if (j - i) % 2 == 1 {
+                // Sorted groups keep the original order, so `j - 1` is the
+                // edge's last toggle — the one that decides its final state.
+                self.net_window.push(changes[keyed[j - 1].2 as usize]);
+            }
+            i = j;
+        }
+        self.net_scratch = keyed;
+        self.net_from = Some(from);
+        self.net_cur = Some(cur);
         true
     }
 
@@ -1447,6 +1789,11 @@ impl IncrementalOracle {
         let Some(from) = self.cache[src].version else {
             return false;
         };
+        if self.cache[src].is_sparse() {
+            // A demoted slot has no dense vector to repair; the bulk waves
+            // re-promote it instead.
+            return false;
+        }
         let cur = g.version();
         if from == cur {
             return collect.is_none();
@@ -1454,7 +1801,9 @@ impl IncrementalOracle {
         let Some(changes) = g.changes_since(from) else {
             return false;
         };
-        if changes.len() > self.stale_limit() {
+        let limit = self.stale_limit();
+        let use_net = changes.len() > limit;
+        if use_net && (!self.net_window_for(g, from) || self.net_window.len() > limit) {
             return false;
         }
         self.sync_csr(g);
@@ -1469,7 +1818,15 @@ impl IncrementalOracle {
         self.state.reached = slot.reached;
         self.state.max_hint = slot.max_hint;
         self.state.journal.clear();
-        self.replay_changes(changes);
+        if use_net {
+            // Same exactness, bounded work: the net diff of the long window.
+            let net = std::mem::take(&mut self.net_window);
+            self.replay_changes(&net);
+            self.net_window = net;
+            self.stats.bounded_repairs += 1;
+        } else {
+            self.replay_changes(changes);
+        }
         if let Some(out) = collect {
             out.extend(self.state.touched.iter().map(|&x| x as NodeId));
         }
@@ -1641,6 +1998,11 @@ impl IncrementalOracle {
             self.cache.clear();
             self.cache.resize_with(n, SourceCache::default);
             self.cached_count = 0;
+            self.parked_bytes = 0;
+            self.demand_radius = 2;
+            self.net_from = None;
+            self.net_cur = None;
+            self.net_window.clear();
             self.pinned_version = None;
             self.csr_version = None;
             self.warm_floor = None;
@@ -1654,8 +2016,15 @@ impl IncrementalOracle {
             self.save_working();
             self.src = src as u32;
             if let Some(v) = self.cache[src].version {
-                self.load_cached(src, n);
-                base_version = Some(v);
+                if self.cache[src].is_sparse() {
+                    // A demoted slot cannot seed a working vector — its ball
+                    // is a read-only summary surface. Drop it and pay the
+                    // full re-pin below.
+                    self.evict_at(src);
+                } else {
+                    self.load_cached(src, n);
+                    base_version = Some(v);
+                }
             }
         }
         let replayed = base_version.is_some_and(|v| self.try_replay(g, v));
@@ -1668,25 +2037,101 @@ impl IncrementalOracle {
         self.pinned_version = Some(g.version());
         self.state.summary(n)
     }
+
+    /// The ball-sparse twin of [`fused_insert_summary`]: the post-insertion
+    /// summary of the pinned source when the inserted endpoint `v`'s parked
+    /// vector is demoted, computed in `O(|ball| + levels touched)` from the
+    /// slot's frozen aggregates and ball entries alone.
+    ///
+    /// Exactness: with `d_u` the pinned working vector (tightened maximum
+    /// `mu`, all `n` reached) and `r` the slot's ball radius, every vertex
+    /// outside the ball has `d_v ≥ r + 1`, so whenever `mu ≤ r + 2` its
+    /// fused value `min(d_u, 1 + d_v)` is `d_u` unchanged — only ball
+    /// entries can move. The sum shrinks by each ball entry's improvement,
+    /// and the maximum is rescanned over the per-level count deltas.
+    /// Returns `None` — the caller then falls back to an exact full
+    /// evaluation — when the condition cannot be proven; the fallback is
+    /// exact, so scores and trajectories are bit-identical to the dense
+    /// kernel's either way.
+    fn sparse_insert_ball_summary(&mut self, v: usize) -> Option<DistanceSummary> {
+        let n = self.cache.len();
+        if self.state.reached < n {
+            // An unreached vertex outside the ball has an unknown fused
+            // value; no radius can prove the query away.
+            return None;
+        }
+        // `evaluate_insert_via_cache` tightened the working max already.
+        let mu = self.state.max_hint;
+        let slot = &self.cache[v];
+        if mu > slot.ball_radius.saturating_add(2) {
+            return None;
+        }
+        let mut delta = std::mem::take(&mut self.level_delta);
+        let mut touched = std::mem::take(&mut self.level_touched);
+        if delta.len() < n + 2 {
+            delta.resize(n + 2, 0);
+        }
+        let mut sum = self.state.sum;
+        let slot = &self.cache[v];
+        for (&x, &dv) in slot.ball_verts.iter().zip(&slot.ball_dist) {
+            let du = self.state.dist[x as usize];
+            let nd = dv + 1; // dv ≤ radius < u16::MAX: no overflow
+            if nd < du {
+                sum -= u64::from(du - nd);
+                delta[du as usize] -= 1;
+                delta[nd as usize] += 1;
+                touched.push(du);
+                touched.push(nd);
+            }
+        }
+        let mut m = mu;
+        while m > 0
+            && i64::from(self.state.level_counts[m as usize]) + i64::from(delta[m as usize]) <= 0
+        {
+            m -= 1;
+        }
+        for &l in &touched {
+            delta[l as usize] = 0;
+        }
+        touched.clear();
+        self.level_delta = delta;
+        self.level_touched = touched;
+        Some(DistanceSummary {
+            sum: Some(sum),
+            max: Some(u32::from(m)),
+        })
+    }
 }
+
+/// Chunk length of [`fused_insert_summary`]'s u32 accumulator lanes: the
+/// lanes are flushed into the u64 totals every `FUSED_CHUNK` entries, so the
+/// kernel's SUM is exact for **any** input length — not just `n ≤ 4096`.
+const FUSED_CHUNK: usize = 4096;
+
+/// A u32 lane must hold `FUSED_CHUNK` worst-case u16 summands between
+/// flushes. This breaks the build loudly if either width is ever changed —
+/// the silent alternative is a wrapped, wrong SUM at large `n`.
+const _: () = assert!(FUSED_CHUNK as u128 * u16::MAX as u128 <= u32::MAX as u128);
 
 /// Fused `min(src, far + 1)` SUM/MAX/reached pass of the cache-arithmetic
 /// insertion scorer — the hot kernel of the persistent engine (one `O(n)`
 /// pass per scored candidate). Branchless and chunked so it autovectorizes
-/// over the u16 vectors: each 4096-entry chunk accumulates into u32 lanes
-/// (`4096 · 65535 < 2³²`), and unreachable entries are *counted* rather than
-/// branched around per element (`UNREACHABLE` saturates through the `+ 1`,
-/// so `d == UNREACHABLE` exactly marks vertices neither side reaches).
+/// over the u16 vectors: each [`FUSED_CHUNK`]-entry chunk accumulates into
+/// u32 lanes and is flushed into u64 totals before a lane could wrap (the
+/// compile-time assertion above pins the bound, and the `*_past_u32` kernel
+/// tests drive it beyond `u32::MAX` total mass), and unreachable entries
+/// are *counted* rather than branched around per element (`UNREACHABLE`
+/// saturates through the `+ 1`, so `d == UNREACHABLE` exactly marks
+/// vertices neither side reaches).
 fn fused_insert_summary(src_dist: &[u16], far_dist: &[u16]) -> DistanceSummary {
     debug_assert_eq!(src_dist.len(), far_dist.len());
     let n = src_dist.len();
-    const CHUNK: usize = 4096;
     let mut unreach = 0u64;
     let mut sum = 0u64;
     let mut max = 0u16;
     let mut i = 0;
     while i < n {
-        let end = (i + CHUNK).min(n);
+        let end = (i + FUSED_CHUNK).min(n);
         let mut csum = 0u32;
         let mut cunr = 0u32;
         for (&a, &b) in src_dist[i..end].iter().zip(&far_dist[i..end]) {
@@ -1755,6 +2200,15 @@ impl DistanceOracle for IncrementalOracle {
         if slot.reached < n {
             return Some(DistanceSummary::DISCONNECTED);
         }
+        if slot.is_sparse() {
+            // The aggregates were frozen — and the max bound tightened — at
+            // demotion time, so the answer is O(1) (the empty level counters
+            // must not be consulted).
+            return Some(DistanceSummary {
+                sum: Some(slot.sum),
+                max: Some(u32::from(slot.max_hint)),
+            });
+        }
         // Tighten the parked max bound exactly like `DistState::summary`.
         let mut m = slot.max_hint;
         while m > 0 && slot.level_counts[m as usize] == 0 {
@@ -1775,26 +2229,26 @@ impl DistanceOracle for IncrementalOracle {
             return;
         }
         let cur = g.version();
-        let limit = self.stale_limit();
         let mut pending = std::mem::take(&mut self.batch_pending);
         pending.clear();
         for &src in sources {
-            // Already current — parked or pinned — costs nothing; a parked
-            // vector at an older stamp within the replay limit is repaired in
-            // place by scalar lazy replay (cheaper than a fresh traversal for
-            // the short windows this path sees). Cold or unreplayable sources
-            // are queued for the shared 64-wide bitset waves — or pay the
-            // scalar `begin` when batching is off (and always for the
-            // currently pinned source, whose working vector `begin` reuses).
-            if self.cache[src].version == Some(cur)
+            // Already current — parked dense or pinned — costs nothing; a
+            // dense vector at an older stamp is repaired in place by scalar
+            // lazy replay (raw window or parity-compressed net diff). Cold
+            // or unreplayable sources are queued for the shared 64-wide
+            // bitset waves — as are *sparse* slots, even current ones: an
+            // explicitly requested source is about to be read as a seed or
+            // working vector, so the wave re-promotes its ball to a full
+            // dense vector rather than leaving the dirty-engine machinery to
+            // fall back conservatively. With batching off they pay the
+            // scalar `begin` (and always for the currently pinned source,
+            // whose working vector `begin` reuses).
+            if (self.cache[src].version == Some(cur) && !self.cache[src].is_sparse())
                 || (self.pinned_version == Some(cur) && self.src == src as u32)
             {
                 continue;
             }
-            let replayable = self.cache[src]
-                .version
-                .is_some_and(|v| g.changes_since(v).is_some_and(|c| c.len() <= limit));
-            if replayable && self.warm_slot(g, src) {
+            if self.warm_slot(g, src) {
                 continue;
             }
             if self.warm_batching && !(self.pinned_version.is_some() && self.src == src as u32) {
@@ -1814,6 +2268,13 @@ impl DistanceOracle for IncrementalOracle {
 
     fn set_warm_batching(&mut self, on: bool) {
         self.warm_batching = on;
+    }
+
+    fn sparse_parked(&self) -> usize {
+        self.cache
+            .iter()
+            .filter(|s| s.version.is_some() && s.is_sparse())
+            .count()
     }
 
     fn warm_sources(&mut self, g: &OwnedGraph, dirty: &[NodeId]) {
@@ -1872,6 +2333,25 @@ impl DistanceOracle for IncrementalOracle {
         // ever pushed or rolled back).
         self.run_deltas(prefix);
         let n = self.csr.num_nodes();
+        if self.state.reached == n {
+            // Record the ball radius a query from this state would need, so
+            // later demotions keep enough of their vector to stay servable.
+            let mut mu = self.state.max_hint;
+            while mu > 0 && self.state.level_counts[mu as usize] == 0 {
+                mu -= 1;
+            }
+            self.state.max_hint = mu;
+            self.demand_radius = self.demand_radius.max(mu.saturating_sub(2));
+        }
+        if self.cache[v].is_sparse() {
+            let summary = self.sparse_insert_ball_summary(v)?;
+            self.stats.sparse_hits += 1;
+            self.stats.nodes_expanded += self.cache[v].ball_verts.len() as u64;
+            let tick = self.lru_tick;
+            self.cache[v].last_used = tick;
+            self.lru_tick += 1;
+            return Some((summary, prefix.is_empty()));
+        }
         let summary = fused_insert_summary(&self.state.dist[..n], &self.cache[v].dist[..n]);
         self.stats.nodes_expanded += n as u64;
         Some((summary, prefix.is_empty()))
@@ -2565,5 +3045,267 @@ mod tests {
         // The replayed base is restored after the what-if query.
         let mut buf = BfsBuffer::new(10);
         assert_eq!(oracle.evaluate(&[]), buf.summary(&g, 2));
+    }
+
+    #[test]
+    fn width_bucket_pins_the_histogram_mapping() {
+        // Bucket i covers widths with ceil(log2(w)) == i; a full 64-source
+        // wave must land in the top *in-range* bucket 6, with bucket 7
+        // reserved for the >64 overflow — no off-by-one at powers of two.
+        assert_eq!(width_bucket(0), 0);
+        assert_eq!(width_bucket(1), 0);
+        assert_eq!(width_bucket(2), 1);
+        assert_eq!(width_bucket(3), 2);
+        assert_eq!(width_bucket(4), 2);
+        assert_eq!(width_bucket(5), 3);
+        assert_eq!(width_bucket(8), 3);
+        assert_eq!(width_bucket(9), 4);
+        assert_eq!(width_bucket(16), 4);
+        assert_eq!(width_bucket(17), 5);
+        assert_eq!(width_bucket(32), 5);
+        assert_eq!(width_bucket(33), 6);
+        assert_eq!(width_bucket(BATCH_WIDTH), 6, "full wave in the top bucket");
+        assert_eq!(width_bucket(BATCH_WIDTH + 1), 7);
+        assert_eq!(width_bucket(10_000), 7);
+    }
+
+    #[test]
+    fn fused_kernel_sum_is_exact_past_u32_mass() {
+        // Drive the kernel's chunk-flush past u32::MAX of total mass — with
+        // one unflushed u32 accumulator the sum wraps and this fails. The
+        // kernel is length-generic, so the invariant is exercised directly
+        // at its boundary, beyond what any single graph would feed it.
+        let len = 70_000usize;
+        let src: Vec<u16> = (0..len).map(|i| 65_000 + (i % 400) as u16).collect();
+        let far = vec![UNREACHABLE - 1; len]; // far + 1 saturates to 65535
+        let mut expect = 0u64;
+        let mut expect_max = 0u16;
+        for (&a, &b) in src.iter().zip(&far) {
+            let d = a.min(b.saturating_add(1));
+            expect += u64::from(d);
+            expect_max = expect_max.max(d);
+        }
+        assert!(
+            expect > u64::from(u32::MAX),
+            "the test must cross the u32 boundary"
+        );
+        let got = fused_insert_summary(&src, &far);
+        assert_eq!(got.sum, Some(expect));
+        assert_eq!(got.max, Some(u32::from(expect_max)));
+    }
+
+    #[test]
+    fn fused_kernel_matches_naive_reference_on_mixed_vectors() {
+        // Deterministic mixed vectors (finite + unreachable entries) across
+        // chunk-boundary lengths, checked against a from-scratch u64 pass.
+        let mut seed = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (seed >> 33) as u32
+        };
+        for len in [
+            0usize,
+            1,
+            5,
+            FUSED_CHUNK - 1,
+            FUSED_CHUNK,
+            FUSED_CHUNK + 1,
+            10_000,
+        ] {
+            let mut gen = |unreach_period: u32| -> Vec<u16> {
+                (0..len)
+                    .map(|_| {
+                        let r = next();
+                        if r % unreach_period == 0 {
+                            UNREACHABLE
+                        } else {
+                            (r % 1000) as u16
+                        }
+                    })
+                    .collect()
+            };
+            for period in [7u32, 1_000_000] {
+                let src = gen(period);
+                let far = gen(period);
+                let mut sum = 0u64;
+                let mut max = 0u16;
+                let mut unreach = 0usize;
+                for (&a, &b) in src.iter().zip(&far) {
+                    let d = a.min(b.saturating_add(1));
+                    if d == UNREACHABLE {
+                        unreach += 1;
+                    } else {
+                        sum += u64::from(d);
+                        max = max.max(d);
+                    }
+                }
+                let expect = if unreach > 0 {
+                    DistanceSummary::DISCONNECTED
+                } else {
+                    DistanceSummary {
+                        sum: Some(sum),
+                        max: Some(u32::from(max)),
+                    }
+                };
+                assert_eq!(fused_insert_summary(&src, &far), expect, "len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn toggle_heavy_windows_replay_via_the_net_diff() {
+        // Flip the same edge back and forth far past the stale limit
+        // (max(8, 24/8) = 8): the raw window is long but parity-cancels to
+        // nothing (or to one real change), so the re-pin must stay
+        // incremental instead of falling back to a full BFS.
+        let mut g = generators::cycle(24);
+        let mut oracle = IncrementalOracle::persistent(24);
+        let mut buf = BfsBuffer::new(24);
+        oracle.begin(&g, 0);
+        assert_eq!(oracle.stats().full_bfs_runs, 1);
+        for _ in 0..10 {
+            g.add_edge(0, 12);
+            g.remove_edge(0, 12);
+        }
+        assert_eq!(oracle.begin(&g, 0), buf.summary(&g, 0));
+        let stats = oracle.stats();
+        assert_eq!(stats.full_bfs_runs, 1, "a net-empty window advances free");
+        assert!(stats.bounded_repairs >= 1);
+        // One real change buried in 12 cancelling toggles nets to itself.
+        for _ in 0..6 {
+            g.add_edge(3, 17);
+            g.remove_edge(3, 17);
+        }
+        g.add_edge(5, 19);
+        assert_eq!(oracle.begin(&g, 0), buf.summary(&g, 0));
+        assert_eq!(oracle.base_distances(), &buf.run(&g, 0)[..24]);
+        assert_eq!(oracle.stats().full_bfs_runs, 1, "net diff of 1 replays");
+        assert!(oracle.changed_since_begin().is_some());
+    }
+
+    #[test]
+    fn warming_serves_toggle_storms_via_bounded_repair() {
+        // The same bounded repair must light up the lazy-warming path: three
+        // parked vectors behind a 19-change window that nets to one edge.
+        let mut g = generators::cycle(20);
+        let mut oracle = IncrementalOracle::persistent(20);
+        let mut buf = BfsBuffer::new(20);
+        oracle.pin_sources(&g, &[0, 7, 14]);
+        let cold = oracle.stats();
+        for _ in 0..9 {
+            g.add_edge(2, 11);
+            g.remove_edge(2, 11);
+        }
+        g.add_edge(4, 15);
+        let all: Vec<usize> = (0..20).collect();
+        oracle.warm_sources(&g, &all);
+        let stats = oracle.stats();
+        assert!(
+            stats.bounded_repairs >= 3,
+            "every parked vector repairs via the net window: {stats:?}"
+        );
+        assert_eq!(stats.full_bfs_runs, cold.full_bfs_runs);
+        assert_eq!(
+            stats.batched_repins, cold.batched_repins,
+            "no recompute wave for a storm that nets to one change"
+        );
+        for &src in &[0usize, 7, 14] {
+            assert_eq!(
+                oracle.cached_summary(&g, src),
+                Some(buf.summary(&g, src)),
+                "src {src}"
+            );
+        }
+    }
+
+    #[test]
+    fn byte_budget_demotes_then_evicts_and_stays_exact() {
+        // Budget below one dense slot (2·(2·16+2) = 68 bytes at n = 16):
+        // every park demotes to the ball representation, cutting the radius
+        // until the ball fits; only a budget below even the shrunken balls
+        // evicts. Exactness must survive both.
+        let g = generators::cycle(16);
+        let mut oracle = IncrementalOracle::persistent_with_budgets(16, None, Some(60));
+        let mut buf = BfsBuffer::new(16);
+        oracle.begin(&g, 0);
+        oracle.begin(&g, 5); // parks 0: 68 > 60 → demoted to its ball
+        let stats = oracle.stats();
+        assert!(stats.sparse_demotions >= 1, "{stats:?}");
+        assert!(
+            stats.peak_parked_bytes <= 60,
+            "the recorded peak respects the byte budget: {stats:?}"
+        );
+        assert_eq!(oracle.cached_summary(&g, 0), Some(buf.summary(&g, 0)));
+        oracle.begin(&g, 9); // parks 5 → over budget again → demote/evict
+        for src in 0..16 {
+            assert_eq!(oracle.begin(&g, src), buf.summary(&g, src), "src {src}");
+            assert_eq!(oracle.base_distances(), &buf.run(&g, src)[..16]);
+        }
+    }
+
+    #[test]
+    fn sparse_slot_serves_the_insert_kernel_exactly() {
+        // 130 bytes fit one dense slot (68) plus one ball but not two dense
+        // slots, so the third pin demotes the oldest slot. The demoted ball
+        // must serve the cache-arithmetic insertion kernel with the exact
+        // summary (on a 16-cycle every eccentricity is 8 and the kept radius
+        // is 8 - 2 = 6, so the exactness condition mu ≤ r + 2 is tight).
+        let g = generators::cycle(16);
+        let mut oracle = IncrementalOracle::persistent_with_budgets(16, None, Some(130));
+        oracle.set_warm_batching(false);
+        oracle.begin(&g, 5);
+        oracle.begin(&g, 0); // parks 5 (dense, 68 ≤ 130)
+        oracle.begin(&g, 9); // parks 0 → 136 > 130 → demotes 5 (oldest)
+        assert!(oracle.cache[5].is_sparse(), "oldest slot demoted");
+        assert!(!oracle.cache[0].is_sparse(), "newer slot stays dense");
+        let (_, expect5) = truth(&g, 9, &[EdgeDelta::Insert { u: 9, v: 5 }]);
+        assert_eq!(
+            oracle.evaluate_insert_via_cache(&g, &[], 9, 5),
+            Some((expect5, true)),
+            "sparse slot serves the kernel exactly"
+        );
+        assert!(oracle.stats().sparse_hits >= 1);
+        let (_, expect0) = truth(&g, 9, &[EdgeDelta::Insert { u: 9, v: 0 }]);
+        assert_eq!(
+            oracle.evaluate_insert_via_cache(&g, &[], 9, 0),
+            Some((expect0, true)),
+            "the dense twin answers identically"
+        );
+        let mut buf = BfsBuffer::new(16);
+        assert_eq!(oracle.cached_summary(&g, 5), Some(buf.summary(&g, 5)));
+        // Re-pinning the demoted source stays exact (the ball cannot seed a
+        // working vector, so this pays a fresh BFS).
+        assert_eq!(oracle.begin(&g, 5), buf.summary(&g, 5));
+        assert_eq!(oracle.base_distances(), &buf.run(&g, 5)[..16]);
+    }
+
+    #[test]
+    fn out_of_ball_reads_fall_back_without_losing_exactness() {
+        // On a path the eccentricities diverge: the demoted middle vertex
+        // keeps radius 12 - 2 = 10, and a query from the path's end
+        // (eccentricity 23 > 10 + 2) cannot be proven away from the ball —
+        // the kernel must refuse, and the caller's exact fallback answers.
+        let g = generators::path(24);
+        let mut oracle = IncrementalOracle::persistent_with_budgets(24, None, Some(190));
+        oracle.set_warm_batching(false);
+        oracle.begin(&g, 12);
+        oracle.begin(&g, 0); // parks 12 (dense, 100 ≤ 190)
+        oracle.begin(&g, 23); // parks 0 → 200 > 190 → demotes 12
+        assert!(oracle.cache[12].is_sparse());
+        assert_eq!(
+            oracle.evaluate_insert_via_cache(&g, &[], 23, 12),
+            None,
+            "an out-of-ball query refuses instead of guessing"
+        );
+        assert!(
+            oracle.evaluate_insert_via_cache(&g, &[], 23, 0).is_some(),
+            "the dense slot serves any source"
+        );
+        // The ordinary evaluation path remains exact for the same candidate.
+        let deltas = [EdgeDelta::Insert { u: 23, v: 12 }];
+        let (_, expect) = truth(&g, 23, &deltas);
+        assert_eq!(oracle.evaluate(&deltas), expect);
     }
 }

@@ -33,6 +33,12 @@ pub struct EngineSpec {
     /// unlimited at `n ≤ 8192`, capped at 8192 sources beyond. Ignored by the
     /// stateless backends.
     pub oracle_cache_budget: Option<usize>,
+    /// Cap on the persistent oracle's parked-vector **bytes** (`None` = the
+    /// backend's 128 MiB default). Over budget, parked vectors are demoted to
+    /// their ball-sparse representation and then evicted. Purely a memory
+    /// knob — trajectories are bit-identical under any budget. Ignored by the
+    /// stateless backends.
+    pub oracle_byte_budget: Option<u64>,
     /// Post-move bulk warming of the persistent oracle's parked vectors
     /// under dirty-agent tracking (on by default; warming never changes
     /// trajectories). `false` is the "cold" ablation mode that reproduces
@@ -53,6 +59,7 @@ impl Default for EngineSpec {
             dirty_agents: false,
             parallel_scan: None,
             oracle_cache_budget: None,
+            oracle_byte_budget: None,
             warm_parked: true,
             warm_batching: true,
         }
@@ -137,6 +144,13 @@ impl EngineSpec {
         self
     }
 
+    /// Sets the parked-vector byte budget (see
+    /// [`EngineSpec::oracle_byte_budget`]).
+    pub fn with_byte_budget(mut self, budget: Option<u64>) -> Self {
+        self.oracle_byte_budget = budget;
+        self
+    }
+
     /// Sets the parallel-scan width (`None` = sequential scan).
     pub fn with_parallel_scan(mut self, threads: Option<usize>) -> Self {
         self.parallel_scan = threads;
@@ -154,6 +168,9 @@ impl EngineSpec {
         }
         if let Some(b) = self.oracle_cache_budget {
             parts.push(format!("lru{b}"));
+        }
+        if let Some(b) = self.oracle_byte_budget {
+            parts.push(format!("mem{b}"));
         }
         if self.dirty_agents && self.oracle == OracleKind::Persistent && !self.warm_parked {
             parts.push("cold".to_string());

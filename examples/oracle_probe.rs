@@ -38,6 +38,7 @@ fn run(n: usize, family: &str, oracle: OracleKind, dirty: bool, warm: bool, batc
         ownership_in_state: true,
         oracle,
         oracle_cache_budget: None,
+        oracle_byte_budget: None,
         dirty_agents: dirty,
         warm_parked: warm,
         warm_batching: batch,

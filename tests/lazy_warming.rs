@@ -77,8 +77,8 @@ fn changed_vectors(g: &OwnedGraph, pre: &mut [Vec<u16>], buf: &mut BfsBuffer) ->
 
 /// Tentpole property: lazy per-source version replay ≡ eager per-version
 /// sync ≡ full BFS over long random move sequences, with bursts past the
-/// staleness limit (per-vector fallback) and an LRU-budgeted twin (eviction)
-/// riding along.
+/// staleness limit (per-vector fallback), an LRU-budgeted twin (eviction)
+/// and a byte-budgeted twin (ball-sparse demotion) riding along.
 #[test]
 fn lazy_warming_matches_eager_sync_and_full_bfs() {
     let mut rng = StdRng::seed_from_u64(0x1a2f);
@@ -86,16 +86,22 @@ fn lazy_warming_matches_eager_sync_and_full_bfs() {
     let mut warm_batches = 0u64;
     let mut warm_bumps = 0u64;
     let mut lazy_replays = 0u64;
+    let mut sparse_demotions = 0u64;
     for case in 0..cases {
         let mut g = random_graph(&mut rng);
         let n = g.num_nodes();
         let all: Vec<usize> = (0..n).collect();
         let mut lazy = IncrementalOracle::persistent(n);
         let mut capped = IncrementalOracle::persistent_budgeted(n, Some(3));
+        // Room for about three dense slots: every park past that demotes the
+        // stalest parked vector to its ball-sparse form.
+        let byte_cap = 3 * 2 * (2 * n as u64 + 2);
+        let mut sparse = IncrementalOracle::persistent_with_budgets(n, None, Some(byte_cap));
         let mut eager = IncrementalOracle::persistent(n);
         let mut buf = BfsBuffer::new(n);
         lazy.pin_sources(&g, &all);
         capped.pin_sources(&g, &all);
+        sparse.pin_sources(&g, &all);
         eager.pin_sources(&g, &all);
         let mut pre: Vec<Vec<u16>> = (0..n).map(|x| buf.run(&g, x)[..n].to_vec()).collect();
         for step in 0..18 {
@@ -113,6 +119,7 @@ fn lazy_warming_matches_eager_sync_and_full_bfs() {
             let dirty = changed_vectors(&g, &mut pre, &mut buf);
             lazy.warm_sources(&g, &dirty);
             capped.warm_sources(&g, &dirty);
+            sparse.warm_sources(&g, &dirty);
             eager.pin_sources(&g, &all);
             for probe in 0..4 {
                 let src = rng.gen_range(0..n);
@@ -126,6 +133,12 @@ fn lazy_warming_matches_eager_sync_and_full_bfs() {
                     &buf.run(&g, src)[..n],
                     "capped {ctx}"
                 );
+                assert_eq!(sparse.begin(&g, src), expect, "sparse {ctx}");
+                assert_eq!(
+                    sparse.base_distances(),
+                    &buf.run(&g, src)[..n],
+                    "sparse {ctx}"
+                );
                 assert_eq!(eager.begin(&g, src), expect, "eager {ctx}");
             }
         }
@@ -133,12 +146,22 @@ fn lazy_warming_matches_eager_sync_and_full_bfs() {
         warm_batches += stats.warm_batches;
         warm_bumps += stats.warm_bumps;
         lazy_replays += stats.lazy_replays;
+        let sparse_stats = sparse.stats();
+        sparse_demotions += sparse_stats.sparse_demotions;
+        assert!(
+            sparse_stats.peak_parked_bytes <= byte_cap,
+            "case {case}: the recorded peak must respect the byte budget"
+        );
     }
     // The lazy discipline must actually have taken its fast paths, not fallen
     // back to full BFS throughout.
     assert!(warm_batches > 0, "bulk warming never ran");
     assert!(warm_bumps > 0, "no clean vector was stamp-bumped");
     assert!(lazy_replays > 0, "no dirty vector was lazily replayed");
+    assert!(
+        sparse_demotions > 0,
+        "the byte budget never forced a demotion"
+    );
 }
 
 /// Tentpole property of the word-parallel waves: a batched oracle (64-wide
@@ -218,6 +241,112 @@ fn batched_warm_replay_matches_scalar_and_full_bfs() {
         );
     }
     assert!(batched_repins > 0, "the word-parallel waves never ran");
+}
+
+/// Staleness bursts crossing the dense/sparse boundary: a byte-budgeted
+/// oracle rides windows that alternate between per-move dribbles and bursts
+/// past the staleness limit `max(8, n/8)`. A dirty demoted slot cannot
+/// replay (its ball is a read-only summary surface), so the warm pass
+/// re-promotes it through the shared recompute waves, and the budget then
+/// demotes the stalest survivors again — vectors cross the boundary in both
+/// directions all run long. Every current summary and every activation must
+/// match fresh BFS throughout.
+#[test]
+fn staleness_bursts_cross_the_sparse_boundary_exactly() {
+    let mut rng = StdRng::seed_from_u64(0xba11);
+    let mut demotions = 0u64;
+    let mut waves = 0u64;
+    let mut sparse_now = 0u64;
+    for case in 0..5 * SCALE {
+        let mut g = random_graph(&mut rng);
+        let n = g.num_nodes();
+        let all: Vec<usize> = (0..n).collect();
+        // Room for about a third of the slots dense: the rest live in balls.
+        let byte_cap = (n as u64 / 3).max(2) * 2 * (2 * n as u64 + 2);
+        let mut oracle = IncrementalOracle::persistent_with_budgets(n, None, Some(byte_cap));
+        let mut buf = BfsBuffer::new(n);
+        oracle.pin_sources(&g, &all);
+        let mut pre: Vec<Vec<u16>> = (0..n).map(|x| buf.run(&g, x)[..n].to_vec()).collect();
+        for step in 0..12 {
+            let window = if step % 3 == 2 {
+                (n / 8).max(8) + 2
+            } else {
+                rng.gen_range(1usize..3)
+            };
+            for _ in 0..window {
+                apply_random_change(&mut g, &mut rng);
+            }
+            let dirty = changed_vectors(&g, &mut pre, &mut buf);
+            oracle.warm_sources(&g, &dirty);
+            // After warming over the exact dirty set, every slot the budget
+            // kept — dense or demoted — serves the fresh-BFS summary; only
+            // evicted slots may answer `None`.
+            for &src in &all {
+                if let Some(summary) = oracle.cached_summary(&g, src) {
+                    assert_eq!(
+                        summary,
+                        buf.summary(&g, src),
+                        "case {case} step {step} src {src}"
+                    );
+                }
+            }
+            sparse_now += oracle.sparse_parked() as u64;
+            for probe in 0..3 {
+                let src = rng.gen_range(0..n);
+                let ctx = format!("case {case} step {step} probe {probe} src {src}");
+                assert_eq!(oracle.begin(&g, src), buf.summary(&g, src), "{ctx}");
+                assert_eq!(oracle.base_distances(), &buf.run(&g, src)[..n], "{ctx}");
+            }
+        }
+        let stats = oracle.stats();
+        demotions += stats.sparse_demotions;
+        waves += stats.batched_repins;
+    }
+    assert!(demotions > 0, "the byte budget never forced a demotion");
+    assert!(waves > 0, "no demoted slot was re-promoted through a wave");
+    assert!(sparse_now > 0, "no slot was ever held in ball-sparse form");
+}
+
+/// Out-of-ball reads at the game level: a byte-starved persistent workspace
+/// must score buy scans exactly like the full-BFS workspace even when every
+/// parked vector lives in a shrunken ball (down to the source alone), so
+/// insert-kernel reads routinely refuse — out of ball, or radius cut below
+/// the demand — and fall back to an exact delta evaluation.
+#[test]
+fn byte_starved_buy_scans_fall_back_exactly() {
+    let mut rng = StdRng::seed_from_u64(0x0ba1);
+    let mut demotions = 0u64;
+    for case in 0..5 * SCALE {
+        let n = rng.gen_range(10usize..24);
+        let mut g = generators::random_with_m_edges(n, 2 * n, &mut rng);
+        let game = GreedyBuyGame::sum(n as f64 / 4.0);
+        // Two dense slots' worth: the working vector's park plus one more;
+        // everything else demotes to near-point balls.
+        let byte_cap = 2 * 2 * (2 * n as u64 + 2);
+        let mut ws_pers =
+            Workspace::with_engine_budgets(n, OracleKind::Persistent, None, Some(byte_cap));
+        let mut ws_full = Workspace::with_oracle(n, OracleKind::FullBfs);
+        for u in 0..n {
+            let _ = game.improving_moves(&g, u, &mut ws_pers);
+        }
+        for _ in 0..2 {
+            apply_random_change(&mut g, &mut rng);
+        }
+        for u in 0..n {
+            assert_eq!(
+                game.improving_moves(&g, u, &mut ws_pers),
+                game.improving_moves(&g, u, &mut ws_full),
+                "case {case} agent {u}"
+            );
+            assert_eq!(
+                game.best_response(&g, u, &mut ws_pers),
+                game.best_response(&g, u, &mut ws_full),
+                "case {case} agent {u}"
+            );
+        }
+        demotions += ws_pers.oracle_stats().sparse_demotions;
+    }
+    assert!(demotions > 0, "the byte budget never forced a demotion");
 }
 
 /// The warming contract tolerates gaps: when several windows pass between
