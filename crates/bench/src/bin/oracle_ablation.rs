@@ -28,10 +28,10 @@ use ncg_graph::oracle::OracleStats;
 use ncg_sim::{
     run_trial_with_game_probed, AlphaSpec, EngineSpec, ExperimentPoint, GameFamily, InitialTopology,
 };
+use ncg_trace as trace;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt::Write as _;
-use std::time::Instant;
 
 struct Scale {
     max_n: usize,
@@ -49,6 +49,10 @@ struct Scale {
     sparse_max_n: usize,
     trials: usize,
     smoke: bool,
+    /// `trace=1`: keep the global trace switch on for the whole run — the CI
+    /// smoke mode that exercises every instrumented code path and the
+    /// tracing-on ≡ tracing-off trajectory assertion.
+    trace: bool,
     json: Option<String>,
 }
 
@@ -60,6 +64,7 @@ fn parse_scale() -> Scale {
         sparse_max_n: 8192,
         trials: 3,
         smoke: false,
+        trace: false,
         json: None,
     };
     for arg in std::env::args().skip(1) {
@@ -73,6 +78,7 @@ fn parse_scale() -> Scale {
             "sparse_max_n" => scale.sparse_max_n = value.parse().unwrap_or(scale.sparse_max_n),
             "trials" => scale.trials = value.parse().unwrap_or(scale.trials),
             "smoke" => scale.smoke = value == "1" || value == "true",
+            "trace" => scale.trace = value == "1" || value == "true",
             "json" => scale.json = Some(value.to_string()),
             _ => eprintln!("ignoring unknown argument {key}={value}"),
         }
@@ -120,7 +126,7 @@ fn measure(point: &ExperimentPoint, repeats: usize) -> (f64, usize, OracleStats)
     let mut steps = 0usize;
     let mut stats = OracleStats::default();
     for rep in 0..repeats.max(1) {
-        let start = Instant::now();
+        let watch = trace::Stopwatch::start();
         let mut rep_steps = 0usize;
         let mut rep_stats = OracleStats::default();
         for t in 0..point.trials {
@@ -129,7 +135,7 @@ fn measure(point: &ExperimentPoint, repeats: usize) -> (f64, usize, OracleStats)
             rep_steps += r.steps;
             rep_stats.merge(&s);
         }
-        best = best.min(start.elapsed().as_secs_f64());
+        best = best.min(watch.elapsed_secs());
         if rep == 0 {
             steps = rep_steps;
             stats = rep_stats;
@@ -222,6 +228,79 @@ fn assert_dirty_trajectories_match_full_bfs(n: usize) {
     }
 }
 
+/// The observability contract of `ncg-trace`: flipping the global switch must
+/// be invisible to the simulation. The same seeded trial with tracing on and
+/// tracing off must take the same number of steps, walk the identical move
+/// sequence and land on the same final graph — spans and counters observe,
+/// they never steer. Asserted on both headline families with the fastest
+/// engine (the most instrumented code path).
+fn assert_trace_identity(n: usize) {
+    use ncg_core::dynamics::{run_dynamics, DynamicsConfig};
+    for family in [GameFamily::AsgSum, GameFamily::GbgSum] {
+        let p = point(family, n, EngineSpec::fastest(), 1);
+        let game = p.make_game();
+        let mut seed_rng = StdRng::seed_from_u64(p.base_seed);
+        let initial = p.topology.generate(n, &mut seed_rng);
+        let was_on = trace::enabled();
+        let run = |traced: bool| {
+            trace::set_enabled(traced);
+            let mut rng = StdRng::seed_from_u64(0x7ace);
+            let mut cfg = DynamicsConfig::simulation(p.max_steps())
+                .with_oracle(OracleKind::Persistent)
+                .with_dirty_agents(true);
+            cfg.record_trajectory = true;
+            let out = run_dynamics(game.as_ref(), &initial, &cfg, &mut rng);
+            trace::set_enabled(false);
+            out
+        };
+        let off = run(false);
+        let on = run(true);
+        let report = trace::take_report();
+        trace::set_enabled(was_on);
+        assert!(off.converged(), "{} n={n}", family.label());
+        assert_eq!(
+            on.steps,
+            off.steps,
+            "{} n={n}: step count changed under tracing",
+            family.label()
+        );
+        assert_eq!(
+            on.trajectory,
+            off.trajectory,
+            "{} n={n}: tracing-on trajectory diverged from tracing-off",
+            family.label()
+        );
+        assert_eq!(on.final_graph, off.final_graph, "{} n={n}", family.label());
+        assert!(
+            !report.is_empty(),
+            "{} n={n}: the traced run must actually have recorded spans",
+            family.label()
+        );
+        println!(
+            "trace identity OK: {} n={n} ({} steps, tracing on ≡ off)",
+            family.label(),
+            off.steps
+        );
+    }
+}
+
+/// One extra tracing-enabled rep of a cell's trial block, harvested as a
+/// [`trace::TraceReport`]. The timed reps stay tracing-off (or whatever the
+/// global `trace=1` switch says), so the profile never contaminates the
+/// wall-clock columns — it is measured on its own rep.
+fn trace_cell(point: &ExperimentPoint) -> trace::TraceReport {
+    let game = point.make_game();
+    let was_on = trace::enabled();
+    trace::set_enabled(true);
+    let _ = trace::take_report(); // drop whatever earlier cells recorded
+    for t in 0..point.trials {
+        let (r, _) = run_trial_with_game_probed(point, game.as_ref(), t);
+        assert!(r.converged, "{} n={} must converge", point.label(), point.n);
+    }
+    trace::set_enabled(was_on);
+    trace::take_report()
+}
+
 /// Per-cell batched ≡ scalar identity of the word-parallel waves: on the
 /// exact `(family, n, seed)` of an ablation cell, `persistent+dirty` with
 /// batching on and off must walk identical move sequences and land on the
@@ -276,7 +355,7 @@ fn measure_set_owned(n: usize, reps: usize) -> SetOwnedRow {
     let fallback_game = ConsentForced(BuyGame::sum(alpha));
     let mut ws = Workspace::with_oracle(n, OracleKind::Incremental);
     let run = |game: &dyn Game, ws: &mut Workspace| {
-        let start = Instant::now();
+        let watch = trace::Stopwatch::start();
         let mut found = 0usize;
         for _ in 0..reps {
             for u in 0..n {
@@ -285,7 +364,7 @@ fn measure_set_owned(n: usize, reps: usize) -> SetOwnedRow {
                 }
             }
         }
-        (start.elapsed().as_secs_f64(), found)
+        (watch.elapsed_secs(), found)
     };
     let (delta_s, found_delta) = run(&delta_game, &mut ws);
     let (apply_undo_s, found_fallback) = run(&fallback_game, &mut ws);
@@ -326,7 +405,7 @@ fn measure_bilateral(n: usize, reps: usize) -> BilateralRow {
         reps: usize,
         ws: &mut Workspace,
     ) -> (f64, usize) {
-        let start = Instant::now();
+        let watch = trace::Stopwatch::start();
         let mut found = 0usize;
         for _ in 0..reps {
             for u in 0..n {
@@ -335,7 +414,7 @@ fn measure_bilateral(n: usize, reps: usize) -> BilateralRow {
                 }
             }
         }
-        (start.elapsed().as_secs_f64(), found)
+        (watch.elapsed_secs(), found)
     }
     let (delta_s, found_delta) = run(&delta_game, &g, n, reps, &mut ws);
     let (apply_undo_s, found_fallback) = run(&fallback_game, &g, n, reps, &mut ws);
@@ -459,7 +538,7 @@ fn measure_sparse_parking(scale: &Scale) -> Vec<SparseRow> {
                 .with_oracle_byte_budget(budget);
             cfg.record_trajectory = true;
             let mut rng = StdRng::seed_from_u64(0x5bb1);
-            let start = Instant::now();
+            let watch = trace::Stopwatch::start();
             let mut dynamics = Dynamics::new(game.as_ref(), initial.clone(), cfg);
             let mut steps = 0usize;
             let converged = loop {
@@ -471,7 +550,7 @@ fn measure_sparse_parking(scale: &Scale) -> Vec<SparseRow> {
                     None => break true,
                 }
             };
-            let seconds = start.elapsed().as_secs_f64();
+            let seconds = watch.elapsed_secs();
             assert!(
                 converged || steps == step_cap,
                 "sparse parking n={n} {label}: must converge or fill the prefix"
@@ -561,14 +640,23 @@ struct SweepRow {
     times: Vec<Option<f64>>,
     /// Summed oracle work counters per engine (same indexing as `times`).
     stats: Vec<Option<OracleStats>>,
+    /// Phase profile of one extra tracing-enabled rep (same indexing as
+    /// `times`); only the persistent pair is traced — the cells the
+    /// snapshot's headline ratios rest on.
+    profiles: Vec<Option<trace::TraceReport>>,
     steps: usize,
 }
 
 fn main() {
     let scale = parse_scale();
-    // Trajectory-identity guard first: the dirty engines must replay the
-    // full-BFS dirty engine's exact move sequence before any timing runs.
+    // Trajectory-identity guards first: the dirty engines must replay the
+    // full-BFS dirty engine's exact move sequence, and the trace switch must
+    // be observationally invisible, before any timing runs.
     assert_dirty_trajectories_match_full_bfs(if scale.smoke { 32 } else { 48 });
+    assert_trace_identity(if scale.smoke { 32 } else { 48 });
+    if scale.trace {
+        trace::set_enabled(true);
+    }
     let engines = [
         EngineSpec::baseline(),
         EngineSpec::default(),
@@ -627,6 +715,7 @@ fn main() {
             assert_batch_identity(family, n, cell_trials);
             let mut times: Vec<Option<f64>> = Vec::new();
             let mut stats: Vec<Option<OracleStats>> = Vec::new();
+            let mut profiles: Vec<Option<trace::TraceReport>> = Vec::new();
             let mut steps = 0usize;
             let mut eager_steps: Option<usize> = None;
             let mut dirty_steps: Option<usize> = None;
@@ -639,6 +728,7 @@ fn main() {
                 if !engine_runs_at(idx, n) {
                     times.push(None);
                     stats.push(None);
+                    profiles.push(None);
                     continue;
                 }
                 let p = point(family, n, engine, cell_trials);
@@ -676,6 +766,13 @@ fn main() {
                 };
                 times.push(Some(secs));
                 stats.push(Some(st));
+                // Phase profile + wasted-scan counters for the persistent
+                // pair, each from one extra traced rep of the same cell.
+                profiles.push(if (idx == 2 || idx == 4) && scale.json.is_some() {
+                    Some(trace_cell(&p))
+                } else {
+                    None
+                });
                 steps = s;
                 // The eager engines follow the exact policy order, so their
                 // trajectories (and hence step counts) must coincide — this
@@ -734,6 +831,7 @@ fn main() {
                 n,
                 times,
                 stats,
+                profiles,
                 steps,
             });
         }
@@ -831,14 +929,42 @@ fn main() {
                     })
                 })
                 .collect();
+            // Per-cell observability: wasted-scan counters (how many agents
+            // the policy scanned per improving move) and the full `ncg-trace`
+            // phase tree of the traced rep, keyed by engine label.
+            let wasted_json: Vec<String> = labels
+                .iter()
+                .zip(&row.profiles)
+                .filter_map(|(l, pr)| {
+                    pr.as_ref().map(|pr| {
+                        let scanned = pr.counter(trace::Counter::AgentsScanned);
+                        let improving = pr.counter(trace::Counter::ImprovingMoves);
+                        let ratio = pr
+                            .wasted_scan_ratio()
+                            .map_or("null".to_string(), |r| format!("{r:.3}"));
+                        format!(
+                            "\"{l}\": {{\"agents_scanned\": {scanned}, \
+                             \"improving_moves\": {improving}, \"ratio\": {ratio}}}"
+                        )
+                    })
+                })
+                .collect();
+            let profile_json: Vec<String> = labels
+                .iter()
+                .zip(&row.profiles)
+                .filter_map(|(l, pr)| pr.as_ref().map(|pr| format!("\"{l}\": {}", pr.to_json())))
+                .collect();
             let _ = write!(
                 out,
-                "    {{\"family\": \"{}\", \"n\": {}, \"steps\": {}, \"seconds\": {{{}}}, \"oracle_stats\": {{{}}}}}",
+                "    {{\"family\": \"{}\", \"n\": {}, \"steps\": {}, \"seconds\": {{{}}}, \
+                 \"oracle_stats\": {{{}}}, \"wasted_scan\": {{{}}}, \"phase_profile\": {{{}}}}}",
                 row.family,
                 row.n,
                 row.steps,
                 engines_json.join(", "),
-                stats_json.join(", ")
+                stats_json.join(", "),
+                wasted_json.join(", "),
+                profile_json.join(", ")
             );
             out.push_str(if i + 1 < sweep_rows.len() {
                 ",\n"

@@ -16,8 +16,8 @@
 
 use ncg_bench::sweeps;
 use ncg_lab::{run_sweep, PointOutcome, RunOptions, SweepOutcome, SweepPlan};
+use ncg_trace as trace;
 use std::path::PathBuf;
-use std::time::Instant;
 
 struct Args {
     max_n: usize,
@@ -160,6 +160,7 @@ fn smoke(args: &Args) {
                 journal: Some(journal.clone()),
                 resume: false,
                 stop_after_chunks: Some(total_chunks / 2),
+                ..RunOptions::default()
             },
         )
         .expect("killed smoke sweep");
@@ -175,6 +176,7 @@ fn smoke(args: &Args) {
                 journal: Some(journal.clone()),
                 resume: true,
                 stop_after_chunks: None,
+                ..RunOptions::default()
             },
         )
         .expect("resumed smoke sweep");
@@ -206,7 +208,7 @@ fn main() {
         return;
     }
 
-    let start = Instant::now();
+    let watch = trace::Stopwatch::start();
     let plans = vec![
         sweeps::fig07_style(args.max_n, args.trials, args.seed),
         sweeps::fig11_style(args.max_n, args.trials, args.seed),
@@ -216,11 +218,16 @@ fn main() {
     ];
     let mut runs = Vec::new();
     for plan in plans {
-        // One journal per plan when checkpointing is requested.
+        // One journal per plan when checkpointing is requested; the live
+        // telemetry stream (chunk/worker/run events) lands next to it.
         let journal = args
             .journal
             .as_ref()
             .map(|p| p.with_extension(format!("{}.jsonl", plan.name)));
+        let telemetry = args
+            .journal
+            .as_ref()
+            .map(|p| p.with_extension(format!("{}.telemetry.jsonl", plan.name)));
         let outcome = run_sweep(
             &plan,
             &RunOptions {
@@ -228,13 +235,15 @@ fn main() {
                 journal,
                 resume: args.resume,
                 stop_after_chunks: None,
+                telemetry,
+                heartbeat: true,
             },
         )
         .expect("sweep failed");
         print_outcome(&plan, &outcome);
         runs.push((plan, outcome));
     }
-    let seconds = start.elapsed().as_secs_f64();
+    let seconds = watch.elapsed_secs();
     println!("\ntotal wall time: {seconds:.1}s");
 
     if let Some(path) = &args.json {

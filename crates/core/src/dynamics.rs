@@ -11,6 +11,7 @@ use crate::moves::{apply_move, Move};
 use crate::policy::{Policy, TieBreak};
 use ncg_graph::oracle::{OracleKind, OracleStats};
 use ncg_graph::{canonical_state_key, canonical_unlabeled_key, NodeId, OwnedGraph, StateKey};
+use ncg_trace as trace;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use std::collections::HashMap;
@@ -374,6 +375,7 @@ impl<'a, G: Game + ?Sized> Dynamics<'a, G> {
         let mover = if self.config.dirty_agents {
             self.select_mover_dirty(rng)?
         } else {
+            let _sp = trace::span(trace::Phase::Scan);
             self.config.policy.select_mover(
                 self.game,
                 &self.graph,
@@ -389,15 +391,20 @@ impl<'a, G: Game + ?Sized> Dynamics<'a, G> {
     /// Performs one step with a caller-chosen moving agent (the "adversarial"
     /// policy of the proofs). Returns `None` if the agent has no improving move.
     pub fn step_with_agent<R: Rng>(&mut self, agent: NodeId, rng: &mut R) -> Option<MoveRecord> {
-        let chosen = self.choose_response(agent, rng)?;
-        let endpoints = if self.config.dirty_agents {
-            self.snapshot_endpoints(agent, &chosen.mv)
-        } else {
-            None
+        let (chosen, endpoints) = {
+            let _sp = trace::span(trace::Phase::Apply);
+            let chosen = self.choose_response(agent, rng)?;
+            let endpoints = if self.config.dirty_agents {
+                self.snapshot_endpoints(agent, &chosen.mv)
+            } else {
+                None
+            };
+            let undo = apply_move(&mut self.graph, agent, &chosen.mv);
+            debug_assert!(undo.is_some(), "selected move must be applicable");
+            (chosen, endpoints)
         };
-        let undo = apply_move(&mut self.graph, agent, &chosen.mv);
-        debug_assert!(undo.is_some(), "selected move must be applicable");
         if self.config.dirty_agents {
+            let _sp = trace::span(trace::Phase::Warm);
             self.invalidate_after_move(agent, endpoints);
         }
         let record = MoveRecord {
@@ -560,7 +567,16 @@ impl<'a, G: Game + ?Sized> Dynamics<'a, G> {
     fn select_mover_dirty<R: Rng>(&mut self, rng: &mut R) -> Option<NodeId> {
         let n = self.graph.num_nodes();
         self.select_call += 1;
+        // Iterations entered after the `confirm_pending` reset below *are*
+        // the final confirmation sweep; the phase split makes its cost (and
+        // the wasted-scan ratio) directly measurable.
+        let mut confirming = false;
         loop {
+            let _sp = trace::span(if confirming {
+                trace::Phase::ConfirmSweep
+            } else {
+                trace::Phase::Scan
+            });
             let mut order = std::mem::take(&mut self.order_scratch);
             order.clear();
             order.extend(0..n);
@@ -569,6 +585,7 @@ impl<'a, G: Game + ?Sized> Dynamics<'a, G> {
                     // `workspace_cost` refreshes an invalidated cost through
                     // the persistent oracle's cross-step cache when available
                     // (a cheap journal replay instead of a BFS).
+                    let _sp = trace::span(trace::Phase::CostRefresh);
                     for u in 0..n {
                         if !self.cost_fresh[u] && !self.verified_happy[u] {
                             self.cached_cost[u] = crate::game::workspace_cost(
@@ -599,10 +616,12 @@ impl<'a, G: Game + ?Sized> Dynamics<'a, G> {
                 }
             }
             let mut found = None;
+            let mut scanned = 0u64;
             for &u in &order {
                 if self.verified_happy[u] {
                     continue;
                 }
+                scanned += 1;
                 if self.game.has_improving_move(&self.graph, u, &mut self.ws) {
                     found = Some(u);
                     break;
@@ -610,8 +629,14 @@ impl<'a, G: Game + ?Sized> Dynamics<'a, G> {
                 self.verified_happy[u] = true;
                 self.verified_call[u] = self.select_call;
             }
+            trace::add(trace::Counter::AgentsScanned, scanned);
+            trace::record(trace::HistId::ScanWidth, scanned);
+            if confirming {
+                trace::add(trace::Counter::ConfirmScans, scanned);
+            }
             self.order_scratch = order;
             if found.is_some() {
+                trace::add(trace::Counter::ImprovingMoves, 1);
                 return found;
             }
             if self.confirm_pending {
@@ -628,6 +653,7 @@ impl<'a, G: Game + ?Sized> Dynamics<'a, G> {
                         self.verified_happy[u] = false;
                     }
                 }
+                confirming = true;
                 continue;
             }
             return None;

@@ -19,6 +19,12 @@
 //!
 //! Games that need a consent check on the post-move state fall back to the
 //! classic apply → BFS → undo cycle in [`crate::game`].
+//!
+//! Observability: the oracle layer beneath emits the `oracle-begin`,
+//! `fused-kernel`, `delta-repair`, `warm-pass` and `pin-sources` trace phases,
+//! so every evaluator entry point is attributed for free. The evaluator adds
+//! only the [`ncg_trace::Phase::Consent`] span around consent-oracle work,
+//! separating counterpart time from mover time in the profile.
 
 use crate::cost::EdgeCostMode;
 use crate::moves::Move;
@@ -296,6 +302,7 @@ impl CostEvaluator {
         let ok = self.oracle.warm_after_move(g, seeds, changed);
         if ok {
             if let Some(consent) = self.consent.as_mut() {
+                let _sp = ncg_trace::span(ncg_trace::Phase::Consent);
                 consent.warm_sources(g, changed);
             }
         }
@@ -312,6 +319,7 @@ impl CostEvaluator {
     pub fn warm_sources(&mut self, g: &OwnedGraph, dirty: &[NodeId]) {
         self.oracle.warm_sources(g, dirty);
         if let Some(consent) = self.consent.as_mut() {
+            let _sp = ncg_trace::span(ncg_trace::Phase::Consent);
             consent.warm_sources(g, dirty);
         }
     }
@@ -320,6 +328,7 @@ impl CostEvaluator {
     /// current version of `g`, so the counterpart queries of the following
     /// scans are served by journal replay instead of full BFS re-pins.
     pub fn pin_consent_sources(&mut self, g: &OwnedGraph, sources: &[NodeId]) {
+        let _sp = ncg_trace::span(ncg_trace::Phase::Consent);
         let (kind, budget, bytes, n, wb) = (
             self.kind,
             self.cache_budget,
@@ -350,6 +359,7 @@ impl CostEvaluator {
         g: &OwnedGraph,
         v: NodeId,
     ) -> (DistanceSummary, DistanceSummary) {
+        let _sp = ncg_trace::span(ncg_trace::Phase::Consent);
         let (kind, budget, bytes, n, wb) = (
             self.kind,
             self.cache_budget,

@@ -318,6 +318,7 @@ fn scan_moves<G: Game + ?Sized>(
     ws: &mut Workspace,
     mode: ScanMode,
 ) -> Vec<ScoredMove> {
+    let _sp = ncg_trace::span(ncg_trace::Phase::Enumerate);
     ws.bfs.resize(g.num_nodes());
     let metric = game.metric();
     let alpha = game.alpha();

@@ -73,6 +73,7 @@ impl Policy {
                 // persistent oracle's cross-step cache when available — the
                 // value is identical to `Game::cost`, so mover selection (and
                 // hence the trajectory) does not depend on the backend.
+                let _sp = ncg_trace::span(ncg_trace::Phase::CostRefresh);
                 let costs: Vec<f64> = (0..n)
                     .map(|u| crate::game::workspace_cost(game, g, u, ws))
                     .collect();
@@ -92,9 +93,17 @@ impl Policy {
                 order = (0..n).map(|i| (start + i) % n).collect();
             }
         }
-        order
-            .into_iter()
-            .find(|&u| game.has_improving_move(g, u, ws))
+        let mut scanned = 0u64;
+        let found = order.into_iter().find(|&u| {
+            scanned += 1;
+            game.has_improving_move(g, u, ws)
+        });
+        ncg_trace::add(ncg_trace::Counter::AgentsScanned, scanned);
+        ncg_trace::record(ncg_trace::HistId::ScanWidth, scanned);
+        if found.is_some() {
+            ncg_trace::add(ncg_trace::Counter::ImprovingMoves, 1);
+        }
+        found
     }
 }
 

@@ -74,6 +74,7 @@ impl MultiSourceBfs {
         counts: &mut [&mut [u16]],
         summaries: &mut [BatchSummary],
     ) -> u64 {
+        ncg_trace::record(ncg_trace::HistId::WaveWidth, sources.len() as u64);
         let n = csr.num_nodes();
         assert!(
             n <= MAX_NODES,

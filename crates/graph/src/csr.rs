@@ -92,6 +92,7 @@ impl CsrAdjacency {
     /// vertex will regrow with slack, so read-only consumers never pay for
     /// headroom they do not use.
     pub fn rebuild_from(&mut self, g: &OwnedGraph) {
+        let _sp = ncg_trace::span(ncg_trace::Phase::CsrRebuild);
         self.populate(g, |_| 0);
     }
 
@@ -148,6 +149,7 @@ impl CsrAdjacency {
             self.rebuild_from(g);
             return PatchOutcome::Rebuilt;
         }
+        let _sp = ncg_trace::span(ncg_trace::Phase::CsrPatch);
         for change in changes {
             let ok = match *change {
                 EdgeChange::Added { u, v } => {

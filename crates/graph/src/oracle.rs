@@ -43,6 +43,7 @@ use crate::batch::{BatchSummary, MultiSourceBfs, BATCH_WIDTH};
 use crate::csr::{CsrAdjacency, PatchOutcome};
 use crate::distances::{DistanceSummary, MAX_NODES, UNREACHABLE};
 use crate::graph::{EdgeChange, GraphVersion, NodeId, OwnedGraph};
+use ncg_trace as trace;
 
 /// A single undirected edge change relative to the base graph.
 ///
@@ -176,6 +177,30 @@ fn width_bucket(w: usize) -> usize {
 }
 
 impl OracleStats {
+    /// Internal-consistency invariants that hold for any counter state the
+    /// oracle code can produce — and, because each is a linear inequality
+    /// over summed fields, for any [`OracleStats::merge`] of such states:
+    ///
+    /// * every warm pass tallied in the width histogram repaired at least
+    ///   one vector, so it also counted as a `warm_batches` pass (bump-only
+    ///   passes count toward `warm_batches` but have width 0);
+    /// * a `lazy_hits` query first lazily replayed the target's parked
+    ///   vector, so each one is covered by a `lazy_replays` increment;
+    /// * every bounded net-diff repair served either a `begin` (counted in
+    ///   `replayed_begins`) or a lazy warm (counted in `lazy_replays`).
+    pub fn consistent(&self) -> bool {
+        let width_passes: u64 = self.warm_batch_width.iter().sum();
+        width_passes <= self.warm_batches
+            && self.lazy_hits <= self.lazy_replays
+            && self.bounded_repairs <= self.replayed_begins + self.lazy_replays
+    }
+
+    /// Debug assertion of [`OracleStats::consistent`]; free in release
+    /// builds, and cheap enough for every [`DistanceOracle::stats`] read.
+    pub fn debug_validate(&self) {
+        debug_assert!(self.consistent(), "inconsistent oracle counters: {self:?}");
+    }
+
     /// Field-wise sum, for aggregating counters across trials.
     pub fn merge(&mut self, other: &OracleStats) {
         self.full_bfs_runs += other.full_bfs_runs;
@@ -598,6 +623,7 @@ impl DistanceOracle for FullBfsOracle {
     }
 
     fn begin(&mut self, g: &OwnedGraph, src: NodeId) -> DistanceSummary {
+        let _sp = trace::span(trace::Phase::OracleBegin);
         self.csr.rebuild_from(g);
         self.stats.csr_rebuilds += 1;
         self.src = src as u32;
@@ -613,6 +639,7 @@ impl DistanceOracle for FullBfsOracle {
     }
 
     fn evaluate(&mut self, deltas: &[EdgeDelta]) -> DistanceSummary {
+        let _sp = trace::span(trace::Phase::DeltaRepair);
         self.stats.evaluations += 1;
         for delta in deltas {
             self.overlay.activate(delta);
@@ -1137,6 +1164,7 @@ impl IncrementalOracle {
     /// the cache it was meant to bound. Returns `false` when no dense slot
     /// is parked.
     fn demote_one(&mut self, current: Option<GraphVersion>, need: u64) -> bool {
+        let _sp = trace::span(trace::Phase::Demotion);
         let staleness = |slot: &SourceCache| -> u64 {
             match (current, slot.version) {
                 (Some(cur), Some(v)) => cur.changes_since(v).unwrap_or(u64::MAX),
@@ -1574,6 +1602,7 @@ impl IncrementalOracle {
     /// the batch-parallel path for cold bulk pins and vectors whose journal
     /// window outgrew the replay limit.
     fn batch_repin(&mut self, g: &OwnedGraph, pending: &[u32]) {
+        let _sp = trace::span(trace::Phase::BatchWave);
         debug_assert_eq!(self.csr_version, Some(g.version()));
         let n = g.num_nodes();
         let cur = g.version();
@@ -1743,6 +1772,7 @@ impl IncrementalOracle {
     /// the current working [`DistState`] and overlay. The CSR must already be
     /// synced to the *post-window* graph; the overlay must be empty.
     fn replay_changes(&mut self, changes: &[EdgeChange]) {
+        let _sp = trace::span(trace::Phase::ScalarReplay);
         debug_assert!(self.overlay.is_empty());
         for change in changes.iter().rev() {
             self.overlay.activate(&invert(change));
@@ -1907,6 +1937,7 @@ impl IncrementalOracle {
     /// The bulk warming pass behind [`DistanceOracle::warm_sources`]: see the
     /// trait documentation for the caller contract on `dirty`.
     fn warm_sources_persistent(&mut self, g: &OwnedGraph, dirty: &[NodeId]) {
+        let _sp = trace::span(trace::Phase::WarmPass);
         let n = g.num_nodes();
         if n != self.cache.len() || n != self.mark.len() {
             // A mismatched graph: the next `begin` resets the cache anyway.
@@ -1991,6 +2022,7 @@ impl IncrementalOracle {
     /// The persistent `begin`: serve from the per-source cache + journal
     /// replay when possible, fall back to [`IncrementalOracle::full_repin`].
     fn begin_persistent(&mut self, g: &OwnedGraph, src: NodeId) -> DistanceSummary {
+        let _sp = trace::span(trace::Phase::OracleBegin);
         let n = g.num_nodes();
         if n != self.mark.len() || self.cache.len() != n {
             // The graph size changed: every cached vector is meaningless.
@@ -2222,6 +2254,7 @@ impl DistanceOracle for IncrementalOracle {
     }
 
     fn pin_sources(&mut self, g: &OwnedGraph, sources: &[NodeId]) {
+        let _sp = trace::span(trace::Phase::PinSources);
         if !self.persistent || g.num_nodes() != self.cache.len() {
             for &src in sources {
                 self.begin(g, src);
@@ -2293,6 +2326,7 @@ impl DistanceOracle for IncrementalOracle {
     }
 
     fn evaluate(&mut self, deltas: &[EdgeDelta]) -> DistanceSummary {
+        let _sp = trace::span(trace::Phase::DeltaRepair);
         self.run_deltas(deltas);
         self.state.summary(self.csr.num_nodes())
     }
@@ -2304,6 +2338,7 @@ impl DistanceOracle for IncrementalOracle {
         u: NodeId,
         v: NodeId,
     ) -> Option<(DistanceSummary, bool)> {
+        let _sp = trace::span(trace::Phase::FusedKernel);
         if !self.persistent
             || u as u32 != self.src
             || self.pinned_version.is_none()
@@ -2370,6 +2405,7 @@ impl DistanceOracle for IncrementalOracle {
     }
 
     fn stats(&self) -> OracleStats {
+        self.stats.debug_validate();
         self.stats
     }
 
@@ -2457,6 +2493,47 @@ mod tests {
         let g = generators::path(6);
         check_both(&g, 0, &[EdgeDelta::Remove { u: 2, v: 3 }]);
         check_both(&g, 5, &[EdgeDelta::Remove { u: 2, v: 3 }]);
+    }
+
+    #[test]
+    fn stats_consistency_invariants_hold_and_detect_corruption() {
+        // A real persistent workload: bulk pin, mutate, warm, score — every
+        // counter class fires, and the invariants must hold throughout.
+        let mut g = generators::cycle(24);
+        let mut oracle = make_oracle(OracleKind::Persistent, g.num_nodes());
+        let sources: Vec<NodeId> = (0..g.num_nodes()).collect();
+        oracle.pin_sources(&g, &sources);
+        for step in 0..12 {
+            let u = step % 24;
+            let v = (u + 7) % 24;
+            if g.add_edge(u, v) {
+                oracle.warm_sources(&g, &[u, v]);
+            }
+            oracle.begin(&g, u);
+            let _ = oracle.evaluate_insert_via_cache(&g, &[], u, (u + 11) % 24);
+            assert!(
+                oracle.stats().consistent(),
+                "step {step}: {:?}",
+                oracle.stats()
+            );
+        }
+        let stats = oracle.stats();
+        assert!(stats.warm_batches > 0 && stats.replayed_begins > 0);
+        // Merging self-consistent stats stays consistent (the invariants are
+        // linear inequalities over summed fields).
+        let mut merged = stats;
+        merged.merge(&stats);
+        assert!(merged.consistent());
+        // And each invariant actually bites on corrupted counters.
+        let mut bad = stats;
+        bad.warm_batch_width[0] = bad.warm_batches + 1;
+        assert!(!bad.consistent(), "width histogram over warm_batches");
+        let mut bad = stats;
+        bad.lazy_hits = bad.lazy_replays + 1;
+        assert!(!bad.consistent(), "lazy hit without a lazy replay");
+        let mut bad = stats;
+        bad.bounded_repairs = bad.replayed_begins + bad.lazy_replays + 1;
+        assert!(!bad.consistent(), "bounded repair without a replay");
     }
 
     #[test]

@@ -20,6 +20,9 @@
 //!   every completed chunk is durably journaled.
 //! * [`journal`] — the JSON-lines chunk journal: bit-exact f64 payloads,
 //!   plan-hash guarded, torn-tail tolerant.
+//! * [`telemetry`] — best-effort live JSONL telemetry written next to the
+//!   journal (per-chunk progress, per-worker utilization, run summary), plus
+//!   optional stderr heartbeat lines with points-done and ETA.
 //!
 //! The headline guarantee, enforced by the workspace reproducibility test:
 //! a plan run with 1 worker, N workers, or killed and resumed mid-sweep
@@ -32,8 +35,10 @@ pub mod journal;
 pub mod orchestrator;
 pub mod plan;
 pub mod scenario;
+pub mod telemetry;
 
 pub use journal::{load_journal, ChunkRecord, JournalWriter};
 pub use orchestrator::{run_sweep, PointOutcome, RunOptions, SweepOutcome};
 pub use plan::{fnv1a, AutoSplit, SweepPlan, SweepPoint};
 pub use scenario::Scenario;
+pub use telemetry::{ChunkEvent, TelemetryWriter};

@@ -17,7 +17,9 @@
 
 use crate::journal::{load_journal, ChunkRecord, JournalWriter};
 use crate::plan::{SweepPlan, SweepPoint};
+use crate::telemetry::{ChunkEvent, TelemetryWriter};
 use ncg_sim::{run_seeded_trial, StreamingStats};
+use ncg_trace as trace;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -35,6 +37,13 @@ pub struct RunOptions {
     /// mid-sweep kill, used by the smoke test and the CI resume check. The
     /// cap is enforced on job *claims*, so it holds for any worker count.
     pub stop_after_chunks: Option<usize>,
+    /// Live telemetry JSONL stream path (`None` = no telemetry), written
+    /// next to the chunk journal — see [`crate::telemetry`]. Best-effort:
+    /// mid-run write failures never abort the sweep.
+    pub telemetry: Option<PathBuf>,
+    /// Print a heartbeat line to stderr after every completed chunk:
+    /// chunks done, points done, elapsed and ETA.
+    pub heartbeat: bool,
 }
 
 /// Aggregated outcome of one point.
@@ -68,6 +77,10 @@ pub struct SweepOutcome {
     pub executed_chunks: usize,
     /// Chunks restored from the journal instead of re-running.
     pub resumed_chunks: usize,
+    /// Merged per-worker trace reports — `None` unless tracing was enabled
+    /// ([`ncg_trace::set_enabled`]) while the sweep ran. Purely
+    /// observational: aggregates are bit-identical either way.
+    pub trace: Option<trace::TraceReport>,
 }
 
 struct Job {
@@ -171,6 +184,11 @@ pub fn run_sweep(plan: &SweepPlan, opts: &RunOptions) -> std::io::Result<SweepOu
         }
     }
 
+    let telemetry = match &opts.telemetry {
+        Some(path) => Some(TelemetryWriter::create(path, plan_hash)?),
+        None => None,
+    };
+
     let cores = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1);
@@ -178,49 +196,137 @@ pub fn run_sweep(plan: &SweepPlan, opts: &RunOptions) -> std::io::Result<SweepOu
     // Cores left over per worker feed the parallel scan of scan-mode points.
     let scan_width = (cores / workers).max(1);
 
+    // This run's chunk target (the claim cap may trim the job list) and the
+    // per-point pending counters feeding the heartbeat's points-done count.
+    let target_chunks = opts
+        .stop_after_chunks
+        .map_or(jobs.len(), |limit| limit.min(jobs.len()));
+    let pending_per_point: Vec<AtomicUsize> = {
+        let mut pending = vec![0usize; points.len()];
+        for job in &jobs {
+            pending[job.point_index] += 1;
+        }
+        pending.into_iter().map(AtomicUsize::new).collect()
+    };
+    let points_done = AtomicUsize::new(
+        pending_per_point
+            .iter()
+            .filter(|p| p.load(Ordering::Relaxed) == 0)
+            .count(),
+    );
+
+    let clock = trace::Stopwatch::start();
     let next = AtomicUsize::new(0);
     let done_this_run = AtomicUsize::new(0);
     let io_failed = AtomicBool::new(false);
     let slots_mutex = Mutex::new(std::mem::take(&mut slots));
     let io_error: Mutex<Option<std::io::Error>> = Mutex::new(None);
+    let trace_acc: Mutex<Option<trace::TraceReport>> = Mutex::new(None);
 
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                if io_failed.load(Ordering::Relaxed) {
-                    break;
-                }
-                let j = next.fetch_add(1, Ordering::Relaxed);
-                if j >= jobs.len() {
-                    break;
-                }
-                // The claim counter itself enforces the simulated kill: at
-                // most `limit` jobs are ever claimed, no matter how many
-                // workers race here (completed-count checks would let up to
-                // `workers - 1` extra chunks through).
-                if opts.stop_after_chunks.is_some_and(|limit| j >= limit) {
-                    break;
-                }
-                let job = &jobs[j];
-                let point = &points[job.point_index];
-                let stats = run_chunk(point, job.start, job.len, scan_width);
-                if let Some(writer) = &writer {
-                    let rec = ChunkRecord {
-                        point_hash: point.hash,
-                        chunk_index: job.chunk_index,
-                        start: job.start,
-                        len: job.len,
-                        stats: stats.clone(),
-                    };
-                    if let Err(e) = writer.record(&rec) {
-                        *io_error.lock().expect("error mutex poisoned") = Some(e);
-                        io_failed.store(true, Ordering::Relaxed);
+        for worker_id in 0..workers {
+            let (next, jobs, points, writer, telemetry, slots_mutex, io_error) = (
+                &next,
+                &jobs,
+                &points,
+                &writer,
+                &telemetry,
+                &slots_mutex,
+                &io_error,
+            );
+            let (io_failed, done_this_run, pending_per_point, points_done, trace_acc, clock) = (
+                &io_failed,
+                &done_this_run,
+                &pending_per_point,
+                &points_done,
+                &trace_acc,
+                &clock,
+            );
+            scope.spawn(move || {
+                let mut claims = 0u64;
+                let mut busy_ns = 0u64;
+                loop {
+                    if io_failed.load(Ordering::Relaxed) {
                         break;
                     }
+                    let j = next.fetch_add(1, Ordering::Relaxed);
+                    if j >= jobs.len() {
+                        break;
+                    }
+                    // The claim counter itself enforces the simulated kill: at
+                    // most `limit` jobs are ever claimed, no matter how many
+                    // workers race here (completed-count checks would let up to
+                    // `workers - 1` extra chunks through).
+                    if opts.stop_after_chunks.is_some_and(|limit| j >= limit) {
+                        break;
+                    }
+                    let job = &jobs[j];
+                    let point = &points[job.point_index];
+                    claims += 1;
+                    trace::add(trace::Counter::ChunkClaims, 1);
+                    let chunk_clock = trace::Stopwatch::start();
+                    let stats = {
+                        let _sp = trace::span(trace::Phase::ChunkRun);
+                        run_chunk(point, job.start, job.len, scan_width)
+                    };
+                    let chunk_ns = chunk_clock.elapsed_ns();
+                    busy_ns += chunk_ns;
+                    if let Some(writer) = writer {
+                        let _sp = trace::span(trace::Phase::JournalAppend);
+                        trace::add(trace::Counter::JournalAppends, 1);
+                        let rec = ChunkRecord {
+                            point_hash: point.hash,
+                            chunk_index: job.chunk_index,
+                            start: job.start,
+                            len: job.len,
+                            stats: stats.clone(),
+                        };
+                        if let Err(e) = writer.record(&rec) {
+                            *io_error.lock().expect("error mutex poisoned") = Some(e);
+                            io_failed.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                    slots_mutex.lock().expect("slots mutex poisoned")[job.point_index]
+                        [job.chunk_index] = Some(stats.clone());
+                    let done = done_this_run.fetch_add(1, Ordering::Relaxed) + 1;
+                    if pending_per_point[job.point_index].fetch_sub(1, Ordering::Relaxed) == 1 {
+                        points_done.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if let Some(telemetry) = telemetry {
+                        telemetry.chunk(&ChunkEvent {
+                            point_hash: point.hash,
+                            chunk_index: job.chunk_index,
+                            start: job.start,
+                            len: job.len,
+                            trials: stats.count,
+                            steps: stats.total_steps,
+                            busy_ns: chunk_ns,
+                            done,
+                            total: target_chunks,
+                        });
+                    }
+                    if opts.heartbeat {
+                        let elapsed = clock.elapsed_secs();
+                        let eta = elapsed / done as f64 * (target_chunks - done) as f64;
+                        eprintln!(
+                            "sweep: {done}/{target_chunks} chunks, {}/{} points, {elapsed:.1}s elapsed, ETA {eta:.1}s",
+                            points_done.load(Ordering::Relaxed),
+                            points.len(),
+                        );
+                    }
                 }
-                slots_mutex.lock().expect("slots mutex poisoned")[job.point_index]
-                    [job.chunk_index] = Some(stats);
-                done_this_run.fetch_add(1, Ordering::Relaxed);
+                if let Some(telemetry) = telemetry {
+                    telemetry.worker(worker_id, claims, busy_ns);
+                }
+                if trace::enabled() {
+                    let report = trace::take_report();
+                    let mut acc = trace_acc.lock().expect("trace mutex poisoned");
+                    match acc.as_mut() {
+                        Some(merged) => merged.merge(&report),
+                        None => *acc = Some(report),
+                    }
+                }
             });
         }
     });
@@ -230,6 +336,10 @@ pub fn run_sweep(plan: &SweepPlan, opts: &RunOptions) -> std::io::Result<SweepOu
         return Err(e);
     }
     let executed_chunks = done_this_run.into_inner();
+    if let Some(telemetry) = &telemetry {
+        telemetry.run(executed_chunks, resumed_chunks, clock.elapsed_ns());
+    }
+    let trace_report = trace_acc.into_inner().expect("trace mutex poisoned");
 
     // Merge per point, strictly in chunk order — the reproducibility anchor.
     let mut outcomes = Vec::with_capacity(points.len());
@@ -256,6 +366,7 @@ pub fn run_sweep(plan: &SweepPlan, opts: &RunOptions) -> std::io::Result<SweepOu
         points: outcomes,
         executed_chunks,
         resumed_chunks,
+        trace: trace_report,
     })
 }
 
@@ -323,6 +434,47 @@ mod tests {
             assert_eq!(out.executed_chunks, 5, "threads={threads}");
             assert!(out.points.iter().any(|p| !p.complete()));
         }
+    }
+
+    #[test]
+    fn telemetry_and_trace_capture_the_run() {
+        let dir = std::env::temp_dir().join(format!("ncg-lab-sweep-tel-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("telemetry.jsonl");
+        let plan = tiny_plan();
+        trace::set_enabled(true);
+        let out = run_sweep(
+            &plan,
+            &RunOptions {
+                threads: Some(2),
+                telemetry: Some(path.clone()),
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        trace::set_enabled(false);
+        assert!(out.completed);
+        let report = out.trace.expect("tracing was enabled");
+        assert_eq!(
+            report.counter(trace::Counter::ChunkClaims),
+            out.executed_chunks as u64,
+            "every executed chunk was claimed exactly once"
+        );
+        assert!(report.total_ns() > 0, "chunk-run spans recorded time");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("{\"ncg_sweep_telemetry\":1,"));
+        let chunk_lines = lines
+            .iter()
+            .filter(|l| l.contains("\"event\":\"chunk\""))
+            .count();
+        assert_eq!(chunk_lines, out.executed_chunks);
+        assert!(lines.iter().any(|l| l.contains("\"event\":\"worker\"")));
+        assert!(
+            lines.last().unwrap().contains("\"event\":\"run\""),
+            "run summary is the final line"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

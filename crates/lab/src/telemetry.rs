@@ -1,0 +1,173 @@
+//! Live JSONL telemetry stream of a sweep run.
+//!
+//! Written *next to* the chunk journal, one line per event, so a dashboard
+//! (or `tail -f`) can watch a long sweep without touching the checkpoint
+//! machinery. Unlike the journal, telemetry is **best-effort**: a full disk
+//! or yanked volume never aborts the sweep — the writer goes quiet after the
+//! first failure and the run continues.
+//!
+//! Line format (hand-rolled JSON, one object per line):
+//!
+//! * header — `{"ncg_sweep_telemetry":1,"plan":"<hash>"}`
+//! * chunk  — `{"event":"chunk","point":"<hash>","chunk":i,"start":s,
+//!   "len":l,"trials":t,"steps":σ,"busy_ns":b,"done":d,"total":T}`
+//!   appended when a worker completes a chunk (`done`/`total` count this
+//!   run's chunk progress);
+//! * worker — `{"event":"worker","worker":w,"claims":c,"busy_ns":b}`
+//!   one per worker at shutdown: utilization is `busy_ns / wall_ns`;
+//! * run    — `{"event":"run","executed":e,"resumed":r,"wall_ns":w}`
+//!   the final line of a completed (or capped) run.
+
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// One completed-chunk telemetry event.
+#[derive(Debug, Clone, Copy)]
+pub struct ChunkEvent {
+    /// Stable hash of the owning sweep point.
+    pub point_hash: u64,
+    /// Chunk index within the point.
+    pub chunk_index: usize,
+    /// First trial of the chunk.
+    pub start: usize,
+    /// Trials in the chunk.
+    pub len: usize,
+    /// Trials aggregated (== `len`).
+    pub trials: u64,
+    /// Total dynamics steps across the chunk's trials.
+    pub steps: u64,
+    /// Wall-clock nanoseconds the worker spent executing the chunk.
+    pub busy_ns: u64,
+    /// Chunks completed by this run so far (including this one).
+    pub done: usize,
+    /// Chunks this run set out to execute.
+    pub total: usize,
+}
+
+/// Renders one chunk event (no trailing newline).
+fn render_chunk(ev: &ChunkEvent) -> String {
+    let mut line = String::with_capacity(160);
+    let _ = write!(
+        line,
+        "{{\"event\":\"chunk\",\"point\":\"{:016x}\",\"chunk\":{},\"start\":{},\"len\":{},\"trials\":{},\"steps\":{},\"busy_ns\":{},\"done\":{},\"total\":{}}}",
+        ev.point_hash,
+        ev.chunk_index,
+        ev.start,
+        ev.len,
+        ev.trials,
+        ev.steps,
+        ev.busy_ns,
+        ev.done,
+        ev.total,
+    );
+    line
+}
+
+/// Best-effort append-only telemetry writer shared across worker threads.
+pub struct TelemetryWriter {
+    file: Mutex<BufWriter<File>>,
+    failed: AtomicBool,
+}
+
+impl TelemetryWriter {
+    /// Creates a fresh telemetry stream at `path` (truncating any previous
+    /// file) and writes the plan-hash header. Creation errors *are* surfaced
+    /// — a path that never worked is a configuration mistake, not a mid-run
+    /// hiccup.
+    pub fn create(path: &Path, plan_hash: u64) -> std::io::Result<TelemetryWriter> {
+        let mut file = BufWriter::new(File::create(path)?);
+        writeln!(
+            file,
+            "{{\"ncg_sweep_telemetry\":1,\"plan\":\"{plan_hash:016x}\"}}"
+        )?;
+        file.flush()?;
+        Ok(TelemetryWriter {
+            file: Mutex::new(file),
+            failed: AtomicBool::new(false),
+        })
+    }
+
+    fn append(&self, line: &str) {
+        if self.failed.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut file = self.file.lock().expect("telemetry mutex poisoned");
+        if writeln!(file, "{line}")
+            .and_then(|()| file.flush())
+            .is_err()
+            && !self.failed.swap(true, Ordering::Relaxed)
+        {
+            eprintln!("sweep telemetry: write failed, stream disabled for the rest of the run");
+        }
+    }
+
+    /// Records a completed chunk.
+    pub fn chunk(&self, ev: &ChunkEvent) {
+        self.append(&render_chunk(ev));
+    }
+
+    /// Records one worker's end-of-run utilization summary.
+    pub fn worker(&self, worker: usize, claims: u64, busy_ns: u64) {
+        self.append(&format!(
+            "{{\"event\":\"worker\",\"worker\":{worker},\"claims\":{claims},\"busy_ns\":{busy_ns}}}"
+        ));
+    }
+
+    /// Records the run's final summary line.
+    pub fn run(&self, executed: usize, resumed: usize, wall_ns: u64) {
+        self.append(&format!(
+            "{{\"event\":\"run\",\"executed\":{executed},\"resumed\":{resumed},\"wall_ns\":{wall_ns}}}"
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn telemetry_stream_renders_every_event_kind() {
+        let dir = std::env::temp_dir().join(format!("ncg-lab-telemetry-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t1.jsonl");
+        let writer = TelemetryWriter::create(&path, 0xabcd).unwrap();
+        writer.chunk(&ChunkEvent {
+            point_hash: 0x1234,
+            chunk_index: 2,
+            start: 8,
+            len: 4,
+            trials: 4,
+            steps: 57,
+            busy_ns: 1_000_000,
+            done: 1,
+            total: 6,
+        });
+        writer.worker(0, 3, 2_000_000);
+        writer.run(6, 0, 9_000_000);
+        drop(writer);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(
+            lines[0],
+            "{\"ncg_sweep_telemetry\":1,\"plan\":\"000000000000abcd\"}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"event\":\"chunk\",\"point\":\"0000000000001234\",\"chunk\":2,\"start\":8,\"len\":4,\"trials\":4,\"steps\":57,\"busy_ns\":1000000,\"done\":1,\"total\":6}"
+        );
+        assert_eq!(
+            lines[2],
+            "{\"event\":\"worker\",\"worker\":0,\"claims\":3,\"busy_ns\":2000000}"
+        );
+        assert_eq!(
+            lines[3],
+            "{\"event\":\"run\",\"executed\":6,\"resumed\":0,\"wall_ns\":9000000}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -100,6 +100,7 @@ fn thread_count_and_kill_resume_are_bit_identical() {
             journal: Some(journal.clone()),
             resume: false,
             stop_after_chunks: Some(7),
+            ..RunOptions::default()
         },
     )
     .expect("interrupted sweep");
@@ -113,6 +114,7 @@ fn thread_count_and_kill_resume_are_bit_identical() {
             journal: Some(journal.clone()),
             resume: true,
             stop_after_chunks: None,
+            ..RunOptions::default()
         },
     )
     .expect("resumed sweep");
@@ -142,6 +144,7 @@ fn resume_rejects_a_changed_plan() {
             journal: Some(journal.clone()),
             resume: false,
             stop_after_chunks: Some(2),
+            ..RunOptions::default()
         },
     )
     .expect("seed journal");
@@ -155,6 +158,7 @@ fn resume_rejects_a_changed_plan() {
             journal: Some(journal.clone()),
             resume: true,
             stop_after_chunks: None,
+            ..RunOptions::default()
         },
     )
     .expect_err("foreign journal must be rejected");

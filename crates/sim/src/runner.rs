@@ -279,6 +279,10 @@ pub fn run_dynamics_trial_probed(
     max_steps: usize,
     rng: &mut StdRng,
 ) -> (TrialResult, OracleStats) {
+    // One span per trial: the dynamics' scan/confirmation-sweep/apply/warm
+    // spans and the oracle's phases all nest beneath it, so a harvested
+    // `TraceReport` reads as a per-trial phase tree.
+    let _sp = ncg_trace::span(ncg_trace::Phase::Trial);
     let config = DynamicsConfig {
         policy,
         tie_break: TieBreak::Random,
@@ -371,7 +375,10 @@ pub fn run_seeded_trial_probed(
     generate: impl FnOnce(&mut StdRng) -> OwnedGraph,
 ) -> (TrialResult, OracleStats) {
     let mut rng = StdRng::seed_from_u64(base_seed.wrapping_add(trial_index as u64));
-    let initial = generate(&mut rng);
+    let initial = {
+        let _sp = ncg_trace::span(ncg_trace::Phase::Setup);
+        generate(&mut rng)
+    };
     run_dynamics_trial_probed(game, initial, policy, engine, max_steps, &mut rng)
 }
 

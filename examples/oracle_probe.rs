@@ -1,6 +1,7 @@
 //! Probe: per-engine oracle work counters on the SUM-GBG ablation workload,
 //! for diagnosing where the persistent+dirty engine spends its time at small
-//! `n` (the `BENCH_oracle.json` n = 64 anomaly).
+//! `n` (the `BENCH_oracle.json` n = 64 anomaly), plus a traced trial per
+//! family rendered as a text flame profile (`ncg-trace` phase tree).
 //!
 //! ```text
 //! cargo run --release --example oracle_probe -- 64 128
@@ -12,7 +13,7 @@ use selfish_ncg::core::dynamics::{Dynamics, DynamicsConfig, ResponseMode};
 use selfish_ncg::core::policy::{Policy, TieBreak};
 use selfish_ncg::core::{GreedyBuyGame, OracleKind};
 use selfish_ncg::graph::generators;
-use std::time::Instant;
+use selfish_ncg::trace;
 
 fn run(n: usize, family: &str, oracle: OracleKind, dirty: bool, warm: bool, batch: bool) {
     use selfish_ncg::core::{AsymSwapGame, Game};
@@ -44,12 +45,12 @@ fn run(n: usize, family: &str, oracle: OracleKind, dirty: bool, warm: bool, batc
         warm_batching: batch,
     };
     let mut dynamics = Dynamics::new(game, g, config);
-    let start = Instant::now();
+    let watch = trace::Stopwatch::start();
     let mut steps = 0usize;
     while dynamics.step(&mut rng).is_some() {
         steps += 1;
     }
-    let secs = start.elapsed().as_secs_f64();
+    let secs = watch.elapsed_secs();
     let stats = dynamics.oracle_stats();
     println!(
         "n={n:>4} {family} {:<12} dirty={dirty:<5} warm={warm:<5} batch={batch:<5} {secs:>8.3}s steps={steps:>5} bfs={:>7} replays={:>7} lazy={:>7} bumps={:>8} hits={:>7} evals={:>8} expanded={:>10} csr_patch={:>6} csr_rebuild={:>6} batched={:>6} peak_parked={:>9}B widths={:?}",
@@ -69,15 +70,16 @@ fn run(n: usize, family: &str, oracle: OracleKind, dirty: bool, warm: bool, batc
     );
 }
 
-/// Phase split of the eager persistent engine: reimplements the max-cost
-/// step loop with separate timers for the per-agent cost refresh, the
-/// unhappiness scan, and the mover's best-response + apply.
+/// One fully traced trial of the eager persistent engine, rendered as a text
+/// flame profile: every `ncg-trace` phase (cost-refresh, scan, apply, the
+/// oracle's begin/replay/wave/kernel leaves) nests under the trial span, and
+/// the leaf-coverage line reports how much of the trial's wall-clock the leaf
+/// phases account for.
 fn phases(n: usize, family: &str) {
-    use selfish_ncg::core::game::workspace_cost;
-    use selfish_ncg::core::moves::apply_move;
-    use selfish_ncg::core::{AsymSwapGame, Game, Workspace};
+    use selfish_ncg::core::{AsymSwapGame, Game};
+    use selfish_ncg::sim::{run_dynamics_trial_probed, EngineSpec};
     let mut rng = StdRng::seed_from_u64(42);
-    let (game, mut g): (Box<dyn Game>, _) = match family {
+    let (game, g): (Box<dyn Game + Send + Sync>, _) = match family {
         "asg" => (
             Box::new(AsymSwapGame::sum()),
             generators::budgeted_random(n, 2, &mut rng),
@@ -87,45 +89,42 @@ fn phases(n: usize, family: &str) {
             generators::random_with_m_edges(n, 2 * n, &mut rng),
         ),
     };
-    let game = game.as_ref();
-    let mut ws = Workspace::with_oracle(n, OracleKind::Persistent);
-    let (mut t_cost, mut t_find, mut t_resp) = (0.0f64, 0.0f64, 0.0f64);
-    let mut steps = 0usize;
-    let mut scanned = 0usize;
-    loop {
-        let t0 = Instant::now();
-        let mut order: Vec<usize> = (0..n).collect();
-        let costs: Vec<f64> = (0..n)
-            .map(|u| workspace_cost(game, &g, u, &mut ws))
-            .collect();
-        order.sort_by(|&a, &b| costs[b].partial_cmp(&costs[a]).unwrap());
-        let t1 = Instant::now();
-        let mut mover = None;
-        for &u in &order {
-            scanned += 1;
-            if game.has_improving_move(&g, u, &mut ws) {
-                mover = Some(u);
-                break;
-            }
-        }
-        let t2 = Instant::now();
-        t_cost += (t1 - t0).as_secs_f64();
-        t_find += (t2 - t1).as_secs_f64();
-        let Some(u) = mover else { break };
-        let br = game.best_response(&g, u, &mut ws).expect("unhappy");
-        apply_move(&mut g, u, &br.mv).expect("applies");
-        let _ = &game;
-        t_resp += t2.elapsed().as_secs_f64();
-        steps += 1;
-        if steps > 400 * n {
-            break;
-        }
-    }
-    println!(
-        "n={n:>4} {family} phases: steps={steps} scanned/step={:.1} cost={t_cost:.3}s find={t_find:.3}s resp={t_resp:.3}s stats={:?}",
-        scanned as f64 / steps.max(1) as f64,
-        ws.oracle_stats()
+    trace::set_enabled(true);
+    let _ = trace::take_report(); // drop anything earlier probes recorded
+    let watch = trace::Stopwatch::start();
+    let (result, stats) = run_dynamics_trial_probed(
+        game.as_ref(),
+        g,
+        Policy::MaxCost,
+        EngineSpec::persistent(),
+        400 * n,
+        &mut rng,
     );
+    let wall_ns = watch.elapsed_ns();
+    trace::set_enabled(false);
+    let report = trace::take_report();
+    println!(
+        "n={n:>4} {family} traced trial: steps={} converged={} wall={:.3}s",
+        result.steps,
+        result.converged,
+        wall_ns as f64 / 1e9,
+    );
+    print!("{}", report.render_flame());
+    let leaf_ns = (report.leaf_coverage() * report.total_ns() as f64) as u64;
+    println!(
+        "leaf coverage: {:.1}% of the span tree, {:.1}% of wall-clock",
+        report.leaf_coverage() * 100.0,
+        leaf_ns as f64 / wall_ns.max(1) as f64 * 100.0,
+    );
+    match report.wasted_scan_ratio() {
+        Some(ratio) => println!(
+            "wasted-scan ratio: {ratio:.1} agents scanned per improving move ({} scanned / {} improving)",
+            report.counter(trace::Counter::AgentsScanned),
+            report.counter(trace::Counter::ImprovingMoves),
+        ),
+        None => println!("wasted-scan ratio: n/a (no improving moves recorded)"),
+    }
+    println!("oracle stats: {stats:?}");
 }
 
 fn main() {

@@ -9,7 +9,9 @@
 //! * [`instances`] (`ncg-instances`) — every constructed instance from the paper,
 //! * [`sim`] (`ncg-sim`) — the empirical-study harness (Fig. 7–14),
 //! * [`lab`] (`ncg-lab`) — the scenario catalog and the batch orchestrator
-//!   (streaming stats, checkpoint/resume).
+//!   (streaming stats, checkpoint/resume),
+//! * [`trace`] (`ncg-trace`) — the zero-overhead-when-off instrumentation
+//!   layer (phase spans, counters, flame profiles).
 
 #![forbid(unsafe_code)]
 
@@ -18,6 +20,7 @@ pub use ncg_graph as graph;
 pub use ncg_instances as instances;
 pub use ncg_lab as lab;
 pub use ncg_sim as sim;
+pub use ncg_trace as trace;
 
 /// Convenient prelude importing the most frequently used items.
 pub mod prelude {
