@@ -11,13 +11,25 @@
 //! `smoke=1` runs a tiny grid three ways — uninterrupted, killed mid-sweep,
 //! and resumed from the kill's journal — and **asserts** that the resumed
 //! aggregates are bit-identical to the uninterrupted run (the CI resume
-//! check). `journal=PATH` checkpoints every completed trial chunk; with
-//! `resume=1` a previous journal is replayed instead of re-running.
+//! check); it then repeats the check through the fault-tolerant path: a
+//! supervised 2-shard run with a worker kill injected mid-sweep must merge
+//! bit-identical too. `journal=PATH` checkpoints every completed trial
+//! chunk; with `resume=1` a previous journal is replayed instead of
+//! re-running.
+//!
+//! `shards=K` runs every plan as `K` supervised worker processes (this same
+//! binary re-entered via the `NCG_SHARD_*` environment protocol), each with
+//! its own journal, merged at the end — crashes are retried with backoff,
+//! hangs are killed by the no-progress deadline, and a shard that exhausts
+//! its retry budget degrades the run instead of aborting it. See
+//! `ncg_lab::supervisor`.
 
 use ncg_bench::sweeps;
-use ncg_lab::{run_sweep, PointOutcome, RunOptions, SweepOutcome, SweepPlan};
+use ncg_lab::supervisor::{supervise, ShardRuntime, SupervisorConfig};
+use ncg_lab::{run_sweep, MergedSweep, PointOutcome, RunOptions, SweepOutcome, SweepPlan};
 use ncg_trace as trace;
 use std::path::PathBuf;
+use std::process::Command;
 
 struct Args {
     max_n: usize,
@@ -28,6 +40,7 @@ struct Args {
     journal: Option<PathBuf>,
     resume: bool,
     seed: u64,
+    shards: Option<usize>,
 }
 
 fn parse_args() -> Args {
@@ -40,6 +53,7 @@ fn parse_args() -> Args {
         journal: None,
         resume: false,
         seed: 0x5eed_2013,
+        shards: None,
     };
     for arg in std::env::args().skip(1) {
         let Some((key, value)) = arg.split_once('=') else {
@@ -54,6 +68,7 @@ fn parse_args() -> Args {
             "journal" => args.journal = Some(PathBuf::from(value)),
             "resume" => args.resume = value == "1" || value == "true",
             "seed" => args.seed = value.parse().unwrap_or(args.seed),
+            "shards" => args.shards = value.parse().ok().filter(|&k: &usize| k > 0),
             _ => eprintln!("ignoring unknown argument {key}={value}"),
         }
     }
@@ -93,6 +108,96 @@ fn print_outcome(plan: &SweepPlan, outcome: &SweepOutcome) {
             },
         );
     }
+    if outcome.journal_skipped_lines > 0 {
+        println!(
+            "note: {} torn or corrupted journal line(s) were discarded on resume \
+             (their chunks re-ran; see the warning above for the file)",
+            outcome.journal_skipped_lines
+        );
+    }
+    if outcome.journal_superseded > 0 {
+        println!(
+            "note: {} duplicate journal record(s) superseded by a later rewrite",
+            outcome.journal_superseded
+        );
+    }
+    if outcome.telemetry_degraded {
+        println!(
+            "note: telemetry stream went dark mid-run (append failure); \
+             aggregates are unaffected"
+        );
+    }
+}
+
+/// Adapts a supervised-merge result to the common printing/JSON shape. The
+/// executed/resumed split is not observable post-merge, so every present
+/// chunk counts as executed.
+fn merged_to_outcome(merged: MergedSweep) -> SweepOutcome {
+    SweepOutcome {
+        completed: merged.completed,
+        executed_chunks: merged.points.iter().map(|p| p.completed_chunks).sum(),
+        resumed_chunks: 0,
+        journal_skipped_lines: merged.skipped_lines,
+        journal_superseded: merged.superseded_chunks,
+        telemetry_degraded: false,
+        trace: None,
+        points: merged.points,
+    }
+}
+
+/// Launches this same binary as a shard worker (`main` re-enters
+/// [`ncg_lab::supervisor::worker_main`] when `NCG_SHARD_WORKER=1`). `fault`
+/// optionally injects an `NCG_FAULT` spec into one shard's **first** attempt
+/// — the supervised smoke uses it; real runs pass `None`.
+fn worker_launcher(fault: Option<(usize, &'static str)>) -> impl Fn(&ShardRuntime) -> Command {
+    let exe = std::env::current_exe().expect("current executable path");
+    move |rt: &ShardRuntime| {
+        let mut cmd = Command::new(&exe);
+        cmd.env_remove("NCG_FAULT");
+        if let Some((shard, spec)) = fault {
+            if rt.shard.index == shard && rt.attempt == 0 {
+                cmd.env("NCG_FAULT", spec);
+            }
+        }
+        cmd
+    }
+}
+
+/// Runs one plan as `shards` supervised worker processes and reports the
+/// merged outcome plus per-shard supervision summaries.
+fn run_supervised(plan: &SweepPlan, args: &Args, shards: usize) -> SweepOutcome {
+    let dir = match &args.journal {
+        Some(p) => p.with_extension(format!("{}.shards", plan.name)),
+        None => std::env::temp_dir().join(format!(
+            "ncg-sweep-shards-{}-{}",
+            std::process::id(),
+            plan.name
+        )),
+    };
+    let cfg = SupervisorConfig {
+        shards,
+        threads_per_shard: args.threads,
+        ..SupervisorConfig::default()
+    };
+    let outcome = supervise(plan, &dir, &cfg, worker_launcher(None)).expect("supervised sweep");
+    for r in &outcome.shards {
+        println!(
+            "shard {}: {} attempt(s), {} crash(es), {} hang kill(s){}",
+            r.shard,
+            r.attempts,
+            r.crashes,
+            r.hang_kills,
+            if r.completed { "" } else { " — GAVE UP" },
+        );
+    }
+    if outcome.degraded {
+        eprintln!(
+            "sweep: {} point(s) incomplete after a shard exhausted its retry budget: {}",
+            outcome.merged.incomplete_points.len(),
+            outcome.merged.incomplete_points.join(", "),
+        );
+    }
+    merged_to_outcome(outcome.merged)
 }
 
 fn assert_bit_identical(a: &[PointOutcome], b: &[PointOutcome], what: &str) {
@@ -199,9 +304,67 @@ fn smoke(args: &Args) {
             plan.name
         );
     }
+    smoke_sharded(args);
+}
+
+/// The CI fault-tolerance check: a supervised 2-shard run with a worker
+/// kill injected mid-sweep (shard 0, second chunk claim of its first
+/// attempt) must retry, resume its own journal, and merge bit-identical to
+/// the unsharded baseline.
+fn smoke_sharded(args: &Args) {
+    let mut plan = sweeps::fig11_style(0, 4, args.seed);
+    plan.ns = vec![12, 16];
+    plan.chunk_size = 2;
+    let baseline = run_sweep(
+        &plan,
+        &RunOptions {
+            threads: args.threads,
+            ..RunOptions::default()
+        },
+    )
+    .expect("unsharded baseline sweep");
+    assert!(baseline.completed);
+
+    let dir = std::env::temp_dir().join(format!("ncg-sweep-smoke-shards-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = SupervisorConfig {
+        shards: 2,
+        threads_per_shard: args.threads,
+        backoff_base_ms: 20,
+        poll_ms: 10,
+        ..SupervisorConfig::default()
+    };
+    let outcome = supervise(
+        &plan,
+        &dir,
+        &cfg,
+        worker_launcher(Some((0, "chunk-run:kill:hits=2"))),
+    )
+    .expect("supervised smoke sweep");
+    assert!(outcome.merged.completed, "supervised smoke must complete");
+    assert!(!outcome.degraded);
+    assert!(
+        outcome.shards[0].crashes >= 1,
+        "the injected worker kill must have fired"
+    );
+    assert_bit_identical(
+        &baseline.points,
+        &outcome.merged.points,
+        "supervised 2-shard smoke",
+    );
+    std::fs::remove_dir_all(&dir).ok();
+    println!(
+        "smoke OK: supervised 2-shard sweep with injected worker kill \
+         merges bit-identical to the unsharded run"
+    );
 }
 
 fn main() {
+    // Shard-worker re-entry: the supervisor launches this same binary with
+    // the NCG_SHARD_* protocol in the environment.
+    if std::env::var("NCG_SHARD_WORKER").as_deref() == Ok("1") {
+        std::process::exit(ncg_lab::supervisor::worker_main());
+    }
     let args = parse_args();
     if args.smoke {
         smoke(&args);
@@ -218,28 +381,33 @@ fn main() {
     ];
     let mut runs = Vec::new();
     for plan in plans {
-        // One journal per plan when checkpointing is requested; the live
-        // telemetry stream (chunk/worker/run events) lands next to it.
-        let journal = args
-            .journal
-            .as_ref()
-            .map(|p| p.with_extension(format!("{}.jsonl", plan.name)));
-        let telemetry = args
-            .journal
-            .as_ref()
-            .map(|p| p.with_extension(format!("{}.telemetry.jsonl", plan.name)));
-        let outcome = run_sweep(
-            &plan,
-            &RunOptions {
-                threads: args.threads,
-                journal,
-                resume: args.resume,
-                stop_after_chunks: None,
-                telemetry,
-                heartbeat: true,
-            },
-        )
-        .expect("sweep failed");
+        let outcome = if let Some(shards) = args.shards {
+            run_supervised(&plan, &args, shards)
+        } else {
+            // One journal per plan when checkpointing is requested; the live
+            // telemetry stream (chunk/worker/run events) lands next to it.
+            let journal = args
+                .journal
+                .as_ref()
+                .map(|p| p.with_extension(format!("{}.jsonl", plan.name)));
+            let telemetry = args
+                .journal
+                .as_ref()
+                .map(|p| p.with_extension(format!("{}.telemetry.jsonl", plan.name)));
+            run_sweep(
+                &plan,
+                &RunOptions {
+                    threads: args.threads,
+                    journal,
+                    resume: args.resume,
+                    stop_after_chunks: None,
+                    telemetry,
+                    heartbeat: true,
+                    shard: None,
+                },
+            )
+            .expect("sweep failed")
+        };
         print_outcome(&plan, &outcome);
         runs.push((plan, outcome));
     }

@@ -49,6 +49,17 @@ impl Policy {
         }
     }
 
+    /// Inverse of [`Policy::label`] (plan-spec round trips).
+    pub fn parse(s: &str) -> Option<Policy> {
+        match s {
+            "max cost" => Some(Policy::MaxCost),
+            "random" => Some(Policy::Random),
+            "min index" => Some(Policy::MinIndex),
+            "round robin" => Some(Policy::RoundRobin),
+            _ => None,
+        }
+    }
+
     /// Selects the moving agent in state `g`, or `None` if every agent is happy
     /// (the state is stable).
     ///

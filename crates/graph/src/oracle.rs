@@ -95,6 +95,16 @@ impl OracleKind {
             OracleKind::Persistent => "persistent",
         }
     }
+
+    /// Inverse of [`OracleKind::label`] (plan-spec round trips).
+    pub fn parse(s: &str) -> Option<OracleKind> {
+        match s {
+            "full-bfs" => Some(OracleKind::FullBfs),
+            "incremental" => Some(OracleKind::Incremental),
+            "persistent" => Some(OracleKind::Persistent),
+            _ => None,
+        }
+    }
 }
 
 /// Work counters of an oracle, for ablation measurements.

@@ -1,0 +1,9 @@
+//! Dedicated shard-worker binary for supervised sweeps: the integration
+//! test matrix (and any embedder that prefers a separate executable over
+//! re-entering its own `main`) points the supervisor's launcher here. All
+//! behaviour lives in [`ncg_lab::supervisor::worker_main`]; this wrapper
+//! only translates its return value into a process exit code.
+
+fn main() {
+    std::process::exit(ncg_lab::supervisor::worker_main());
+}

@@ -9,10 +9,19 @@
 //!
 //! Floating-point moments (`mean`, `m2`) are serialized as their exact IEEE
 //! bit patterns — a decimal round-trip would silently break the bit-identity
-//! guarantee. A header line pins the plan hash, so a journal can never be
-//! resumed into a different grid; a torn final line (the process died
-//! mid-write) is detected and ignored.
+//! guarantee. A header line pins the plan hash — and, for a **shard
+//! journal**, the shard id next to it — so a journal can never be resumed
+//! into a different grid nor merged into the wrong shard; a torn final line
+//! (the process died mid-write) is detected and ignored. Every chunk line
+//! carries an FNV-1a checksum of its payload, so a corrupted record (bit
+//! rot, a fault-injected flip, an overwritten block) is rejected exactly
+//! like a torn one instead of being half-believed. If the same chunk key
+//! appears twice — a crash between the durable append and the resume
+//! bookkeeping, followed by a clean rewrite — the **last complete record
+//! wins** and the superseded one is counted, never silently shadowed.
 
+use crate::faultpoint;
+use crate::shard::ShardSpec;
 use ncg_sim::{MoveKindCounts, StreamingStats, STEP_HIST_BUCKETS};
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -63,7 +72,10 @@ fn render_line(rec: &ChunkRecord) -> String {
         }
         let _ = write!(line, "{h}");
     }
-    line.push_str("]}");
+    line.push(']');
+    // Integrity checksum over everything before the "ck" field itself.
+    let ck = crate::plan::fnv1a(line.as_bytes());
+    let _ = write!(line, ",\"ck\":\"{ck:016x}\"}}");
     line
 }
 
@@ -90,10 +102,17 @@ fn field_hex(line: &str, key: &str) -> Option<u64> {
     u64::from_str_radix(&rest[..end], 16).ok()
 }
 
-/// Parses one chunk line; `None` for torn or foreign lines.
+/// Parses one chunk line; `None` for torn, corrupted or foreign lines.
 fn parse_line(line: &str) -> Option<ChunkRecord> {
-    if !line.ends_with("]}") {
+    if !line.ends_with("\"}") {
         return None; // torn write
+    }
+    // Checksum first: a record whose bytes don't match their own FNV tag is
+    // corrupted (or torn mid-line) and must not be half-believed.
+    let ck_at = line.rfind(",\"ck\":\"")?;
+    let expected = u64::from_str_radix(line.get(ck_at + 7..ck_at + 23)?, 16).ok()?;
+    if crate::plan::fnv1a(&line.as_bytes()[..ck_at]) != expected {
+        return None;
     }
     let mut hist = [0u64; STEP_HIST_BUCKETS];
     let open = line.find("\"hist\":[")? + "\"hist\":[".len();
@@ -142,11 +161,30 @@ impl JournalWriter {
     /// Creates a fresh journal at `path` (truncating any previous file) and
     /// writes the plan-hash header.
     pub fn create(path: &Path, plan_hash: u64) -> std::io::Result<JournalWriter> {
+        JournalWriter::create_sharded(path, plan_hash, None)
+    }
+
+    /// Creates a fresh **shard** journal: the shard id is folded into the
+    /// header next to the plan hash, so the file can never be merged into
+    /// the wrong shard or grid. `None` writes the unsharded header.
+    ///
+    /// The header bytes go through the same `journal-append` fault point as
+    /// every record, so the kill-at-any-byte-offset matrix also covers a
+    /// death mid-header.
+    pub fn create_sharded(
+        path: &Path,
+        plan_hash: u64,
+        shard: Option<ShardSpec>,
+    ) -> std::io::Result<JournalWriter> {
         let mut file = BufWriter::new(File::create(path)?);
-        writeln!(
-            file,
-            "{{\"ncg_sweep_journal\":1,\"plan\":\"{plan_hash:016x}\"}}"
-        )?;
+        let header = match shard {
+            Some(s) => format!(
+                "{{\"ncg_sweep_journal\":1,\"plan\":\"{plan_hash:016x}\",\"shard\":{},\"of\":{}}}\n",
+                s.index, s.count
+            ),
+            None => format!("{{\"ncg_sweep_journal\":1,\"plan\":\"{plan_hash:016x}\"}}\n"),
+        };
+        faultpoint::write_all("journal-append", &mut file, header.as_bytes())?;
         file.flush()?;
         Ok(JournalWriter {
             file: Mutex::new(file),
@@ -178,9 +216,18 @@ impl JournalWriter {
 
     /// Durably records one completed chunk (flushed before returning, so a
     /// kill right after the call never loses the chunk).
+    ///
+    /// The whole write path is threaded through the `journal-append` fault
+    /// point: an armed fault can fail the append with an I/O error, corrupt
+    /// the record bytes, or kill the process at an arbitrary byte offset of
+    /// the line — the scenarios the recovery matrix proves harmless.
     pub fn record(&self, rec: &ChunkRecord) -> std::io::Result<()> {
+        let mut line = render_line(rec).into_bytes();
+        line.push(b'\n');
+        faultpoint::io_check("journal-append")?;
+        faultpoint::mangle("journal-append", &mut line);
         let mut file = self.file.lock().expect("journal mutex poisoned");
-        writeln!(file, "{}", render_line(rec))?;
+        faultpoint::write_all("journal-append", &mut *file, &line)?;
         file.flush()
     }
 }
@@ -190,8 +237,29 @@ impl JournalWriter {
 pub struct JournalContents {
     /// Completed chunks, keyed by `(point_hash, chunk_index)`.
     pub chunks: HashMap<(u64, usize), ChunkRecord>,
-    /// Lines that failed to parse (torn tail writes); surfaced for logging.
+    /// Lines that failed to parse — torn tail writes or checksum-rejected
+    /// corrupted records; surfaced as an explicit warning on resume.
     pub skipped_lines: usize,
+    /// Earlier records replaced by a later record with a **different**
+    /// payload for the same chunk key (a torn-then-rewritten chunk after a
+    /// crash-resume); the last complete record wins.
+    pub superseded_chunks: usize,
+    /// Records whose chunk key appeared again with a bit-identical payload.
+    pub duplicate_chunks: usize,
+    /// The shard id from the header of a shard journal (`None` for an
+    /// unsharded journal).
+    pub shard: Option<ShardSpec>,
+}
+
+/// True for [`load_journal`] errors meaning the header itself never made it
+/// to disk intact (empty file or torn header) — the one corruption class a
+/// resume can only repair by starting the journal over. A *valid* header for
+/// the wrong plan or shard is never "damaged": that is a hard refusal.
+pub fn header_is_damaged(err: &std::io::Error) -> bool {
+    err.kind() == std::io::ErrorKind::InvalidData && {
+        let msg = err.to_string();
+        msg.contains("empty journal") || msg.contains("journal header unreadable")
+    }
 }
 
 /// Loads a journal, validating its header against `expected_plan_hash`.
@@ -215,6 +283,12 @@ pub fn load_journal(path: &Path, expected_plan_hash: u64) -> std::io::Result<Jou
         ));
     }
     let mut contents = JournalContents::default();
+    if let (Some(index), Some(count)) = (field_u64(&header, "shard"), field_u64(&header, "of")) {
+        contents.shard = Some(ShardSpec {
+            index: index as usize,
+            count: (count as usize).max(1),
+        });
+    }
     for line in lines {
         let line = line?;
         if line.trim().is_empty() {
@@ -222,9 +296,12 @@ pub fn load_journal(path: &Path, expected_plan_hash: u64) -> std::io::Result<Jou
         }
         match parse_line(&line) {
             Some(rec) => {
-                contents
-                    .chunks
-                    .insert((rec.point_hash, rec.chunk_index), rec);
+                let key = (rec.point_hash, rec.chunk_index);
+                match contents.chunks.insert(key, rec) {
+                    Some(old) if old == contents.chunks[&key] => contents.duplicate_chunks += 1,
+                    Some(_) => contents.superseded_chunks += 1,
+                    None => {}
+                }
             }
             None => contents.skipped_lines += 1,
         }
@@ -333,6 +410,86 @@ mod tests {
         assert_eq!(contents.chunks.len(), 2, "both real records survive");
         assert_eq!(contents.skipped_lines, 1, "the fragment alone is skipped");
         assert_eq!(contents.chunks[&(b.point_hash, b.chunk_index)], b);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupted_records_fail_their_checksum() {
+        let line = render_line(&sample_record(11));
+        assert!(parse_line(&line).is_some(), "clean line parses");
+        // Flip any single payload byte: the record must be rejected, not
+        // half-believed — including flips inside the checksum field itself.
+        let bytes = line.as_bytes();
+        for at in [9, bytes.len() / 3, bytes.len() / 2, bytes.len() - 4] {
+            let mut bad = bytes.to_vec();
+            bad[at] ^= 0x10;
+            let bad = String::from_utf8_lossy(&bad).into_owned();
+            assert_eq!(parse_line(&bad), None, "flip at {at} must be rejected");
+        }
+    }
+
+    #[test]
+    fn duplicate_chunk_keys_keep_the_last_complete_record() {
+        let dir = std::env::temp_dir().join(format!("ncg-lab-journal4-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("j4.jsonl");
+        let a = sample_record(1);
+        // Same chunk key as `a`, different payload: a rewrite after a crash.
+        let mut a2 = a.clone();
+        a2.stats.total_steps += 3;
+        a2.stats.count += 1;
+        let b = sample_record(2);
+        let writer = JournalWriter::create(&path, 5).unwrap();
+        for rec in [&a, &b, &a2, &b] {
+            writer.record(rec).unwrap();
+        }
+        drop(writer);
+        let contents = load_journal(&path, 5).unwrap();
+        assert_eq!(contents.chunks.len(), 2);
+        assert_eq!(
+            contents.chunks[&(a.point_hash, a.chunk_index)],
+            a2,
+            "the last complete record wins"
+        );
+        assert_eq!(contents.superseded_chunks, 1, "a -> a2 counted");
+        assert_eq!(contents.duplicate_chunks, 1, "identical b repeat counted");
+        assert_eq!(contents.skipped_lines, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shard_headers_round_trip_and_unsharded_stays_bare() {
+        let dir = std::env::temp_dir().join(format!("ncg-lab-journal5-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let sharded = dir.join("s.jsonl");
+        let spec = ShardSpec { index: 1, count: 3 };
+        JournalWriter::create_sharded(&sharded, 9, Some(spec))
+            .unwrap()
+            .record(&sample_record(0))
+            .unwrap();
+        let contents = load_journal(&sharded, 9).unwrap();
+        assert_eq!(contents.shard, Some(spec));
+        assert_eq!(contents.chunks.len(), 1);
+        let plain = dir.join("p.jsonl");
+        JournalWriter::create(&plain, 9).unwrap();
+        assert_eq!(load_journal(&plain, 9).unwrap().shard, None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn damaged_headers_are_distinguished_from_foreign_plans() {
+        let dir = std::env::temp_dir().join(format!("ncg-lab-journal6-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let empty = dir.join("empty.jsonl");
+        std::fs::write(&empty, "").unwrap();
+        assert!(header_is_damaged(&load_journal(&empty, 1).unwrap_err()));
+        let torn = dir.join("torn.jsonl");
+        std::fs::write(&torn, "{\"ncg_sweep_journal\":1,\"pla").unwrap();
+        assert!(header_is_damaged(&load_journal(&torn, 1).unwrap_err()));
+        let foreign = dir.join("foreign.jsonl");
+        JournalWriter::create(&foreign, 2).unwrap();
+        let err = load_journal(&foreign, 1).unwrap_err();
+        assert!(!header_is_damaged(&err), "a foreign plan is a hard refusal");
         std::fs::remove_dir_all(&dir).ok();
     }
 

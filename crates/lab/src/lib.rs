@@ -23,22 +23,37 @@
 //! * [`telemetry`] — best-effort live JSONL telemetry written next to the
 //!   journal (per-chunk progress, per-worker utilization, run summary), plus
 //!   optional stderr heartbeat lines with points-done and ETA.
+//! * [`shard`] — deterministic partition of a plan's `(point, chunk)` jobs
+//!   into `k` shards and the merge/fold of per-shard journals back into
+//!   single-process-identical aggregates.
+//! * [`supervisor`] — the fault-tolerant shard runner: child-process shard
+//!   workers, liveness via journal/telemetry growth, retry with exponential
+//!   backoff, timeout-and-kill on hang, graceful degradation when a shard
+//!   exhausts its retry budget.
+//! * [`faultpoint`] — the kill-anywhere fault-injection harness (env-gated
+//!   named fault points, zero overhead when off) behind the fault matrix.
 //!
 //! The headline guarantee, enforced by the workspace reproducibility test:
-//! a plan run with 1 worker, N workers, or killed and resumed mid-sweep
+//! a plan run with 1 worker, N workers, killed and resumed mid-sweep, or
+//! sharded across supervised processes (with or without injected faults)
 //! produces **bit-identical** per-point aggregates.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod faultpoint;
 pub mod journal;
 pub mod orchestrator;
 pub mod plan;
 pub mod scenario;
+pub mod shard;
+pub mod supervisor;
 pub mod telemetry;
 
 pub use journal::{load_journal, ChunkRecord, JournalWriter};
 pub use orchestrator::{run_sweep, PointOutcome, RunOptions, SweepOutcome};
 pub use plan::{fnv1a, AutoSplit, SweepPlan, SweepPoint};
 pub use scenario::Scenario;
+pub use shard::{merge_shard_journals, shard_of, MergedSweep, ShardSpec};
+pub use supervisor::{supervise, ShardReport, SupervisedOutcome, SupervisorConfig};
 pub use telemetry::{ChunkEvent, TelemetryWriter};

@@ -15,8 +15,9 @@
 //! hashes; the journal's plan-hash guard turns any cross-machine flip of
 //! that decision into a hard error instead of a silent mix.
 
-use crate::journal::{load_journal, ChunkRecord, JournalWriter};
+use crate::journal::{header_is_damaged, load_journal, ChunkRecord, JournalWriter};
 use crate::plan::{SweepPlan, SweepPoint};
+use crate::shard::ShardSpec;
 use crate::telemetry::{ChunkEvent, TelemetryWriter};
 use ncg_sim::{run_seeded_trial, StreamingStats};
 use ncg_trace as trace;
@@ -44,6 +45,10 @@ pub struct RunOptions {
     /// Print a heartbeat line to stderr after every completed chunk:
     /// chunks done, points done, elapsed and ETA.
     pub heartbeat: bool,
+    /// Execute only the chunks this shard owns (see [`crate::shard`]); the
+    /// journal is created with the shard id folded into its header. `None`
+    /// runs the whole plan unsharded.
+    pub shard: Option<ShardSpec>,
 }
 
 /// Aggregated outcome of one point.
@@ -69,7 +74,9 @@ impl PointOutcome {
 /// Outcome of a sweep run.
 #[derive(Debug)]
 pub struct SweepOutcome {
-    /// True if every chunk of every point completed.
+    /// True if this run finished every chunk it set out to execute (for a
+    /// sharded run: every chunk the shard *owns*; chunks of other shards are
+    /// not this run's business).
     pub completed: bool,
     /// Per-point aggregates, in plan (flatten) order.
     pub points: Vec<PointOutcome>,
@@ -77,6 +84,15 @@ pub struct SweepOutcome {
     pub executed_chunks: usize,
     /// Chunks restored from the journal instead of re-running.
     pub resumed_chunks: usize,
+    /// Torn or checksum-rejected journal lines discarded on resume (0 when
+    /// not resuming).
+    pub journal_skipped_lines: usize,
+    /// Journal records superseded by a later rewrite of the same chunk key
+    /// (keep-last semantics; see [`crate::journal::JournalContents`]).
+    pub journal_superseded: usize,
+    /// True if the best-effort telemetry stream went dark mid-run (a failed
+    /// append disables it; the sweep itself continues).
+    pub telemetry_degraded: bool,
     /// Merged per-worker trace reports — `None` unless tracing was enabled
     /// ([`ncg_trace::set_enabled`]) while the sweep ran. Purely
     /// observational: aggregates are bit-identical either way.
@@ -134,45 +150,82 @@ pub fn run_sweep(plan: &SweepPlan, opts: &RunOptions) -> std::io::Result<SweepOu
         .map(|chunks| vec![None; chunks.len()])
         .collect();
     let mut resumed_chunks = 0usize;
+    let mut journal_skipped_lines = 0usize;
+    let mut journal_superseded = 0usize;
+    // Set when the existing journal's header never reached disk intact (the
+    // creating process died mid-header-write): nothing in the file can be
+    // trusted, so resume starts the journal over instead of failing forever.
+    let mut reset_journal = false;
     if opts.resume {
         if let Some(path) = &opts.journal {
             if path.exists() {
-                let contents = load_journal(path, plan_hash)?;
-                if contents.skipped_lines > 0 {
-                    eprintln!(
-                        "sweep journal: ignoring {} torn line(s) from an interrupted run",
-                        contents.skipped_lines
-                    );
-                }
-                for (pi, point) in points.iter().enumerate() {
-                    for (ci, &(start, len)) in layouts[pi].iter().enumerate() {
-                        if let Some(rec) = contents.chunks.get(&(point.hash, ci)) {
-                            if rec.start == start && rec.len == len {
-                                slots[pi][ci] = Some(rec.stats.clone());
-                                resumed_chunks += 1;
+                match load_journal(path, plan_hash) {
+                    Ok(contents) => {
+                        if contents.shard != opts.shard {
+                            return Err(std::io::Error::new(
+                                std::io::ErrorKind::InvalidData,
+                                format!(
+                                    "journal {} carries shard header {:?}, expected {:?}",
+                                    path.display(),
+                                    contents.shard,
+                                    opts.shard
+                                ),
+                            ));
+                        }
+                        if contents.skipped_lines > 0 {
+                            eprintln!(
+                                "sweep journal {}: ignoring {} torn or corrupted line(s) \
+                                 from an interrupted run",
+                                path.display(),
+                                contents.skipped_lines
+                            );
+                        }
+                        journal_skipped_lines = contents.skipped_lines;
+                        journal_superseded = contents.superseded_chunks;
+                        for (pi, point) in points.iter().enumerate() {
+                            for (ci, &(start, len)) in layouts[pi].iter().enumerate() {
+                                if let Some(rec) = contents.chunks.get(&(point.hash, ci)) {
+                                    if rec.start == start && rec.len == len {
+                                        slots[pi][ci] = Some(rec.stats.clone());
+                                        resumed_chunks += 1;
+                                    }
+                                }
                             }
                         }
                     }
+                    Err(e) if header_is_damaged(&e) => {
+                        eprintln!(
+                            "sweep journal {}: header never reached disk intact; \
+                             starting the journal over",
+                            path.display()
+                        );
+                        reset_journal = true;
+                    }
+                    Err(e) => return Err(e),
                 }
             }
         }
     }
 
     let writer = match &opts.journal {
-        Some(path) => Some(if opts.resume && path.exists() {
+        Some(path) => Some(if opts.resume && path.exists() && !reset_journal {
             JournalWriter::append(path)?
         } else {
-            JournalWriter::create(path, plan_hash)?
+            JournalWriter::create_sharded(path, plan_hash, opts.shard)?
         }),
         None => None,
     };
 
-    // Pending jobs, round-robin by chunk index across points.
+    // Pending jobs, round-robin by chunk index across points; a shard run
+    // claims only the chunks its deterministic partition owns.
     let mut jobs: Vec<Job> = Vec::new();
     let max_chunks = layouts.iter().map(Vec::len).max().unwrap_or(0);
     for ci in 0..max_chunks {
         for (pi, layout) in layouts.iter().enumerate() {
-            if ci < layout.len() && slots[pi][ci].is_none() {
+            if ci < layout.len()
+                && slots[pi][ci].is_none()
+                && opts.shard.is_none_or(|s| s.owns(points[pi].hash, ci))
+            {
                 let (start, len) = layout[ci];
                 jobs.push(Job {
                     point_index: pi,
@@ -264,6 +317,10 @@ pub fn run_sweep(plan: &SweepPlan, opts: &RunOptions) -> std::io::Result<SweepOu
                     let point = &points[job.point_index];
                     claims += 1;
                     trace::add(trace::Counter::ChunkClaims, 1);
+                    // Kill/hang injection site of the fault matrix: dying
+                    // here loses exactly the claimed-but-unjournaled chunk,
+                    // the worst case resume has to cover.
+                    crate::faultpoint::trip("chunk-run");
                     let chunk_clock = trace::Stopwatch::start();
                     let stats = {
                         let _sp = trace::span(trace::Phase::ChunkRun);
@@ -339,20 +396,21 @@ pub fn run_sweep(plan: &SweepPlan, opts: &RunOptions) -> std::io::Result<SweepOu
     if let Some(telemetry) = &telemetry {
         telemetry.run(executed_chunks, resumed_chunks, clock.elapsed_ns());
     }
+    let telemetry_degraded = telemetry.as_ref().is_some_and(TelemetryWriter::degraded);
     let trace_report = trace_acc.into_inner().expect("trace mutex poisoned");
+
+    // This run completed iff it executed every job it set out to claim — for
+    // a sharded run that is the shard's own partition, not the whole grid.
+    let completed = executed_chunks == jobs.len();
 
     // Merge per point, strictly in chunk order — the reproducibility anchor.
     let mut outcomes = Vec::with_capacity(points.len());
-    let mut completed = true;
     for (pi, point) in points.into_iter().enumerate() {
         let mut stats = StreamingStats::new();
         let mut done = 0usize;
         for chunk in slots[pi].iter().flatten() {
             stats.merge(chunk);
             done += 1;
-        }
-        if done < layouts[pi].len() {
-            completed = false;
         }
         outcomes.push(PointOutcome {
             point,
@@ -366,6 +424,9 @@ pub fn run_sweep(plan: &SweepPlan, opts: &RunOptions) -> std::io::Result<SweepOu
         points: outcomes,
         executed_chunks,
         resumed_chunks,
+        journal_skipped_lines,
+        journal_superseded,
+        telemetry_degraded,
         trace: trace_report,
     })
 }
@@ -474,6 +535,138 @@ mod tests {
             lines.last().unwrap().contains("\"event\":\"run\""),
             "run summary is the final line"
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sharded_runs_merge_bit_identical_to_a_single_process_run() {
+        let plan = tiny_plan();
+        let baseline = run_sweep(&plan, &RunOptions::default()).unwrap();
+        let dir = std::env::temp_dir().join(format!("ncg-lab-shardrun-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for count in [1usize, 3] {
+            let mut paths = Vec::new();
+            for index in 0..count {
+                let spec = crate::shard::ShardSpec::new(index, count);
+                let path = dir.join(spec.journal_name());
+                let out = run_sweep(
+                    &plan,
+                    &RunOptions {
+                        threads: Some(2),
+                        journal: Some(path.clone()),
+                        shard: Some(spec),
+                        ..RunOptions::default()
+                    },
+                )
+                .unwrap();
+                assert!(out.completed, "shard {index}/{count} finished its part");
+                paths.push(path);
+            }
+            let merged = crate::shard::merge_shard_journals(&plan, count, &paths).unwrap();
+            assert!(merged.completed, "count={count}");
+            for (a, b) in baseline.points.iter().zip(&merged.points) {
+                assert_eq!(a.stats, b.stats, "count={count}: {}", a.point.label());
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shard_resume_extends_its_own_journal_and_refuses_foreign_shards() {
+        let plan = tiny_plan();
+        let dir = std::env::temp_dir().join(format!("ncg-lab-shardres-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = crate::shard::ShardSpec::new(0, 2);
+        let path = dir.join(spec.journal_name());
+        let opts = |stop| RunOptions {
+            threads: Some(1),
+            journal: Some(path.clone()),
+            resume: true,
+            stop_after_chunks: stop,
+            shard: Some(spec),
+            ..RunOptions::default()
+        };
+        let first = run_sweep(&plan, &opts(Some(2))).unwrap();
+        assert!(!first.completed);
+        assert_eq!(first.executed_chunks, 2);
+        let second = run_sweep(&plan, &opts(None)).unwrap();
+        assert!(second.completed);
+        assert_eq!(second.resumed_chunks, 2, "the first run's chunks resumed");
+        // The same journal refuses to resume as a different shard (or
+        // unsharded): its header pins the shard identity.
+        let mut foreign = opts(None);
+        foreign.shard = Some(crate::shard::ShardSpec::new(1, 2));
+        assert!(run_sweep(&plan, &foreign).is_err());
+        foreign.shard = None;
+        assert!(run_sweep(&plan, &foreign).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_resets_a_journal_whose_header_was_destroyed() {
+        let plan = tiny_plan();
+        let dir = std::env::temp_dir().join(format!("ncg-lab-reset-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("damaged.jsonl");
+        // The previous process died mid-header-write: a torn header fragment.
+        std::fs::write(&path, "{\"ncg_sw").unwrap();
+        let out = run_sweep(
+            &plan,
+            &RunOptions {
+                threads: Some(1),
+                journal: Some(path.clone()),
+                resume: true,
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(out.completed);
+        assert_eq!(out.resumed_chunks, 0, "nothing trustworthy to resume");
+        let reloaded = load_journal(&path, plan.plan_hash()).unwrap();
+        assert_eq!(reloaded.chunks.len(), out.executed_chunks, "journal reset");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_surfaces_skipped_lines_in_the_outcome() {
+        let plan = tiny_plan();
+        let dir = std::env::temp_dir().join(format!("ncg-lab-skipped-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.jsonl");
+        let first = run_sweep(
+            &plan,
+            &RunOptions {
+                threads: Some(1),
+                journal: Some(path.clone()),
+                stop_after_chunks: Some(3),
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(!first.completed);
+        assert_eq!(first.journal_skipped_lines, 0, "fresh journal, no resume");
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            write!(f, "{{\"point\":\"00aa\",\"chunk\":1").unwrap();
+        }
+        let second = run_sweep(
+            &plan,
+            &RunOptions {
+                threads: Some(1),
+                journal: Some(path.clone()),
+                resume: true,
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(second.completed);
+        assert_eq!(second.journal_skipped_lines, 1, "the torn tail is reported");
+        assert_eq!(second.resumed_chunks, 3);
+        assert!(!second.telemetry_degraded, "no telemetry configured");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -237,6 +237,154 @@ impl SweepPlan {
         }
         fnv1a(desc.as_bytes())
     }
+
+    /// Serializes the plan as a line-based `key=value` spec — the transport
+    /// format handed to supervised shard-worker processes. Lossless: α values
+    /// and every engine field are encoded exactly (α via IEEE bit patterns),
+    /// so [`SweepPlan::parse_spec`] reconstructs a plan with the identical
+    /// [`SweepPlan::plan_hash`] *on the same machine* (the scan-mode split
+    /// consults the core count; a cross-machine flip is still caught by the
+    /// worker's plan-hash check).
+    pub fn to_spec_string(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::from("ncg_sweep_plan=1\n");
+        let _ = writeln!(s, "name={}", self.name);
+        for sc in &self.scenarios {
+            let _ = writeln!(s, "scenario={}", sc.label());
+        }
+        for f in &self.families {
+            let _ = writeln!(s, "family={}", f.label());
+        }
+        for p in &self.policies {
+            let _ = writeln!(s, "policy={}", p.label());
+        }
+        for a in &self.alphas {
+            let bits = match a {
+                AlphaSpec::Fixed(v) => format!("f{:016x}", v.to_bits()),
+                AlphaSpec::FractionOfN(v) => format!("n{:016x}", v.to_bits()),
+            };
+            let _ = writeln!(s, "alpha={bits}");
+        }
+        for n in &self.ns {
+            let _ = writeln!(s, "n={n}");
+        }
+        let _ = writeln!(s, "trials={}", self.trials);
+        let _ = writeln!(s, "chunk_size={}", self.chunk_size);
+        let _ = writeln!(s, "base_seed={:016x}", self.base_seed);
+        let _ = writeln!(s, "max_steps_factor={}", self.max_steps_factor);
+        let _ = writeln!(s, "engine.oracle={}", self.engine.oracle.label());
+        let _ = writeln!(s, "engine.dirty={}", u8::from(self.engine.dirty_agents));
+        let _ = writeln!(s, "engine.par={}", opt_str(self.engine.parallel_scan));
+        let _ = writeln!(
+            s,
+            "engine.cache={}",
+            opt_str(self.engine.oracle_cache_budget)
+        );
+        let _ = writeln!(
+            s,
+            "engine.bytes={}",
+            opt_str(self.engine.oracle_byte_budget)
+        );
+        let _ = writeln!(s, "engine.warm={}", u8::from(self.engine.warm_parked));
+        let _ = writeln!(s, "engine.batch={}", u8::from(self.engine.warm_batching));
+        let _ = writeln!(s, "split.scan_min_n={}", self.split.scan_min_n);
+        let _ = writeln!(s, "split.scan_max_trials={}", self.split.scan_max_trials);
+        let _ = writeln!(s, "split.scan_min_cores={}", self.split.scan_min_cores);
+        s
+    }
+
+    /// Parses a spec produced by [`SweepPlan::to_spec_string`]. Unknown keys
+    /// are rejected (a version-skewed spec must fail loudly, not
+    /// half-apply); so is any unparseable value.
+    pub fn parse_spec(spec: &str) -> Result<SweepPlan, String> {
+        let mut lines = spec.lines().filter(|l| !l.trim().is_empty());
+        if lines.next() != Some("ncg_sweep_plan=1") {
+            return Err("not a sweep-plan spec (missing ncg_sweep_plan=1 header)".into());
+        }
+        let mut plan = SweepPlan::new("unnamed");
+        plan.scenarios.clear();
+        plan.families.clear();
+        plan.policies.clear();
+        plan.alphas.clear();
+        plan.ns.clear();
+        fn bad(key: &str, val: &str) -> String {
+            format!("bad value for {key}: {val:?}")
+        }
+        fn uint<T: std::str::FromStr>(key: &str, val: &str) -> Result<T, String> {
+            val.parse().map_err(|_| bad(key, val))
+        }
+        for line in lines {
+            let (key, val) = line
+                .split_once('=')
+                .ok_or_else(|| format!("malformed spec line: {line:?}"))?;
+            match key {
+                "name" => plan.name = val.to_string(),
+                "scenario" => plan
+                    .scenarios
+                    .push(Scenario::parse(val).ok_or_else(|| bad(key, val))?),
+                "family" => plan
+                    .families
+                    .push(GameFamily::parse(val).ok_or_else(|| bad(key, val))?),
+                "policy" => plan
+                    .policies
+                    .push(Policy::parse(val).ok_or_else(|| bad(key, val))?),
+                "alpha" => {
+                    let bits = u64::from_str_radix(&val[1..], 16).map_err(|_| bad(key, val));
+                    plan.alphas.push(match val.as_bytes().first() {
+                        Some(b'f') => AlphaSpec::Fixed(f64::from_bits(bits?)),
+                        Some(b'n') => AlphaSpec::FractionOfN(f64::from_bits(bits?)),
+                        _ => return Err(bad(key, val)),
+                    });
+                }
+                "n" => plan.ns.push(uint(key, val)?),
+                "trials" => plan.trials = uint(key, val)?,
+                "chunk_size" => plan.chunk_size = uint(key, val)?,
+                "base_seed" => {
+                    plan.base_seed = u64::from_str_radix(val, 16).map_err(|_| bad(key, val))?;
+                }
+                "max_steps_factor" => plan.max_steps_factor = uint(key, val)?,
+                "engine.oracle" => {
+                    plan.engine.oracle =
+                        ncg_graph::OracleKind::parse(val).ok_or_else(|| bad(key, val))?;
+                }
+                "engine.dirty" => plan.engine.dirty_agents = parse_flag(key, val)?,
+                "engine.par" => plan.engine.parallel_scan = parse_opt(key, val)?,
+                "engine.cache" => plan.engine.oracle_cache_budget = parse_opt(key, val)?,
+                "engine.bytes" => plan.engine.oracle_byte_budget = parse_opt(key, val)?,
+                "engine.warm" => plan.engine.warm_parked = parse_flag(key, val)?,
+                "engine.batch" => plan.engine.warm_batching = parse_flag(key, val)?,
+                "split.scan_min_n" => plan.split.scan_min_n = uint(key, val)?,
+                "split.scan_max_trials" => plan.split.scan_max_trials = uint(key, val)?,
+                "split.scan_min_cores" => plan.split.scan_min_cores = uint(key, val)?,
+                _ => return Err(format!("unknown spec key: {key:?}")),
+            }
+        }
+        Ok(plan)
+    }
+}
+
+fn opt_str<T: std::fmt::Display>(v: Option<T>) -> String {
+    match v {
+        Some(v) => v.to_string(),
+        None => "none".to_string(),
+    }
+}
+
+fn parse_opt<T: std::str::FromStr>(key: &str, val: &str) -> Result<Option<T>, String> {
+    if val == "none" {
+        return Ok(None);
+    }
+    val.parse()
+        .map(Some)
+        .map_err(|_| format!("bad value for {key}: {val:?}"))
+}
+
+fn parse_flag(key: &str, val: &str) -> Result<bool, String> {
+    match val {
+        "0" => Ok(false),
+        "1" => Ok(true),
+        _ => Err(format!("bad value for {key}: {val:?}")),
+    }
 }
 
 /// One cell of the sweep grid, ready to execute.
@@ -404,6 +552,58 @@ mod tests {
             seq.hash, par.hash,
             "flipping the scan mode must change the journal key"
         );
+    }
+
+    #[test]
+    fn spec_string_round_trips_the_full_plan() {
+        let mut plan = grid_plan();
+        plan.trials = 7;
+        plan.chunk_size = 3;
+        plan.base_seed = 0xdead_beef;
+        plan.alphas = vec![AlphaSpec::Fixed(2.5), AlphaSpec::FractionOfN(1.0 / 3.0)];
+        plan.engine = EngineSpec::fastest()
+            .with_cache_budget(Some(77))
+            .with_byte_budget(Some(1 << 20))
+            .with_warm_batching(false);
+        plan.split = AutoSplit {
+            scan_min_n: 100,
+            scan_max_trials: 9,
+            scan_min_cores: 3,
+        };
+        let spec = plan.to_spec_string();
+        let back = SweepPlan::parse_spec(&spec).expect("parses");
+        assert_eq!(back.name, plan.name);
+        assert_eq!(back.scenarios, plan.scenarios);
+        assert_eq!(back.families, plan.families);
+        assert_eq!(back.policies, plan.policies);
+        assert_eq!(back.alphas, plan.alphas);
+        assert_eq!(back.ns, plan.ns);
+        assert_eq!(back.engine, plan.engine);
+        assert_eq!(back.split, plan.split);
+        assert_eq!(
+            back.plan_hash(),
+            plan.plan_hash(),
+            "the spec reconstructs the identical grid on this machine"
+        );
+        // Exact α bits survive even for values with no finite decimal form.
+        let AlphaSpec::FractionOfN(f) = back.alphas[1] else {
+            panic!("alpha kind survived");
+        };
+        assert_eq!(f.to_bits(), (1.0f64 / 3.0).to_bits());
+    }
+
+    #[test]
+    fn spec_parsing_rejects_garbage_loudly() {
+        assert!(SweepPlan::parse_spec("not a spec").is_err());
+        let spec = grid_plan().to_spec_string();
+        let with_unknown = format!("{spec}mystery_key=1\n");
+        assert!(SweepPlan::parse_spec(&with_unknown)
+            .unwrap_err()
+            .contains("unknown spec key"));
+        let broken = spec.replace("engine.oracle=persistent", "engine.oracle=quantum");
+        assert!(SweepPlan::parse_spec(&broken).is_err());
+        let broken = spec.replace("policy=max cost", "policy=psychic");
+        assert!(SweepPlan::parse_spec(&broken).is_err());
     }
 
     #[test]

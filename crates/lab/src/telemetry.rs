@@ -69,8 +69,15 @@ fn render_chunk(ev: &ChunkEvent) -> String {
 
 /// Best-effort append-only telemetry writer shared across worker threads.
 pub struct TelemetryWriter {
-    file: Mutex<BufWriter<File>>,
+    file: Mutex<TelemetryFile>,
     failed: AtomicBool,
+}
+
+/// The stream plus its running byte offset — reported in the degradation
+/// warning so a post-mortem can line the failure up with the file on disk.
+struct TelemetryFile {
+    file: BufWriter<File>,
+    written: u64,
 }
 
 impl TelemetryWriter {
@@ -80,28 +87,49 @@ impl TelemetryWriter {
     /// hiccup.
     pub fn create(path: &Path, plan_hash: u64) -> std::io::Result<TelemetryWriter> {
         let mut file = BufWriter::new(File::create(path)?);
-        writeln!(
-            file,
-            "{{\"ncg_sweep_telemetry\":1,\"plan\":\"{plan_hash:016x}\"}}"
-        )?;
+        let header = format!("{{\"ncg_sweep_telemetry\":1,\"plan\":\"{plan_hash:016x}\"}}\n");
+        file.write_all(header.as_bytes())?;
         file.flush()?;
         Ok(TelemetryWriter {
-            file: Mutex::new(file),
+            file: Mutex::new(TelemetryFile {
+                file,
+                written: header.len() as u64,
+            }),
             failed: AtomicBool::new(false),
         })
+    }
+
+    /// True once a mid-run append has failed and the stream went dark. The
+    /// run summary surfaces this, so a silent telemetry gap is visible after
+    /// the fact.
+    pub fn degraded(&self) -> bool {
+        self.failed.load(Ordering::Relaxed)
     }
 
     fn append(&self, line: &str) {
         if self.failed.load(Ordering::Relaxed) {
             return;
         }
-        let mut file = self.file.lock().expect("telemetry mutex poisoned");
-        if writeln!(file, "{line}")
-            .and_then(|()| file.flush())
-            .is_err()
-            && !self.failed.swap(true, Ordering::Relaxed)
-        {
-            eprintln!("sweep telemetry: write failed, stream disabled for the rest of the run");
+        let mut inner = self.file.lock().expect("telemetry mutex poisoned");
+        // The `telemetry-append` fault point injects the failure modes a
+        // best-effort stream must shrug off: I/O errors (stream degrades,
+        // sweep continues), delays (a stalled heartbeat the supervisor must
+        // not mistake for progress) and kills.
+        let result = crate::faultpoint::io_check("telemetry-append")
+            .and_then(|()| writeln!(inner.file, "{line}"))
+            .and_then(|()| inner.file.flush());
+        match result {
+            Ok(()) => inner.written += line.len() as u64 + 1,
+            Err(e) => {
+                if !self.failed.swap(true, Ordering::Relaxed) {
+                    eprintln!(
+                        "sweep telemetry: append failed at byte offset {} ({:?}: {e}); \
+                         stream disabled for the rest of the run",
+                        inner.written,
+                        e.kind()
+                    );
+                }
+            }
         }
     }
 
@@ -168,6 +196,30 @@ mod tests {
             lines[3],
             "{\"event\":\"run\",\"executed\":6,\"resumed\":0,\"wall_ns\":9000000}"
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn append_failure_degrades_the_stream_without_aborting() {
+        let _guard = crate::faultpoint::test_lock();
+        let dir = std::env::temp_dir().join(format!("ncg-lab-telemetry2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t2.jsonl");
+        let writer = TelemetryWriter::create(&path, 0x77).unwrap();
+        writer.worker(0, 1, 10);
+        assert!(!writer.degraded());
+        crate::faultpoint::arm("telemetry-append:err");
+        writer.worker(1, 2, 20); // injected failure: stream goes dark
+        crate::faultpoint::disarm();
+        assert!(writer.degraded());
+        writer.worker(2, 3, 30); // silently dropped
+        writer.run(5, 0, 99);
+        drop(writer);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"worker\":0"));
+        assert!(!text.contains("\"worker\":1"), "failed line never landed");
+        assert!(!text.contains("\"worker\":2"), "stream stayed dark");
+        assert!(!text.contains("\"event\":\"run\""));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -236,6 +236,21 @@ impl GameFamily {
         }
     }
 
+    /// Inverse of [`GameFamily::label`] (plan-spec round trips).
+    pub fn parse(s: &str) -> Option<GameFamily> {
+        match s {
+            "SUM-ASG" => Some(GameFamily::AsgSum),
+            "MAX-ASG" => Some(GameFamily::AsgMax),
+            "SUM-GBG" => Some(GameFamily::GbgSum),
+            "MAX-GBG" => Some(GameFamily::GbgMax),
+            "SUM-BIL" => Some(GameFamily::BilateralSum),
+            "MAX-BIL" => Some(GameFamily::BilateralMax),
+            "SUM-BG" => Some(GameFamily::BuySum),
+            "MAX-BG" => Some(GameFamily::BuyMax),
+            _ => None,
+        }
+    }
+
     /// The distance metric of the family.
     pub fn metric(&self) -> DistanceMetric {
         match self {
