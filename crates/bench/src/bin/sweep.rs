@@ -23,9 +23,25 @@
 //! hangs are killed by the no-progress deadline, and a shard that exhausts
 //! its retry budget degrades the run instead of aborting it. See
 //! `ncg_lab::supervisor`.
+//!
+//! Cross-machine mode (see `ncg_lab::transport`):
+//!
+//! * `serve=ADDR` turns this binary into a long-lived shard server: bind
+//!   `ADDR` (port 0 picks an ephemeral port, announced on stdout) and take
+//!   shard assignments from a remote coordinator over TCP.
+//! * `workers=HOST:PORT,HOST:PORT,...` runs every plan as a distributed
+//!   coordinator over that worker pool (`shards=K` controls the shard
+//!   count, default one per worker) — severed connections and heartbeat
+//!   stalls retry with jittered backoff and reassign across the pool, and
+//!   the merge is bit-identical to a local run.
+//!
+//! Every mode ends with a `run health:` report naming incomplete points,
+//! discarded journal lines and telemetry degradation, so a degraded batch
+//! is visible at the bottom of the log, not just inline.
 
 use ncg_bench::sweeps;
 use ncg_lab::supervisor::{supervise, ShardRuntime, SupervisorConfig};
+use ncg_lab::transport::{run_distributed, TransportConfig};
 use ncg_lab::{run_sweep, MergedSweep, PointOutcome, RunOptions, SweepOutcome, SweepPlan};
 use ncg_trace as trace;
 use std::path::PathBuf;
@@ -41,6 +57,8 @@ struct Args {
     resume: bool,
     seed: u64,
     shards: Option<usize>,
+    serve: Option<String>,
+    workers: Vec<String>,
 }
 
 fn parse_args() -> Args {
@@ -54,6 +72,8 @@ fn parse_args() -> Args {
         resume: false,
         seed: 0x5eed_2013,
         shards: None,
+        serve: None,
+        workers: Vec::new(),
     };
     for arg in std::env::args().skip(1) {
         let Some((key, value)) = arg.split_once('=') else {
@@ -69,6 +89,14 @@ fn parse_args() -> Args {
             "resume" => args.resume = value == "1" || value == "true",
             "seed" => args.seed = value.parse().unwrap_or(args.seed),
             "shards" => args.shards = value.parse().ok().filter(|&k: &usize| k > 0),
+            "serve" => args.serve = Some(value.to_string()),
+            "workers" => {
+                args.workers = value
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+            }
             _ => eprintln!("ignoring unknown argument {key}={value}"),
         }
     }
@@ -129,6 +157,55 @@ fn print_outcome(plan: &SweepPlan, outcome: &SweepOutcome) {
     }
 }
 
+/// Per-plan health facts, echoed once more at the bottom of the log: a
+/// degraded batch must be visible in the last screenful, not only in a note
+/// that scrolled past hours earlier.
+struct RunHealth {
+    plan: String,
+    incomplete: Vec<String>,
+    skipped_lines: usize,
+    telemetry_degraded: bool,
+}
+
+impl RunHealth {
+    fn of(plan: &SweepPlan, outcome: &SweepOutcome, incomplete: Vec<String>) -> RunHealth {
+        RunHealth {
+            plan: plan.name.clone(),
+            incomplete,
+            skipped_lines: outcome.journal_skipped_lines,
+            telemetry_degraded: outcome.telemetry_degraded,
+        }
+    }
+}
+
+fn print_health(health: &[RunHealth]) {
+    println!("\nrun health:");
+    for h in health {
+        let mut notes = Vec::new();
+        if !h.incomplete.is_empty() {
+            notes.push(format!(
+                "{} incomplete point(s): {}",
+                h.incomplete.len(),
+                h.incomplete.join(", ")
+            ));
+        }
+        if h.skipped_lines > 0 {
+            notes.push(format!(
+                "{} torn/corrupt journal line(s) discarded",
+                h.skipped_lines
+            ));
+        }
+        if h.telemetry_degraded {
+            notes.push("telemetry stream went dark mid-run".to_string());
+        }
+        if notes.is_empty() {
+            println!("  {}: ok", h.plan);
+        } else {
+            println!("  {}: {}", h.plan, notes.join("; "));
+        }
+    }
+}
+
 /// Adapts a supervised-merge result to the common printing/JSON shape. The
 /// executed/resumed split is not observable post-merge, so every present
 /// chunk counts as executed.
@@ -163,9 +240,90 @@ fn worker_launcher(fault: Option<(usize, &'static str)>) -> impl Fn(&ShardRuntim
     }
 }
 
+/// Runs one plan as a distributed coordinator over a TCP worker pool and
+/// reports the merged outcome plus per-shard transport summaries. The
+/// incomplete point labels ride along for the end-of-run health report.
+fn run_transported(
+    plan: &SweepPlan,
+    args: &Args,
+    workers: &[String],
+) -> (SweepOutcome, Vec<String>) {
+    let dir = match &args.journal {
+        Some(p) => p.with_extension(format!("{}.transport", plan.name)),
+        None => std::env::temp_dir().join(format!(
+            "ncg-sweep-transport-{}-{}",
+            std::process::id(),
+            plan.name
+        )),
+    };
+    let cfg = TransportConfig {
+        shards: args.shards.unwrap_or_else(|| workers.len().max(1)),
+        threads_per_shard: args.threads,
+        ..TransportConfig::default()
+    };
+    let outcome = run_distributed(plan, &dir, &cfg, workers).expect("distributed sweep");
+    for r in &outcome.shards {
+        println!(
+            "shard {}: {} attempt(s), {} reassignment(s), {} stall kill(s), {} severed, \
+             {} corrupt frame(s){}",
+            r.shard,
+            r.attempts,
+            r.reassignments,
+            r.stall_kills,
+            r.severed,
+            r.corrupt_frames,
+            if r.completed { "" } else { " — GAVE UP" },
+        );
+    }
+    if !outcome.dead_workers.is_empty() {
+        eprintln!(
+            "sweep: worker(s) dropped from the pool: {}",
+            outcome.dead_workers.join(", ")
+        );
+    }
+    if outcome.degraded {
+        eprintln!(
+            "sweep: {} point(s) incomplete after the transport exhausted its budget: {}",
+            outcome.merged.incomplete_points.len(),
+            outcome.merged.incomplete_points.join(", "),
+        );
+    }
+    let incomplete = outcome.merged.incomplete_points.clone();
+    (merged_to_outcome(outcome.merged), incomplete)
+}
+
+/// The `serve=ADDR` mode: this binary as a long-lived shard server taking
+/// remote assignments. Never returns on success.
+fn serve_forever(bind: &str) -> ! {
+    if let Err(e) = ncg_lab::faultpoint::arm_from_env() {
+        eprintln!("sweep serve: {e}");
+        std::process::exit(2);
+    }
+    let listener = match std::net::TcpListener::bind(bind) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("sweep serve: cannot bind {bind}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let addr = listener
+        .local_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| bind.to_string());
+    println!("ncg-shard-server listening on {addr}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    let opts = ncg_lab::ServeOptions::default();
+    if let Err(e) = ncg_lab::serve(&listener, &opts) {
+        eprintln!("sweep serve: {e}");
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
 /// Runs one plan as `shards` supervised worker processes and reports the
 /// merged outcome plus per-shard supervision summaries.
-fn run_supervised(plan: &SweepPlan, args: &Args, shards: usize) -> SweepOutcome {
+fn run_supervised(plan: &SweepPlan, args: &Args, shards: usize) -> (SweepOutcome, Vec<String>) {
     let dir = match &args.journal {
         Some(p) => p.with_extension(format!("{}.shards", plan.name)),
         None => std::env::temp_dir().join(format!(
@@ -197,7 +355,8 @@ fn run_supervised(plan: &SweepPlan, args: &Args, shards: usize) -> SweepOutcome 
             outcome.merged.incomplete_points.join(", "),
         );
     }
-    merged_to_outcome(outcome.merged)
+    let incomplete = outcome.merged.incomplete_points.clone();
+    (merged_to_outcome(outcome.merged), incomplete)
 }
 
 fn assert_bit_identical(a: &[PointOutcome], b: &[PointOutcome], what: &str) {
@@ -366,6 +525,9 @@ fn main() {
         std::process::exit(ncg_lab::supervisor::worker_main());
     }
     let args = parse_args();
+    if let Some(bind) = &args.serve {
+        serve_forever(bind);
+    }
     if args.smoke {
         smoke(&args);
         return;
@@ -380,8 +542,11 @@ fn main() {
         sweeps::exact_buy_small(args.max_n, args.trials, args.seed),
     ];
     let mut runs = Vec::new();
+    let mut health = Vec::new();
     for plan in plans {
-        let outcome = if let Some(shards) = args.shards {
+        let (outcome, incomplete) = if !args.workers.is_empty() {
+            run_transported(&plan, &args, &args.workers)
+        } else if let Some(shards) = args.shards {
             run_supervised(&plan, &args, shards)
         } else {
             // One journal per plan when checkpointing is requested; the live
@@ -394,7 +559,7 @@ fn main() {
                 .journal
                 .as_ref()
                 .map(|p| p.with_extension(format!("{}.telemetry.jsonl", plan.name)));
-            run_sweep(
+            let outcome = run_sweep(
                 &plan,
                 &RunOptions {
                     threads: args.threads,
@@ -406,13 +571,28 @@ fn main() {
                     shard: None,
                 },
             )
-            .expect("sweep failed")
+            .expect("sweep failed");
+            // A single-process run that didn't finish (capped or resumed
+            // against a short journal) names its unfinished points too.
+            let incomplete = if outcome.completed {
+                Vec::new()
+            } else {
+                outcome
+                    .points
+                    .iter()
+                    .filter(|p| p.completed_chunks < plan.chunks(&p.point).len())
+                    .map(|p| p.point.label())
+                    .collect()
+            };
+            (outcome, incomplete)
         };
         print_outcome(&plan, &outcome);
+        health.push(RunHealth::of(&plan, &outcome, incomplete));
         runs.push((plan, outcome));
     }
     let seconds = watch.elapsed_secs();
     println!("\ntotal wall time: {seconds:.1}s");
+    print_health(&health);
 
     if let Some(path) = &args.json {
         let json = sweeps::render_json(&runs, false, seconds);

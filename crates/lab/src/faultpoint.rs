@@ -44,6 +44,19 @@ use std::io::{self, Write};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
+/// Every fault point compiled into the production paths. Spec parsing
+/// rejects any other name: a typo in an `NCG_FAULT` spec must be a loud
+/// startup error, not a harness that silently tests nothing.
+pub const KNOWN_POINTS: &[&str] = &[
+    "journal-append",
+    "telemetry-append",
+    "chunk-run",
+    "net-accept",
+    "net-read",
+    "net-write",
+    "net-heartbeat",
+];
+
 /// Exit/abort is deliberately `process::abort()`: no atexit handlers, no
 /// buffer flushes — the closest portable stand-in for SIGKILL.
 fn die() -> ! {
@@ -88,35 +101,71 @@ pub fn armed() -> bool {
     ARMED.load(Ordering::Relaxed)
 }
 
-fn parse_spec(s: &str) -> Option<Spec> {
+/// Parses one `<point>:<action>[@arg][:hits=N]` spec. Every rejection names
+/// the offending token: a typo'd fault spec must fail loudly at startup, not
+/// run the matrix with a harness that injects nothing.
+fn parse_spec(s: &str) -> Result<Spec, String> {
     let mut parts = s.split(':');
-    let point = parts.next()?.trim();
+    let point = parts.next().unwrap_or("").trim();
     if point.is_empty() {
-        return None;
+        return Err(format!("bad fault spec {s:?}: empty fault-point name"));
     }
-    let action_str = parts.next()?.trim();
+    if !KNOWN_POINTS.contains(&point) {
+        return Err(format!(
+            "bad fault spec {s:?}: unknown fault point {point:?} (known points: {})",
+            KNOWN_POINTS.join(", ")
+        ));
+    }
+    let action_str = match parts.next() {
+        Some(a) => a.trim(),
+        None => {
+            return Err(format!(
+                "bad fault spec {s:?}: missing action after {point:?}"
+            ))
+        }
+    };
     let (action_name, arg) = match action_str.split_once('@') {
         Some((a, v)) => (a, Some(v)),
         None => (action_str, None),
     };
+    let need_arg = |what: &str| -> Result<u64, String> {
+        match arg {
+            Some(v) => v.parse().map_err(|_| {
+                format!("bad fault spec {s:?}: {action_name} needs a numeric {what}, got {v:?}")
+            }),
+            None => Err(format!(
+                "bad fault spec {s:?}: {action_name} needs @<{what}>"
+            )),
+        }
+    };
     let action = match action_name {
         "kill" => Action::Kill,
-        "killbyte" => Action::KillAtByte(arg?.parse().ok()?),
+        "killbyte" => Action::KillAtByte(need_arg("byte offset")?),
         "err" => Action::Error,
         "corrupt" => Action::Corrupt,
-        "delay" => Action::Delay(arg?.parse().ok()?),
+        "delay" => Action::Delay(need_arg("milliseconds")?),
         "hang" => Action::Delay(HANG_MS),
-        _ => return None,
+        other => return Err(format!("bad fault spec {s:?}: unknown action {other:?}")),
     };
+    if arg.is_some() && matches!(action_name, "kill" | "err" | "corrupt" | "hang") {
+        return Err(format!(
+            "bad fault spec {s:?}: {action_name} takes no @argument"
+        ));
+    }
     let mut at_hit = 1u64;
     for extra in parts {
+        let extra = extra.trim();
         if let Some(n) = extra.strip_prefix("hits=") {
-            at_hit = n.parse().ok()?;
+            at_hit = n
+                .parse()
+                .map_err(|_| format!("bad fault spec {s:?}: bad hits= value {n:?}"))?;
         } else {
-            return None;
+            return Err(format!(
+                "bad fault spec {s:?}: unknown attribute {extra:?} (only hits=N)"
+            ));
         }
     }
-    Some(Spec {
+    Ok(Spec {
         point: point.to_string(),
         action,
         at_hit: at_hit.max(1),
@@ -127,27 +176,38 @@ fn parse_spec(s: &str) -> Option<Spec> {
 }
 
 /// Arms the fault table from a spec string (see the module docs for the
-/// grammar). Replaces any previously armed table. Unparseable specs panic —
-/// a fault harness that silently ignores a typo would pass every test.
-pub fn arm(specs: &str) {
+/// grammar), replacing any previously armed table. Returns a startup error
+/// naming the bad token on a malformed spec — callers that take specs from
+/// the environment ([`arm_from_env`]) surface this and refuse to run.
+pub fn try_arm(specs: &str) -> Result<(), String> {
     let mut table = Vec::new();
     for part in specs.split(';') {
         let part = part.trim();
         if part.is_empty() {
             continue;
         }
-        table.push(parse_spec(part).unwrap_or_else(|| panic!("bad fault spec: {part:?}")));
+        table.push(parse_spec(part)?);
     }
     let has_any = !table.is_empty();
     *TABLE.lock().expect("fault table poisoned") = table;
     ARMED.store(has_any, Ordering::Relaxed);
+    Ok(())
 }
 
-/// Arms from `NCG_FAULT` if set (shard workers call this at startup, so the
-/// supervisor's launcher controls fault inheritance per attempt).
-pub fn arm_from_env() {
-    if let Ok(spec) = std::env::var("NCG_FAULT") {
-        arm(&spec);
+/// [`try_arm`] for in-process tests: panics on a malformed spec — a fault
+/// harness that silently ignores a typo would pass every test.
+pub fn arm(specs: &str) {
+    try_arm(specs).unwrap_or_else(|e| panic!("{e}"));
+}
+
+/// Arms from `NCG_FAULT` if set (shard workers and shard servers call this
+/// at startup, so the launcher controls fault inheritance per attempt). A
+/// malformed spec is a startup error the caller must surface — never a
+/// silent no-op, never a panic.
+pub fn arm_from_env() -> Result<(), String> {
+    match std::env::var("NCG_FAULT") {
+        Ok(spec) => try_arm(&spec).map_err(|e| format!("$NCG_FAULT: {e}")),
+        Err(_) => Ok(()),
     }
 }
 
@@ -301,26 +361,26 @@ mod tests {
     #[test]
     fn err_fires_on_the_configured_hit_then_disarms() {
         let _g = test_lock();
-        arm("p:err:hits=3");
-        assert!(io_check("p").is_ok());
-        assert!(io_check("other").is_ok(), "foreign points never fire");
-        assert!(io_check("p").is_ok());
-        let e = io_check("p").unwrap_err();
+        arm("net-read:err:hits=3");
+        assert!(io_check("net-read").is_ok());
+        assert!(io_check("net-write").is_ok(), "foreign points never fire");
+        assert!(io_check("net-read").is_ok());
+        let e = io_check("net-read").unwrap_err();
         assert!(e.to_string().contains("injected fault"));
-        assert!(io_check("p").is_ok(), "a spec fires exactly once");
+        assert!(io_check("net-read").is_ok(), "a spec fires exactly once");
         disarm();
     }
 
     #[test]
     fn corrupt_mangles_exactly_once() {
         let _g = test_lock();
-        arm("w:corrupt");
+        arm("net-write:corrupt");
         let clean = b"0123456789".to_vec();
         let mut buf = clean.clone();
-        mangle("w", &mut buf);
+        mangle("net-write", &mut buf);
         assert_ne!(buf, clean);
         let mut again = clean.clone();
-        mangle("w", &mut again);
+        mangle("net-write", &mut again);
         assert_eq!(again, clean);
         disarm();
     }
@@ -330,10 +390,10 @@ mod tests {
         let _g = test_lock();
         // Budget of 10 bytes: two 4-byte writes pass, the third would cross.
         // We can't abort in-process, so only exercise the pass-through side.
-        arm("j:killbyte@10");
+        arm("journal-append:killbyte@10");
         let mut out = Vec::new();
-        write_all("j", &mut out, b"aaaa").unwrap();
-        write_all("j", &mut out, b"bbbb").unwrap();
+        write_all("journal-append", &mut out, b"aaaa").unwrap();
+        write_all("journal-append", &mut out, b"bbbb").unwrap();
         assert_eq!(out.len(), 8);
         disarm();
     }
@@ -341,9 +401,9 @@ mod tests {
     #[test]
     fn delay_spec_sleeps() {
         let _g = test_lock();
-        arm("d:delay@30");
+        arm("net-heartbeat:delay@30");
         let t0 = std::time::Instant::now();
-        trip("d");
+        trip("net-heartbeat");
         assert!(t0.elapsed() >= std::time::Duration::from_millis(25));
         disarm();
     }
@@ -351,16 +411,19 @@ mod tests {
     #[test]
     fn specs_only_count_hits_at_capable_call_sites() {
         let _g = test_lock();
-        arm("p:corrupt:hits=2;p:err:hits=2");
+        arm("net-write:corrupt:hits=2;net-write:err:hits=2");
         // io_check cannot apply `corrupt`, so only the err spec counts here —
         // and a corrupt spec is never consumed (wasted) by a fallible-op hook.
-        assert!(io_check("p").is_ok());
+        assert!(io_check("net-write").is_ok());
         let clean = b"0123456789".to_vec();
         let mut buf = clean.clone();
-        mangle("p", &mut buf); // corrupt hit 1 of 2 — not yet
+        mangle("net-write", &mut buf); // corrupt hit 1 of 2 — not yet
         assert_eq!(buf, clean);
-        assert!(io_check("p").is_err(), "err fires on its 2nd fallible op");
-        mangle("p", &mut buf); // corrupt hit 2 of 2 — fires
+        assert!(
+            io_check("net-write").is_err(),
+            "err fires on its 2nd fallible op"
+        );
+        mangle("net-write", &mut buf); // corrupt hit 2 of 2 — fires
         assert_ne!(buf, clean);
         disarm();
     }
@@ -370,20 +433,56 @@ mod tests {
     fn bad_specs_panic_instead_of_silently_passing() {
         // Deliberately NOT taking the lock: panicking while holding it would
         // poison every other test. `arm` only mutates the table at the end.
-        arm("p:explode");
+        arm("chunk-run:explode");
     }
 
     #[test]
     fn spec_grammar_round_trips() {
         let s = parse_spec("journal-append:killbyte@1234").unwrap();
         assert_eq!(s.action, Action::KillAtByte(1234));
-        let s = parse_spec("x:delay@250:hits=7").unwrap();
+        let s = parse_spec("net-heartbeat:delay@250:hits=7").unwrap();
         assert_eq!(s.action, Action::Delay(250));
         assert_eq!(s.at_hit, 7);
-        let s = parse_spec("x:hang").unwrap();
+        let s = parse_spec("net-heartbeat:hang").unwrap();
         assert_eq!(s.action, Action::Delay(HANG_MS));
-        assert!(parse_spec("x:killbyte").is_none(), "killbyte needs a byte");
-        assert!(parse_spec(":err").is_none(), "empty point name");
-        assert!(parse_spec("x:err:whatever=1").is_none(), "unknown attr");
+    }
+
+    #[test]
+    fn malformed_specs_name_the_bad_token() {
+        let err = |s: &str| parse_spec(s).unwrap_err();
+        // Unknown point: named, with the known list for the fix.
+        let e = err("journal-apend:kill");
+        assert!(e.contains("unknown fault point"), "{e}");
+        assert!(e.contains("journal-apend"), "{e}");
+        assert!(e.contains("journal-append"), "suggests the known list: {e}");
+        // Unknown action.
+        let e = err("chunk-run:explode");
+        assert!(e.contains("unknown action") && e.contains("explode"), "{e}");
+        // Bad / missing numeric arguments.
+        let e = err("journal-append:killbyte");
+        assert!(e.contains("killbyte") && e.contains("byte offset"), "{e}");
+        let e = err("journal-append:killbyte@twelve");
+        assert!(e.contains("twelve"), "{e}");
+        let e = err("net-heartbeat:delay@");
+        assert!(e.contains("delay"), "{e}");
+        // Bad hits= value and unknown attribute.
+        let e = err("chunk-run:kill:hits=many");
+        assert!(e.contains("hits=") && e.contains("many"), "{e}");
+        let e = err("chunk-run:kill:whatever=1");
+        assert!(
+            e.contains("unknown attribute") && e.contains("whatever"),
+            "{e}"
+        );
+        // Structural rejects.
+        assert!(err(":err").contains("empty fault-point name"));
+        let e = err("chunk-run");
+        assert!(e.contains("missing action"), "{e}");
+        let e = err("chunk-run:kill@5");
+        assert!(e.contains("takes no @argument"), "{e}");
+        // try_arm surfaces the same error without touching the armed table.
+        let _g = test_lock();
+        disarm();
+        assert!(try_arm("chunk-run:kill;bogus:kill").is_err());
+        assert!(!armed(), "a failed arm never half-arms");
     }
 }

@@ -251,6 +251,16 @@ pub struct JournalContents {
     pub shard: Option<ShardSpec>,
 }
 
+impl JournalContents {
+    /// True once every `(point_hash, chunk_index)` key in `expected` has a
+    /// complete record — the audit applied to a worker that *claims* success
+    /// (a clean exit code or a `Done` frame proves nothing by itself: a
+    /// corrupted or lost record leaves a hole only the journal can reveal).
+    pub fn covers(&self, expected: &[(u64, usize)]) -> bool {
+        expected.iter().all(|key| self.chunks.contains_key(key))
+    }
+}
+
 /// True for [`load_journal`] errors meaning the header itself never made it
 /// to disk intact (empty file or torn header) — the one corruption class a
 /// resume can only repair by starting the journal over. A *valid* header for

@@ -30,6 +30,11 @@
 //!   workers, liveness via journal/telemetry growth, retry with exponential
 //!   backoff, timeout-and-kill on hang, graceful degradation when a shard
 //!   exhausts its retry budget.
+//! * [`transport`] — cross-machine shard transport: a tiny length-prefixed,
+//!   checksummed TCP protocol where a coordinator dispatches shard
+//!   assignments to remote accept-loop workers, with retry/backoff,
+//!   byte-growth heartbeat liveness, reassignment on stall or sever, and
+//!   per-attempt journals fed through the same merge fold.
 //! * [`faultpoint`] — the kill-anywhere fault-injection harness (env-gated
 //!   named fault points, zero overhead when off) behind the fault matrix.
 //!
@@ -49,11 +54,17 @@ pub mod scenario;
 pub mod shard;
 pub mod supervisor;
 pub mod telemetry;
+pub mod transport;
 
 pub use journal::{load_journal, ChunkRecord, JournalWriter};
 pub use orchestrator::{run_sweep, PointOutcome, RunOptions, SweepOutcome};
 pub use plan::{fnv1a, AutoSplit, SweepPlan, SweepPoint};
 pub use scenario::Scenario;
 pub use shard::{merge_shard_journals, shard_of, MergedSweep, ShardSpec};
-pub use supervisor::{supervise, ShardReport, SupervisedOutcome, SupervisorConfig};
+pub use supervisor::{
+    backoff_with_jitter, supervise, ShardReport, SupervisedOutcome, SupervisorConfig,
+};
 pub use telemetry::{ChunkEvent, TelemetryWriter};
+pub use transport::{
+    run_distributed, serve, ServeOptions, ShardTransportReport, TransportConfig, TransportOutcome,
+};

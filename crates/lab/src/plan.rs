@@ -329,7 +329,10 @@ impl SweepPlan {
                     .policies
                     .push(Policy::parse(val).ok_or_else(|| bad(key, val))?),
                 "alpha" => {
-                    let bits = u64::from_str_radix(&val[1..], 16).map_err(|_| bad(key, val));
+                    // `get` rather than slicing: an empty or non-ASCII value
+                    // must be a parse error, not an out-of-bounds panic.
+                    let digits = val.get(1..).unwrap_or("");
+                    let bits = u64::from_str_radix(digits, 16).map_err(|_| bad(key, val));
                     plan.alphas.push(match val.as_bytes().first() {
                         Some(b'f') => AlphaSpec::Fixed(f64::from_bits(bits?)),
                         Some(b'n') => AlphaSpec::FractionOfN(f64::from_bits(bits?)),
@@ -604,6 +607,92 @@ mod tests {
         assert!(SweepPlan::parse_spec(&broken).is_err());
         let broken = spec.replace("policy=max cost", "policy=psychic");
         assert!(SweepPlan::parse_spec(&broken).is_err());
+    }
+
+    #[test]
+    fn spec_round_trips_an_empty_grid() {
+        // A plan with every axis empty is degenerate but legal — it owns no
+        // points — and its spec must survive the round trip rather than
+        // collapsing back to the non-empty defaults of `SweepPlan::new`.
+        let mut plan = SweepPlan::new("empty");
+        plan.scenarios.clear();
+        plan.families.clear();
+        plan.policies.clear();
+        plan.alphas.clear();
+        plan.ns.clear();
+        let back = SweepPlan::parse_spec(&plan.to_spec_string()).expect("parses");
+        assert!(back.scenarios.is_empty());
+        assert!(back.families.is_empty());
+        assert!(back.policies.is_empty());
+        assert!(back.alphas.is_empty());
+        assert!(back.ns.is_empty());
+        assert!(back.flatten().is_empty());
+        assert_eq!(back.plan_hash(), plan.plan_hash());
+    }
+
+    #[test]
+    fn spec_round_trips_a_max_size_plan_with_hostile_alpha_bits() {
+        let mut plan = grid_plan();
+        plan.ns = (8..208).collect();
+        plan.trials = usize::MAX;
+        plan.chunk_size = usize::MAX;
+        plan.max_steps_factor = usize::MAX;
+        plan.base_seed = u64::MAX;
+        // α values whose bit patterns have no short decimal form — including
+        // signed zero, subnormals, infinities and NaN — must survive the
+        // IEEE-bit codec exactly.
+        plan.alphas = vec![
+            AlphaSpec::Fixed(-0.0),
+            AlphaSpec::Fixed(f64::MIN_POSITIVE / 2.0), // subnormal
+            AlphaSpec::Fixed(f64::INFINITY),
+            AlphaSpec::Fixed(f64::NEG_INFINITY),
+            AlphaSpec::Fixed(f64::NAN),
+            AlphaSpec::FractionOfN(f64::MAX),
+            AlphaSpec::FractionOfN(1.0e-308),
+        ];
+        let back = SweepPlan::parse_spec(&plan.to_spec_string()).expect("parses");
+        assert_eq!(back.ns, plan.ns);
+        assert_eq!(back.trials, usize::MAX);
+        assert_eq!(back.chunk_size, usize::MAX);
+        for (a, b) in plan.alphas.iter().zip(&back.alphas) {
+            let bits = |s: &AlphaSpec| match *s {
+                AlphaSpec::Fixed(v) => (0u8, v.to_bits()),
+                AlphaSpec::FractionOfN(v) => (1u8, v.to_bits()),
+            };
+            assert_eq!(bits(a), bits(b), "α bit pattern survives: {a:?}");
+        }
+    }
+
+    #[test]
+    fn adversarial_alpha_values_error_instead_of_panicking() {
+        let arm = |val: &str| SweepPlan::parse_spec(&format!("ncg_sweep_plan=1\nalpha={val}\n"));
+        for val in ["", "f", "n", "fzz", "x0000000000000000", "αβγ", "f αβ"] {
+            let err = arm(val).expect_err(&format!("alpha={val:?} must be rejected"));
+            assert!(err.contains("alpha"), "{err}");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected_or_changes_the_hash() {
+        let plan = grid_plan();
+        let spec = plan.to_spec_string();
+        // Structural garbage fails the parse outright.
+        for garbage in ["lol\n", "=\n", "alpha\n"] {
+            assert!(
+                SweepPlan::parse_spec(&format!("{spec}{garbage}")).is_err(),
+                "trailing {garbage:?} must not parse"
+            );
+        }
+        // Well-formed trailing lines that *extend* the grid parse fine — but
+        // the plan hash moves, so a worker handed the tampered spec refuses
+        // it against the coordinator's expected hash.
+        let padded = format!("{spec}n=999\n");
+        let back = SweepPlan::parse_spec(&padded).expect("well-formed extension parses");
+        assert_ne!(
+            back.plan_hash(),
+            plan.plan_hash(),
+            "grid tampering must be visible in the plan hash"
+        );
     }
 
     #[test]

@@ -57,6 +57,15 @@ impl ShardSpec {
     pub fn telemetry_name(&self) -> String {
         format!("shard-{}-of-{}.telemetry.jsonl", self.index, self.count)
     }
+
+    /// The per-attempt journal filename a transport coordinator persists a
+    /// streamed assignment into. Every attempt keeps its own file —
+    /// [`merge_shard_journals`] accepts any number of files per shard and
+    /// deduplicates replayed records, which is what makes reassignment after
+    /// a severed or stalled attempt idempotent.
+    pub fn attempt_journal_name(&self, attempt: usize) -> String {
+        format!("shard-{}-of-{}.a{attempt}.jsonl", self.index, self.count)
+    }
 }
 
 /// The shard owning chunk `(point_hash, chunk_index)` in a `count`-way

@@ -37,7 +37,9 @@ pub struct SupervisorConfig {
     pub shards: usize,
     /// Attempts per shard (first launch + retries) before giving up on it.
     pub max_attempts: usize,
-    /// Backoff before retry attempt `k` is `base · 2^(k-1)`, capped below.
+    /// Backoff before retry attempt `k` is `base · 2^(k-1)` capped below,
+    /// then jittered into the upper half of the window by
+    /// [`backoff_with_jitter`] so crashed shards don't retry in lockstep.
     pub backoff_base_ms: u64,
     /// Upper bound of the exponential backoff.
     pub backoff_cap_ms: u64,
@@ -49,6 +51,27 @@ pub struct SupervisorConfig {
     /// Worker threads per shard process (`None` = each worker decides from
     /// its own core count).
     pub threads_per_shard: Option<usize>,
+}
+
+/// Retry backoff for 1-based `attempt`: exponential `base·2^(a−1)` capped at
+/// `cap_ms`, with deterministic decorrelating jitter drawn from an FNV-1a
+/// hash of `(salt, attempt)` into `[exp/2, exp]`. Without the jitter, k
+/// shards crashed by the same cause (a yanked volume, a killed worker box)
+/// retry in lockstep and hammer the recovering resource together; salting by
+/// shard index spreads them across half the exponential window while staying
+/// reproducible run-to-run.
+pub fn backoff_with_jitter(base_ms: u64, cap_ms: u64, attempt: usize, salt: u64) -> u64 {
+    let exp = base_ms
+        .saturating_mul(1u64 << attempt.saturating_sub(1).min(20))
+        .min(cap_ms);
+    if exp <= 1 {
+        return exp;
+    }
+    let mut seed = [0u8; 16];
+    seed[..8].copy_from_slice(&salt.to_le_bytes());
+    seed[8..].copy_from_slice(&(attempt as u64).to_le_bytes());
+    let lo = exp / 2;
+    lo + crate::plan::fnv1a(&seed) % (exp - lo + 1)
 }
 
 impl Default for SupervisorConfig {
@@ -165,10 +188,7 @@ fn file_len(path: &Path) -> u64 {
 /// incomplete, never a supervisor error: the retry path owns repair.
 fn shard_journal_complete(state: &ShardState) -> bool {
     match crate::journal::load_journal(&state.rt.journal, state.rt.plan_hash) {
-        Ok(contents) => state
-            .expected
-            .iter()
-            .all(|key| contents.chunks.contains_key(key)),
+        Ok(contents) => contents.covers(&state.expected),
         Err(_) => state.expected.is_empty() && !state.rt.journal.exists(),
     }
 }
@@ -264,10 +284,12 @@ pub fn supervise(
                             if state.attempts >= cfg.max_attempts {
                                 state.gave_up = true;
                             } else {
-                                let backoff = cfg
-                                    .backoff_base_ms
-                                    .saturating_mul(1 << (state.attempts - 1).min(20))
-                                    .min(cfg.backoff_cap_ms);
+                                let backoff = backoff_with_jitter(
+                                    cfg.backoff_base_ms,
+                                    cfg.backoff_cap_ms,
+                                    state.attempts,
+                                    state.rt.shard.index as u64,
+                                );
                                 state.gate = Instant::now() + Duration::from_millis(backoff);
                             }
                         }
@@ -292,10 +314,12 @@ pub fn supervise(
                             if state.attempts >= cfg.max_attempts {
                                 state.gave_up = true;
                             } else {
-                                let backoff = cfg
-                                    .backoff_base_ms
-                                    .saturating_mul(1 << (state.attempts - 1).min(20))
-                                    .min(cfg.backoff_cap_ms);
+                                let backoff = backoff_with_jitter(
+                                    cfg.backoff_base_ms,
+                                    cfg.backoff_cap_ms,
+                                    state.attempts,
+                                    state.rt.shard.index as u64,
+                                );
                                 state.gate = Instant::now() + Duration::from_millis(backoff);
                             }
                         }
@@ -351,7 +375,10 @@ pub fn supervise(
 /// `2` — protocol/configuration error; `3` — plan-hash mismatch (this
 /// machine re-derives a different grid: *not* retryable on this host).
 pub fn worker_main() -> i32 {
-    crate::faultpoint::arm_from_env();
+    if let Err(e) = crate::faultpoint::arm_from_env() {
+        eprintln!("shard worker: {e}");
+        return 2;
+    }
     let var = |key: &str| {
         std::env::var(key).map_err(|_| format!("shard worker: missing or invalid ${key}"))
     };
@@ -456,5 +483,43 @@ mod tests {
         assert!(cfg.shards >= 1);
         assert!(cfg.max_attempts >= 1);
         assert!(cfg.backoff_base_ms <= cfg.backoff_cap_ms);
+    }
+
+    #[test]
+    fn backoff_jitter_stays_inside_the_exponential_window() {
+        for attempt in 1..=10 {
+            let exp = 100u64.saturating_mul(1 << (attempt - 1).min(20)).min(2_000);
+            for salt in 0..32 {
+                let b = backoff_with_jitter(100, 2_000, attempt, salt);
+                assert!(
+                    b >= exp / 2 && b <= exp,
+                    "attempt {attempt} salt {salt}: {b} outside [{}, {exp}]",
+                    exp / 2
+                );
+            }
+        }
+        // Degenerate knobs stay safe.
+        assert_eq!(backoff_with_jitter(0, 2_000, 3, 7), 0);
+        assert!(backoff_with_jitter(100, 50, 10, 1) <= 50, "cap holds");
+        assert!(
+            backoff_with_jitter(100, 2_000, 10_000, 1) <= 2_000,
+            "huge attempt"
+        );
+    }
+
+    #[test]
+    fn backoff_jitter_decorrelates_salts_deterministically() {
+        let spread: std::collections::HashSet<u64> = (0..16)
+            .map(|salt| backoff_with_jitter(100, 2_000, 4, salt))
+            .collect();
+        assert!(
+            spread.len() > 4,
+            "16 shards must not retry in lockstep: {spread:?}"
+        );
+        assert_eq!(
+            backoff_with_jitter(100, 2_000, 4, 9),
+            backoff_with_jitter(100, 2_000, 4, 9),
+            "same inputs, same gate — reproducible supervision"
+        );
     }
 }

@@ -151,6 +151,22 @@ impl TelemetryWriter {
             "{{\"event\":\"run\",\"executed\":{executed},\"resumed\":{resumed},\"wall_ns\":{wall_ns}}}"
         ));
     }
+
+    /// Records one step of a distributed-shard assignment's lifecycle
+    /// (`what` is a short verb: `assign`, `complete`, `reassign`, `stall`,
+    /// `sever`, `refused`, `gave-up`) so a dashboard tailing the
+    /// coordinator's stream sees reassignments as they happen.
+    pub fn transport(&self, shard: usize, attempt: usize, worker: &str, what: &str) {
+        // Worker addresses are host:port strings; strip anything that could
+        // break the hand-rolled JSON rather than pulling in an escaper.
+        let worker: String = worker
+            .chars()
+            .filter(|c| *c != '"' && *c != '\\' && !c.is_control())
+            .collect();
+        self.append(&format!(
+            "{{\"event\":\"transport\",\"shard\":{shard},\"attempt\":{attempt},\"worker\":\"{worker}\",\"what\":\"{what}\"}}"
+        ));
+    }
 }
 
 #[cfg(test)]
@@ -176,10 +192,11 @@ mod tests {
         });
         writer.worker(0, 3, 2_000_000);
         writer.run(6, 0, 9_000_000);
+        writer.transport(1, 2, "127.0.0.1:9000\"\\", "reassign");
         drop(writer);
         let text = std::fs::read_to_string(&path).unwrap();
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 4);
+        assert_eq!(lines.len(), 5);
         assert_eq!(
             lines[0],
             "{\"ncg_sweep_telemetry\":1,\"plan\":\"000000000000abcd\"}"
@@ -195,6 +212,11 @@ mod tests {
         assert_eq!(
             lines[3],
             "{\"event\":\"run\",\"executed\":6,\"resumed\":0,\"wall_ns\":9000000}"
+        );
+        assert_eq!(
+            lines[4],
+            "{\"event\":\"transport\",\"shard\":1,\"attempt\":2,\"worker\":\"127.0.0.1:9000\",\"what\":\"reassign\"}",
+            "JSON-breaking bytes in a worker address are stripped"
         );
         std::fs::remove_dir_all(&dir).ok();
     }
